@@ -1,0 +1,63 @@
+//===- bench/BenchSupport.cpp - Shared benchmark harness plumbing ---------------===//
+//
+// Part of warp-swp. See BenchSupport.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "swp/Interp/Interpreter.h"
+#include "swp/Sim/Simulator.h"
+
+using namespace swp;
+using namespace swp::bench;
+
+RunResult swp::bench::runWorkload(const WorkloadSpec &Spec,
+                                  const MachineDescription &MD,
+                                  const CompilerOptions &Opts, bool Verify) {
+  RunResult R;
+  BuiltWorkload W = Spec.Make();
+  CompileResult CR = compileProgram(*W.Prog, MD, Opts);
+  if (!CR.Ok) {
+    R.Error = Spec.Name + ": compile failed: " + CR.Error;
+    return R;
+  }
+  SimResult Sim = simulate(CR.Code, *W.Prog, MD, W.Input);
+  if (!Sim.State.Ok) {
+    R.Error = Spec.Name + ": simulation failed: " + Sim.State.Error;
+    return R;
+  }
+  if (Verify) {
+    ProgramState Golden = interpret(*W.Prog, W.Input);
+    if (!Golden.Ok) {
+      R.Error = Spec.Name + ": interpreter failed: " + Golden.Error;
+      return R;
+    }
+    std::string Mismatch = compareStates(*W.Prog, Golden, Sim.State);
+    if (!Mismatch.empty()) {
+      R.Error = Spec.Name + ": WRONG ANSWER: " + Mismatch;
+      return R;
+    }
+  }
+  R.Ok = true;
+  R.Cycles = Sim.Cycles;
+  R.Flops = Sim.State.Flops;
+  R.CellMFLOPS = Sim.MFLOPS;
+  R.CodeSize = CR.Code.size();
+  R.Loops = std::move(CR.Loops);
+  return R;
+}
+
+std::string swp::bench::bar(unsigned Count, unsigned Scale) {
+  unsigned Len = (Count + Scale - 1) / Scale;
+  return std::string(Len, '#');
+}
+
+const LoopReport *
+swp::bench::primaryLoop(const std::vector<LoopReport> &Loops) {
+  const LoopReport *Best = nullptr;
+  for (const LoopReport &L : Loops)
+    if (!Best || L.NumUnits > Best->NumUnits)
+      Best = &L;
+  return Best;
+}

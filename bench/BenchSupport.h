@@ -1,0 +1,58 @@
+//===- bench/BenchSupport.h - Shared benchmark harness plumbing -*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure benchmark binaries: compile a
+/// workload under a policy, run it on the cycle-level simulator, verify
+/// the final state against the scalar interpreter (a benchmark that
+/// computes the wrong answer aborts), and report cycles / MFLOPS /
+/// schedule quality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_BENCH_BENCHSUPPORT_H
+#define SWP_BENCH_BENCHSUPPORT_H
+
+#include "swp/Codegen/Compiler.h"
+#include "swp/Workloads/Workloads.h"
+
+#include <string>
+#include <vector>
+
+namespace swp::bench {
+
+/// Result of one compile+simulate run.
+struct RunResult {
+  bool Ok = false;
+  std::string Error;
+  uint64_t Cycles = 0;
+  uint64_t Flops = 0;
+  double CellMFLOPS = 0.0;
+  size_t CodeSize = 0; ///< Emitted instructions.
+  std::vector<LoopReport> Loops;
+};
+
+/// Builds, compiles, simulates and (by default) verifies one workload.
+RunResult runWorkload(const WorkloadSpec &Spec, const MachineDescription &MD,
+                      const CompilerOptions &Opts, bool Verify = true);
+
+/// The locally-compacted baseline options.
+inline CompilerOptions baselineOptions() {
+  CompilerOptions O;
+  O.EnablePipelining = false;
+  return O;
+}
+
+/// Prints an ASCII histogram row bar.
+std::string bar(unsigned Count, unsigned Scale = 1);
+
+/// The innermost-loop report carrying the most schedule units (the
+/// "primary" loop used for per-program quality columns).
+const LoopReport *primaryLoop(const std::vector<LoopReport> &Loops);
+
+} // namespace swp::bench
+
+#endif // SWP_BENCH_BENCHSUPPORT_H

@@ -1,0 +1,28 @@
+# Benchmark harness: one binary per paper table/figure plus ablations.
+# Declared at top level so build/bench/ holds only runnable binaries.
+
+add_library(bench_support STATIC bench/BenchSupport.cpp)
+target_include_directories(bench_support PUBLIC ${CMAKE_SOURCE_DIR}/bench)
+target_link_libraries(bench_support PUBLIC
+  swp_workloads swp_sim swp_interp swp_codegen)
+
+function(swp_add_bench NAME)
+  add_executable(${NAME} bench/${NAME}.cpp)
+  target_link_libraries(${NAME} PRIVATE bench_support)
+  set_target_properties(${NAME} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+swp_add_bench(bench_section2_example)
+swp_add_bench(bench_table4_1)
+swp_add_bench(bench_table4_2)
+swp_add_bench(bench_figure4_1)
+swp_add_bench(bench_figure4_2)
+swp_add_bench(bench_code_size)
+swp_add_bench(bench_unrolling_comparison)
+swp_add_bench(bench_scalability)
+swp_add_bench(bench_ablation_mve)
+swp_add_bench(bench_ablation_search)
+swp_add_bench(bench_ablation_hier)
+swp_add_bench(bench_sched_micro)
+target_link_libraries(bench_sched_micro PRIVATE benchmark::benchmark)

@@ -1,0 +1,55 @@
+//===- bench_code_size.cpp - E7: the section 2.4 code-size accounting -----------===//
+//
+// Part of warp-swp.
+//
+// Regenerates the code-size claims of section 2.4: a pipelined loop's
+// total code is bounded (the paper argues at most about 4x the
+// unpipelined loop once the dual version is included), while the steady
+// state — the part that must fit in an instruction buffer — is typically
+// much SHORTER than the unpipelined loop body.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "swp/Support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace swp;
+using namespace swp::bench;
+
+int main() {
+  std::cout << "=== E7: code size of pipelined loops (section 2.4) ===\n\n";
+
+  MachineDescription MD = MachineDescription::warpCell();
+  TablePrinter T({"kernel", "unpipelined", "kernel(steady)", "total-loop",
+                  "total/unpipelined", "unroll"});
+  double MaxRatio = 0.0;
+  bool AnyFailure = false;
+
+  for (const WorkloadSpec &Spec : livermoreKernels()) {
+    RunResult Swp = runWorkload(Spec, MD, CompilerOptions{});
+    if (!Swp.Ok) {
+      std::cout << "FAILED: " << Swp.Error << "\n";
+      AnyFailure = true;
+      continue;
+    }
+    const LoopReport *L = primaryLoop(Swp.Loops);
+    if (!L || !L->Pipelined)
+      continue;
+    double Ratio =
+        static_cast<double>(L->TotalLoopInsts) / L->UnpipelinedLen;
+    MaxRatio = std::max(MaxRatio, Ratio);
+    T.addRow({Spec.Name, std::to_string(L->UnpipelinedLen),
+              std::to_string(L->KernelInsts),
+              std::to_string(L->TotalLoopInsts),
+              TablePrinter::num(Ratio, 2), std::to_string(L->Unroll)});
+  }
+  T.print(std::cout);
+  std::cout << "\nworst total/unpipelined ratio: "
+            << TablePrinter::num(MaxRatio, 2)
+            << "  (paper bounds the total at about 4x; the steady state "
+               "is what must fit the instruction buffer)\n";
+  return AnyFailure ? 1 : 0;
+}

@@ -1,0 +1,90 @@
+//===- bench_figure4_1.cpp - E3/E6: MFLOPS of the 72-program population ---------===//
+//
+// Part of warp-swp.
+//
+// Regenerates Figure 4-1 (the MFLOPS histogram of 72 user programs, here
+// reported per cell against the 10 MFLOPS peak) and the section 4.1
+// scheduling-quality statistics: the fraction of attempted loops whose
+// achieved II equals the lower bound (paper: 75%), and the fraction of
+// loops without conditionals or recurrences that pipeline perfectly
+// (paper: 93%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "swp/Support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace swp;
+using namespace swp::bench;
+
+int main() {
+  std::cout << "=== E3 / Figure 4-1: cell MFLOPS across the 72-program "
+               "population ===\n\n";
+
+  MachineDescription MD = MachineDescription::warpCell();
+  auto Population = syntheticPopulation(72, /*Seed=*/1988);
+
+  std::vector<double> MFLOPS;
+  unsigned AttemptedLoops = 0, AtBound = 0;
+  unsigned EasyLoops = 0, EasyPerfect = 0;
+  bool AnyFailure = false;
+
+  for (const WorkloadSpec &Spec : Population) {
+    RunResult R = runWorkload(Spec, MD, CompilerOptions{});
+    if (!R.Ok) {
+      std::cout << "FAILED: " << R.Error << "\n";
+      AnyFailure = true;
+      continue;
+    }
+    MFLOPS.push_back(R.CellMFLOPS);
+    for (const LoopReport &L : R.Loops) {
+      if (!L.Attempted || !L.Pipelined)
+        continue;
+      ++AttemptedLoops;
+      if (L.II == L.MII)
+        ++AtBound;
+      if (!L.HasConditionals && !L.HasRecurrence) {
+        ++EasyLoops;
+        if (L.II == L.MII)
+          ++EasyPerfect;
+      }
+    }
+  }
+
+  // Histogram in 0.5-MFLOPS buckets.
+  TablePrinter T({"cell MFLOPS", "programs", ""});
+  for (double Lo = 0.0; Lo < 10.0; Lo += 0.5) {
+    unsigned Count = 0;
+    for (double V : MFLOPS)
+      if (V >= Lo && V < Lo + 0.5)
+        ++Count;
+    if (Count)
+      T.addRow({TablePrinter::num(Lo, 1) + "-" +
+                    TablePrinter::num(Lo + 0.5, 1),
+                std::to_string(Count), bar(Count)});
+  }
+  T.print(std::cout);
+
+  double Sum = 0;
+  for (double V : MFLOPS)
+    Sum += V;
+  std::cout << "\nprograms: " << MFLOPS.size()
+            << "   mean cell MFLOPS: "
+            << TablePrinter::num(Sum / MFLOPS.size(), 2)
+            << " (peak 10.0)\n";
+
+  std::cout << "\n--- E6: scheduling-quality statistics (section 4.1) ---\n";
+  std::cout << "loops scheduled at the II lower bound: " << AtBound << "/"
+            << AttemptedLoops << " = "
+            << TablePrinter::num(100.0 * AtBound / AttemptedLoops, 0)
+            << "%   (paper: 75%)\n";
+  std::cout << "perfect schedules among loops without conditionals or "
+               "recurrences: "
+            << EasyPerfect << "/" << EasyLoops << " = "
+            << TablePrinter::num(100.0 * EasyPerfect / EasyLoops, 0)
+            << "%   (paper: 93%)\n";
+  return AnyFailure ? 1 : 0;
+}

@@ -1,0 +1,61 @@
+//===- bench_scalability.cpp - E9: the section 6 scalability remark -------------===//
+//
+// Part of warp-swp.
+//
+// The paper's concluding observation: scaling up the data path helps
+// loops whose iterations are independent (throughput follows the
+// resources), while loops limited by the cycle length of their precedence
+// graph gain nothing — the recurrence, not the hardware, is the bound.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "swp/Support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace swp;
+using namespace swp::bench;
+
+int main() {
+  std::cout << "=== E9: scaling the data path (section 6) ===\n\n";
+
+  TablePrinter T({"kernel", "kind", "x1 MFLOPS", "x2 MFLOPS", "x4 MFLOPS",
+                  "x2/x1", "x4/x1"});
+  bool AnyFailure = false;
+
+  std::vector<std::pair<int, const char *>> Picks = {
+      {7, "independent"}, {12, "independent"}, {5, "recurrence"},
+      {11, "recurrence"}};
+
+  for (auto [Number, Kind] : Picks) {
+    const WorkloadSpec *Spec = nullptr;
+    for (const WorkloadSpec &S : livermoreKernels())
+      if (S.Number == Number)
+        Spec = &S;
+    if (!Spec)
+      continue;
+    double M[3] = {0, 0, 0};
+    unsigned Factors[3] = {1, 2, 4};
+    for (int I = 0; I != 3; ++I) {
+      MachineDescription MD = MachineDescription::scaledWarpCell(Factors[I]);
+      RunResult R = runWorkload(*Spec, MD, CompilerOptions{});
+      if (!R.Ok) {
+        std::cout << "FAILED: " << R.Error << "\n";
+        AnyFailure = true;
+        break;
+      }
+      M[I] = R.CellMFLOPS;
+    }
+    T.addRow({Spec->Name, Kind, TablePrinter::num(M[0], 2),
+              TablePrinter::num(M[1], 2), TablePrinter::num(M[2], 2),
+              TablePrinter::num(M[1] / M[0], 2),
+              TablePrinter::num(M[2] / M[0], 2)});
+  }
+  T.print(std::cout);
+  std::cout << "\nexpected shape: independent kernels scale with the "
+               "hardware; recurrence kernels stay at the cycle-length "
+               "bound (ratios near 1).\n";
+  return AnyFailure ? 1 : 0;
+}

@@ -1,0 +1,120 @@
+//===- bench_sched_micro.cpp - scheduler throughput microbenchmarks -------------===//
+//
+// Part of warp-swp.
+//
+// google-benchmark timings of the compiler itself (the paper notes that,
+// unlike source unrolling, software pipelining leaves compilation time
+// unaffected): dependence-graph construction, the symbolic closure,
+// modulo scheduling, and whole-program compilation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "swp/DDG/Closure.h"
+#include "swp/DDG/DDGBuilder.h"
+#include "swp/DDG/MII.h"
+#include "swp/IR/IRBuilder.h"
+#include "swp/Pipeliner/HierarchicalReducer.h"
+#include "swp/Pipeliner/ModuloScheduler.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace swp;
+
+namespace {
+
+/// A chain-of-multiply-adds loop body with \p Length operations.
+std::unique_ptr<Program> chainProgram(unsigned Length) {
+  auto P = std::make_unique<Program>();
+  IRBuilder B(*P);
+  unsigned A = P->createArray("a", RegClass::Float, 4096);
+  unsigned C = P->createArray("c", RegClass::Float, 4096);
+  VReg K = P->createVReg(RegClass::Float, "k", /*LiveIn=*/true);
+  ForStmt *L = B.beginForImm(0, 1023);
+  VReg V = B.fload(A, B.ix(L));
+  for (unsigned I = 0; I != Length; ++I)
+    V = (I % 2 != 0) ? B.fadd(V, K) : B.fmul(V, K);
+  B.fstore(C, B.ix(L), V);
+  B.endFor();
+  return P;
+}
+
+DepGraph graphFor(Program &P, const MachineDescription &MD) {
+  auto *For = cast<ForStmt>(P.Body.back().get());
+  DDGBuildOptions Opts;
+  Opts.CurrentLoopId = For->LoopId;
+  return buildLoopDepGraph(reduceBodyToUnits(For->Body, MD, For->LoopId),
+                           MD, Opts);
+}
+
+void BM_DDGBuild(benchmark::State &State) {
+  MachineDescription MD = MachineDescription::warpCell();
+  auto P = chainProgram(static_cast<unsigned>(State.range(0)));
+  auto *For = cast<ForStmt>(P->Body.back().get());
+  for (auto _ : State) {
+    DDGBuildOptions Opts;
+    Opts.CurrentLoopId = For->LoopId;
+    DepGraph G = buildLoopDepGraph(
+        reduceBodyToUnits(For->Body, MD, For->LoopId), MD, Opts);
+    benchmark::DoNotOptimize(G.numNodes());
+  }
+}
+BENCHMARK(BM_DDGBuild)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ModuloSchedule(benchmark::State &State) {
+  MachineDescription MD = MachineDescription::warpCell();
+  auto P = chainProgram(static_cast<unsigned>(State.range(0)));
+  DepGraph G = graphFor(*P, MD);
+  for (auto _ : State) {
+    ModuloScheduleResult R = moduloSchedule(G, MD);
+    benchmark::DoNotOptimize(R.II);
+  }
+}
+BENCHMARK(BM_ModuloSchedule)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SymbolicClosure(benchmark::State &State) {
+  // A recurrence-heavy loop so the SCC is nontrivial.
+  MachineDescription MD = MachineDescription::warpCell();
+  Program P;
+  IRBuilder B(P);
+  unsigned A = P.createArray("a", RegClass::Float, 4096);
+  VReg K = P.createVReg(RegClass::Float, "k", /*LiveIn=*/true);
+  ForStmt *L = B.beginForImm(1, 1023);
+  VReg V = B.fload(A, B.ix(L, 1, -1));
+  for (int I = 0; I != State.range(0); ++I)
+    V = B.fadd(V, K);
+  B.fstore(A, B.ix(L), V);
+  B.endFor();
+  DDGBuildOptions Opts;
+  Opts.CurrentLoopId = L->LoopId;
+  DepGraph G = buildLoopDepGraph(
+      reduceBodyToUnits(L->Body, MD, L->LoopId), MD, Opts);
+  unsigned Rec = recMII(G);
+  auto SCCs = G.stronglyConnectedComponents();
+  const std::vector<unsigned> *Big = nullptr;
+  for (const auto &C : SCCs)
+    if (!Big || C.size() > Big->size())
+      Big = &C;
+  for (auto _ : State) {
+    SCCClosure Cl(G, *Big, Rec);
+    benchmark::DoNotOptimize(Cl.criticalCycleBound());
+  }
+}
+BENCHMARK(BM_SymbolicClosure)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_CompileLivermoreKernel(benchmark::State &State) {
+  MachineDescription MD = MachineDescription::warpCell();
+  const WorkloadSpec &Spec =
+      livermoreKernels()[static_cast<size_t>(State.range(0))];
+  for (auto _ : State) {
+    BuiltWorkload W = Spec.Make();
+    CompileResult R = compileProgram(*W.Prog, MD, CompilerOptions{});
+    benchmark::DoNotOptimize(R.Code.size());
+  }
+}
+BENCHMARK(BM_CompileLivermoreKernel)->Arg(0)->Arg(4)->Arg(10);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+//===- bench_table4_1.cpp - E2: user programs on the 10-cell array --------------===//
+//
+// Part of warp-swp.
+//
+// Regenerates Table 4-1: the representative application programs, their
+// task time, and MFLOPS. The paper's programs are homogeneous (every cell
+// runs the same program), so the array rate is ten times the cell rate;
+// task sizes are scaled down for the cycle-level simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "swp/Support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace swp;
+using namespace swp::bench;
+
+int main() {
+  std::cout << "=== E2 / Table 4-1: application programs on the Warp array "
+               "===\n";
+  std::cout << "(array MFLOPS = 10 cells x cell MFLOPS, homogeneous "
+               "programs;\n tasks scaled down from the paper's 512x512 "
+               "sizes)\n\n";
+
+  MachineDescription MD = MachineDescription::warpCell();
+  TablePrinter T({"task", "time(ms)", "MFLOPS(array)", "MFLOPS(cell)",
+                  "speedup-vs-local"});
+  bool AnyFailure = false;
+
+  for (const WorkloadSpec &Spec : userPrograms()) {
+    RunResult Swp = runWorkload(Spec, MD, CompilerOptions{});
+    RunResult Base = runWorkload(Spec, MD, baselineOptions());
+    if (!Swp.Ok || !Base.Ok) {
+      std::cout << "FAILED: " << Swp.Error << Base.Error << "\n";
+      AnyFailure = true;
+      continue;
+    }
+    double Ms = static_cast<double>(Swp.Cycles) / (MD.clockMHz() * 1000.0);
+    double Speedup = static_cast<double>(Base.Cycles) / Swp.Cycles;
+    T.addRow({Spec.Name, TablePrinter::num(Ms, 2),
+              TablePrinter::num(10.0 * Swp.CellMFLOPS, 1),
+              TablePrinter::num(Swp.CellMFLOPS, 2),
+              TablePrinter::num(Speedup, 2)});
+  }
+  T.print(std::cout);
+  std::cout << "\npaper (512x512 tasks, real hardware): matmul 79.4, FFT "
+               "65.7,\n 3x3 convolution 71.9, Hough 42.2(*), local "
+               "averaging 42.2,\n shortest path 24.3, Roberts 15.2 array "
+               "MFLOPS\n";
+  return AnyFailure ? 1 : 0;
+}

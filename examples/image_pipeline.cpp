@@ -1,0 +1,138 @@
+//===- image_pipeline.cpp - a Warp-style vision pipeline -------------------------===//
+//
+// Part of warp-swp.
+//
+// The domain the paper's machine was built for: low-level vision. A
+// three-stage pipeline (Gaussian smoothing, Roberts edge detection,
+// thresholded edge histogram) written in mini-W2, compiled with and
+// without software pipelining, executed on the simulated cell, and
+// verified against sequential semantics. Prints the per-stage loop
+// reports and the end-to-end speedup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Codegen/Compiler.h"
+#include "swp/Interp/Interpreter.h"
+#include "swp/Sim/Simulator.h"
+#include "swp/Workloads/Workloads.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+using namespace swp;
+
+namespace {
+
+constexpr int EDGE = 40;
+
+std::string pipelineSource() {
+  char Buf[4096];
+  std::snprintf(Buf, sizeof(Buf), R"(
+    var src: float[%d];
+    var smooth: float[%d];
+    var grad: float[%d];
+    var hist: float[16];
+    param thresh: float;
+    var g: float;
+    var bin: int;
+    begin
+      (* Stage 1: 3x1 + 1x3 separable smoothing, inner loops pipeline. *)
+      for y := 1 to %d - 2 do
+        for x := 1 to %d - 2 do
+          smooth[y*%d + x] := 0.25*src[y*%d + x - 1]
+                            + 0.5*src[y*%d + x]
+                            + 0.25*src[y*%d + x + 1];
+      (* Stage 2: Roberts cross gradient. *)
+      for y := 0 to %d - 2 do
+        for x := 0 to %d - 2 do
+          grad[y*%d + x] := abs(smooth[y*%d + x] - smooth[(y+1)*%d + x + 1])
+                          + abs(smooth[(y+1)*%d + x] - smooth[y*%d + x + 1]);
+      (* Stage 3: histogram of strong edges (conditional + dynamic bin). *)
+      for y := 0 to %d - 2 do
+        for x := 0 to %d - 2 do begin
+          g := grad[y*%d + x];
+          if g > thresh then begin
+            bin := int(g * 8.0);
+            if bin > 15 then bin := 15;
+            hist[bin] := hist[bin] + 1.0;
+          end;
+        end
+    end
+  )",
+                EDGE * EDGE, EDGE * EDGE, EDGE * EDGE, EDGE, EDGE, EDGE,
+                EDGE, EDGE, EDGE, EDGE, EDGE, EDGE, EDGE, EDGE, EDGE, EDGE,
+                EDGE, EDGE, EDGE);
+  return Buf;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== image pipeline on one Warp cell (" << EDGE << "x"
+            << EDGE << ") ===\n\n";
+
+  auto Fill = [](const W2Module &M, ProgramInput &In) {
+    std::vector<float> Img(EDGE * EDGE);
+    for (int Y = 0; Y != EDGE; ++Y)
+      for (int X = 0; X != EDGE; ++X)
+        Img[Y * EDGE + X] = 0.5f + 0.4f * std::sin(0.35f * X) *
+                                       std::cos(0.22f * Y);
+    In.FloatArrays[M.Arrays.at("src")] = Img;
+    In.FloatScalars[M.Params.at("thresh").Id] = 0.15f;
+  };
+
+  MachineDescription MD = MachineDescription::warpCell();
+  uint64_t Cycles[2] = {0, 0};
+  for (int Mode = 0; Mode != 2; ++Mode) {
+    BuiltWorkload W = buildFromW2(pipelineSource(), Fill);
+    CompilerOptions Opts;
+    Opts.EnablePipelining = Mode == 0;
+    CompileResult CR = compileProgram(*W.Prog, MD, Opts);
+    if (!CR.Ok) {
+      std::cerr << "compile failed: " << CR.Error << "\n";
+      return 1;
+    }
+    SimResult Sim = simulate(CR.Code, *W.Prog, MD, W.Input);
+    if (!Sim.State.Ok) {
+      std::cerr << "simulation failed: " << Sim.State.Error << "\n";
+      return 1;
+    }
+    ProgramState Golden = interpret(*W.Prog, W.Input);
+    std::string Mismatch = compareStates(*W.Prog, Golden, Sim.State);
+    if (!Mismatch.empty()) {
+      std::cerr << "WRONG ANSWER: " << Mismatch << "\n";
+      return 1;
+    }
+    Cycles[Mode] = Sim.Cycles;
+
+    if (Mode == 0) {
+      std::cout << "stage reports (pipelined build):\n";
+      for (const LoopReport &R : CR.Loops) {
+        if (R.NumUnits == 0)
+          continue;
+        std::cout << "  loop i" << R.LoopId << ": ";
+        if (R.Pipelined)
+          std::cout << "II=" << R.II << "/" << R.MII << " stages="
+                    << R.Stages
+                    << (R.HasConditionals ? " (conditionals reduced)" : "")
+                    << "\n";
+        else
+          std::cout << "locally compacted (" << R.SkipReason << ")\n";
+      }
+      std::cout << "\npipelined:   " << Sim.Cycles << " cycles, "
+                << Sim.MFLOPS << " MFLOPS\n";
+      // A few histogram bins as the visible output.
+      std::cout << "edge histogram:";
+      const auto &H = Sim.State.FloatArrays.back();
+      for (float V : H)
+        std::cout << " " << V;
+      std::cout << "\n";
+    } else {
+      std::cout << "unpipelined: " << Sim.Cycles << " cycles\n";
+    }
+  }
+  std::cout << "\nend-to-end speedup from software pipelining: "
+            << static_cast<double>(Cycles[1]) / Cycles[0] << "x\n";
+  return 0;
+}

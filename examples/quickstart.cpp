@@ -1,0 +1,91 @@
+//===- quickstart.cpp - build, pipeline, run, verify one loop -------------------===//
+//
+// Part of warp-swp.
+//
+// The five-minute tour of the library's public API:
+//   1. build a loop program with IRBuilder (or compile mini-W2 source),
+//   2. compile it for the Warp cell — the software pipeliner kicks in,
+//   3. inspect the schedule report (II vs its lower bound, stages,
+//      kernel unroll),
+//   4. execute the VLIW code on the cycle-level simulator,
+//   5. check the result against the scalar interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Codegen/Compiler.h"
+#include "swp/IR/IRBuilder.h"
+#include "swp/IR/Printer.h"
+#include "swp/Interp/Interpreter.h"
+#include "swp/Sim/Simulator.h"
+
+#include <iostream>
+
+using namespace swp;
+
+int main() {
+  // 1. A saxpy-like loop: y[i] = a*x[i] + y[i], 1000 iterations.
+  Program P;
+  IRBuilder B(P);
+  unsigned X = P.createArray("x", RegClass::Float, 1000);
+  unsigned Y = P.createArray("y", RegClass::Float, 1000);
+  VReg A = P.createVReg(RegClass::Float, "a", /*LiveIn=*/true);
+  ForStmt *L = B.beginForImm(0, 999);
+  B.fstore(Y, B.ix(L), B.fadd(B.fmul(A, B.fload(X, B.ix(L))),
+                              B.fload(Y, B.ix(L))));
+  B.endFor();
+
+  std::cout << "=== source program ===\n";
+  printProgram(P, std::cout);
+
+  // 2. Compile for the Warp cell (7-cycle pipelined FP units).
+  MachineDescription MD = MachineDescription::warpCell();
+  CompileResult CR = compileProgram(P, MD, CompilerOptions{});
+  if (!CR.Ok) {
+    std::cerr << "compile failed: " << CR.Error << "\n";
+    return 1;
+  }
+
+  // 3. The schedule report.
+  std::cout << "\n=== schedule report ===\n";
+  for (const LoopReport &R : CR.Loops) {
+    std::cout << "loop i" << R.LoopId << ": "
+              << (R.Pipelined ? "software pipelined" : "locally compacted")
+              << "\n  units " << R.NumUnits << ", unpipelined length "
+              << R.UnpipelinedLen << "\n";
+    if (R.Pipelined)
+      std::cout << "  II " << R.II << " (lower bound " << R.MII
+                << ": resources " << R.ResMII << ", recurrences "
+                << R.RecMII << ")\n  " << R.Stages
+                << " iterations in flight, kernel unrolled x" << R.Unroll
+                << " (" << R.KernelInsts << " steady-state instructions)\n";
+    else if (!R.SkipReason.empty())
+      std::cout << "  reason: " << R.SkipReason << "\n";
+  }
+  std::cout << "emitted " << CR.Code.size() << " long instructions, "
+            << CR.Code.FloatRegsUsed << "/" << 62 << " float and "
+            << CR.Code.IntRegsUsed << "/" << 64 << " int registers\n";
+
+  // 4. Run it.
+  ProgramInput In;
+  In.FloatScalars[A.Id] = 2.5f;
+  for (int I = 0; I != 1000; ++I) {
+    In.FloatArrays[X].push_back(0.001f * I);
+    In.FloatArrays[Y].push_back(1.0f);
+  }
+  SimResult Sim = simulate(CR.Code, P, MD, In);
+  if (!Sim.State.Ok) {
+    std::cerr << "simulation failed: " << Sim.State.Error << "\n";
+    return 1;
+  }
+  std::cout << "\n=== execution ===\n"
+            << Sim.Cycles << " cycles, " << Sim.State.Flops << " flops, "
+            << Sim.MFLOPS << " MFLOPS (peak 10)\n";
+
+  // 5. Verify against sequential semantics.
+  ProgramState Golden = interpret(P, In);
+  std::string Mismatch = compareStates(P, Golden, Sim.State);
+  std::cout << (Mismatch.empty() ? "result matches the interpreter "
+                                   "bit-for-bit\n"
+                                 : "MISMATCH: " + Mismatch + "\n");
+  return Mismatch.empty() ? 0 : 1;
+}

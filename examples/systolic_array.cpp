@@ -1,0 +1,122 @@
+//===- systolic_array.cpp - a ten-cell Warp array, co-simulated ------------------===//
+//
+// Part of warp-swp.
+//
+// The paper's machine is a linear array of ten VLIW cells joined by
+// 512-word queues, programmed homogeneously; it reports that, "except
+// for a short setup time at the beginning, these programs never stall on
+// input or output", making the array rate ten times the cell rate. This
+// example builds that machine: ten software-pipelined streaming cells
+// co-simulated cycle by cycle with bounded, blocking channels — and
+// measures the stalls and the aggregate rate directly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Codegen/Compiler.h"
+#include "swp/IR/IRBuilder.h"
+#include "swp/Sim/ArraySimulator.h"
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+using namespace swp;
+
+namespace {
+
+/// One streaming cell: y = x*scale + bias over an N-word stream,
+/// software pipelined.
+struct Cell {
+  std::unique_ptr<Program> Prog;
+  VLIWProgram Code;
+  LoopReport Report;
+
+  static std::unique_ptr<Cell> make(int64_t N, double Scale, double Bias,
+                                    const MachineDescription &MD) {
+    auto C = std::make_unique<Cell>();
+    C->Prog = std::make_unique<Program>();
+    IRBuilder B(*C->Prog);
+    VReg S = B.fconst(Scale);
+    VReg D = B.fconst(Bias);
+    ForStmt *L = B.beginForImm(0, N - 1);
+    (void)L;
+    B.send(0, B.fadd(B.fmul(B.recv(0), S), D));
+    B.endFor();
+    CompileResult CR = compileProgram(*C->Prog, MD, CompilerOptions{});
+    if (!CR.Ok) {
+      std::cerr << "cell failed to compile: " << CR.Error << "\n";
+      return nullptr;
+    }
+    C->Code = std::move(CR.Code);
+    if (!CR.Loops.empty())
+      C->Report = CR.Loops.front();
+    return C;
+  }
+};
+
+} // namespace
+
+int main() {
+  constexpr int NumCells = 10;
+  constexpr int N = 2048;
+  MachineDescription MD = MachineDescription::warpCell();
+
+  std::cout << "=== " << NumCells << "-cell Warp array, " << N
+            << "-word stream ===\n\n";
+
+  // Homogeneous program: each cell applies y = 0.5x + 1 (composing to an
+  // affine map with a known closed form, so the output is checkable).
+  std::vector<std::unique_ptr<Cell>> Cells;
+  std::vector<ArrayCell> Specs;
+  for (int I = 0; I != NumCells; ++I) {
+    Cells.push_back(Cell::make(N, 0.5, 1.0, MD));
+    if (!Cells.back())
+      return 1;
+    Specs.push_back({&Cells.back()->Code, Cells.back()->Prog.get(), {}});
+  }
+  const LoopReport &R = Cells[0]->Report;
+  std::cout << "cell program: send(recv()*0.5 + 1.0), pipelined at II="
+            << R.II << " (bound " << R.MII << "), " << R.Stages
+            << " stages\n\n";
+
+  std::vector<float> Input;
+  for (int I = 0; I != N; ++I)
+    Input.push_back(static_cast<float>(I % 64));
+
+  ArrayRunResult Run = simulateLinearArray(Specs, MD, Input);
+  if (!Run.Ok) {
+    std::cerr << "array run failed: " << Run.Error << "\n";
+    return 1;
+  }
+
+  // Closed form after 10 maps: x/1024 + (1 - 1/1024)*2.
+  int Errors = 0;
+  for (int I = 0; I != N; ++I) {
+    float X = Input[I];
+    float Expect = X;
+    for (int C = 0; C != NumCells; ++C)
+      Expect = Expect * 0.5f + 1.0f;
+    if (Run.ArrayOutput[I] != Expect)
+      ++Errors;
+  }
+  std::cout << "output words: " << Run.ArrayOutput.size() << " ("
+            << (Errors == 0 ? "all correct" :
+                std::to_string(Errors) + " WRONG") << ")\n";
+
+  double CellRate = Run.Cells[0].MFLOPS;
+  std::cout << "\narray cycles: " << Run.Cycles << "\n";
+  std::cout << "cell 0 rate: " << CellRate << " MFLOPS;  array rate: "
+            << Run.ArrayMFLOPS << " MFLOPS ("
+            << Run.ArrayMFLOPS / CellRate << "x)\n";
+
+  std::cout << "\nper-cell stall cycles (pipeline fill only, then "
+               "steady):\n  ";
+  for (int I = 0; I != NumCells; ++I)
+    std::cout << Run.StallCycles[I] << (I + 1 == NumCells ? "\n" : " ");
+  std::cout << "\npaper: \"except for a short setup time at the "
+               "beginning, these programs\nnever stall on input or "
+               "output\" -- stalls above are each < "
+            << 100.0 * Run.StallCycles[NumCells - 1] / Run.Cycles
+            << "% of the run.\n";
+  return Errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+//===- w2c.cpp - the mini-W2 command-line compiler -------------------------------===//
+//
+// Part of warp-swp.
+//
+// A small compiler driver in the spirit of the paper's W2 compiler:
+//
+//   w2c [file.w2]          compile and print IR, schedule report, code
+//   w2c --no-pipeline ...  locally compacted code only
+//   w2c --code ...         also dump the VLIW instruction stream
+//
+// With no file it compiles a built-in demonstration program (a
+// conditional loop, to show hierarchical reduction at work).
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Codegen/Compiler.h"
+#include "swp/IR/Printer.h"
+#include "swp/Lang/Lowering.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace swp;
+
+static const char *DemoSource = R"((* clip-and-scale: a conditional loop *)
+var x: float[256];
+var y: float[256];
+param limit: float;
+param scale: float;
+var v: float;
+begin
+  for i := 0 to 255 do begin
+    v := x[i] * scale;
+    if v > limit then
+      v := limit + (v - limit) * 0.125;
+    y[i] := v;
+  end
+end
+)";
+
+int main(int argc, char **argv) {
+  bool Pipeline = true;
+  bool DumpCode = false;
+  std::string Path;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--no-pipeline")
+      Pipeline = false;
+    else if (Arg == "--code")
+      DumpCode = true;
+    else if (Arg == "--help") {
+      std::cout << "usage: w2c [--no-pipeline] [--code] [file.w2]\n";
+      return 0;
+    } else
+      Path = Arg;
+  }
+
+  std::string Source;
+  if (Path.empty()) {
+    std::cout << "(no input file: compiling the built-in demo)\n";
+    Source = DemoSource;
+  } else {
+    std::ifstream File(Path);
+    if (!File) {
+      std::cerr << "error: cannot open '" << Path << "'\n";
+      return 1;
+    }
+    std::stringstream SS;
+    SS << File.rdbuf();
+    Source = SS.str();
+  }
+
+  DiagnosticEngine DE;
+  std::optional<W2Module> Mod = compileW2Source(Source, DE);
+  if (!Mod) {
+    std::cerr << DE.str();
+    return 1;
+  }
+  if (DE.errorCount() == 0 && !DE.diagnostics().empty())
+    std::cerr << DE.str(); // Warnings.
+
+  std::cout << "=== IR ===\n";
+  printProgram(Mod->Prog, std::cout);
+
+  MachineDescription MD = MachineDescription::warpCell();
+  CompilerOptions Opts;
+  Opts.EnablePipelining = Pipeline;
+  CompileResult CR = compileProgram(Mod->Prog, MD, Opts);
+  if (!CR.Ok) {
+    std::cerr << "codegen error: " << CR.Error << "\n";
+    return 1;
+  }
+
+  std::cout << "\n=== loops ===\n";
+  for (const LoopReport &R : CR.Loops) {
+    std::cout << "loop i" << R.LoopId << ": units=" << R.NumUnits
+              << (R.HasConditionals ? " [conditionals]" : "")
+              << (R.HasRecurrence ? " [recurrence]" : "") << "\n";
+    if (R.Pipelined)
+      std::cout << "  pipelined: II=" << R.II << " MII=" << R.MII
+                << " (res " << R.ResMII << ", rec " << R.RecMII
+                << "), stages=" << R.Stages << ", unroll=" << R.Unroll
+                << ", steady state " << R.KernelInsts
+                << " insts vs unpipelined " << R.UnpipelinedLen << "\n";
+    else
+      std::cout << "  locally compacted (" << R.UnpipelinedLen
+                << " insts/iter)"
+                << (R.SkipReason.empty() ? "" : ": " + R.SkipReason)
+                << "\n";
+  }
+  std::cout << "\n" << CR.Code.size() << " long instructions, "
+            << CR.Code.FloatRegsUsed << " float / " << CR.Code.IntRegsUsed
+            << " int registers\n";
+
+  if (DumpCode) {
+    std::cout << "\n=== VLIW code ===\n"
+              << vliwProgramToString(CR.Code, MD);
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+//===- swp/Codegen/RegAlloc.h - Physical register management ----*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register allocation for the two register files. Values that live across
+/// regions (live-ins, accumulators, loop bounds, anything read outside one
+/// loop) get permanent registers. Loop-local temporaries are allocated per
+/// loop and released afterwards:
+///   - in a software-pipelined loop every local register is exclusive, and
+///     a modulo-expanded register takes its full set of copies — if the
+///     file overflows the caller refuses to pipeline, which is the paper's
+///     fallback ("when we run out of registers, we resort to simple
+///     techniques", section 2.3);
+///   - in an unpipelined loop local temporaries share registers by
+///     circular-arc lifetimes on the iteration period, reflecting how a
+///     sequential loop reuses the same locations every iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_CODEGEN_REGALLOC_H
+#define SWP_CODEGEN_REGALLOC_H
+
+#include "swp/Codegen/VLIWProgram.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace swp {
+
+/// One register file with a free list and a high-water mark.
+class RegisterFile {
+public:
+  RegisterFile(RegClass RC, unsigned Capacity) : RC(RC), Capacity(Capacity) {
+    for (unsigned I = 0; I != Capacity; ++I)
+      Free.insert(I);
+  }
+
+  /// Allocates one register; nullopt when the file is exhausted.
+  std::optional<PhysReg> allocate();
+
+  /// Returns a register to the free list.
+  void release(PhysReg R);
+
+  unsigned capacity() const { return Capacity; }
+  unsigned inUse() const { return Capacity - Free.size(); }
+  unsigned highWater() const { return HighWater; }
+
+private:
+  RegClass RC;
+  unsigned Capacity;
+  std::set<unsigned> Free;
+  unsigned HighWater = 0;
+};
+
+/// Allocation state for one compilation: permanent assignments plus a
+/// stack of loop-local scopes.
+class RegAlloc {
+public:
+  explicit RegAlloc(const MachineDescription &MD)
+      : Files{RegisterFile(RegClass::Float,
+                           MD.registerFileSize(RegClass::Float)),
+              RegisterFile(RegClass::Int,
+                           MD.registerFileSize(RegClass::Int))} {}
+
+  /// Permanently assigns one register to \p VRegId (copy 0 only).
+  /// Returns false when the file is exhausted.
+  bool assignPermanent(unsigned VRegId, RegClass RC);
+
+  /// Begins a loop-local scope; local assignments made until endScope are
+  /// released together.
+  void beginScope();
+
+  /// Assigns \p Copies exclusive registers to a local \p VRegId.
+  /// Returns false (leaving state clean) when the file cannot supply them.
+  bool assignLocal(unsigned VRegId, RegClass RC, unsigned Copies);
+
+  /// Assigns a specific already-allocated register to another vreg id in
+  /// the current scope (register sharing between disjoint lifetimes).
+  void aliasLocal(unsigned VRegId, PhysReg R);
+
+  /// Allocates an anonymous scratch register in the current scope (or
+  /// permanently when no scope is open).
+  std::optional<PhysReg> allocateScratch(RegClass RC);
+
+  /// Releases every local assignment of the innermost scope.
+  void endScope();
+
+  bool isAssigned(unsigned VRegId) const {
+    return Assigned.count(VRegId) != 0;
+  }
+
+  /// Register for copy \p Copy of \p VRegId (copy index is taken modulo
+  /// the vreg's copy count, implementing the rotation).
+  PhysReg regFor(unsigned VRegId, unsigned Copy = 0) const;
+
+  /// Number of copies assigned to \p VRegId (1 unless expanded).
+  unsigned copiesOf(unsigned VRegId) const;
+
+  unsigned highWater(RegClass RC) const {
+    return Files[fileIndex(RC)].highWater();
+  }
+
+private:
+  static unsigned fileIndex(RegClass RC) {
+    assert(RC != RegClass::None && "no file for RegClass::None");
+    return RC == RegClass::Float ? 0 : 1;
+  }
+
+  RegisterFile Files[2];
+  std::map<unsigned, std::vector<PhysReg>> Assigned;
+  struct Scope {
+    std::vector<unsigned> LocalVRegs; ///< To erase from Assigned.
+    std::vector<PhysReg> Owned;       ///< To release to the files.
+  };
+  std::vector<Scope> Scopes;
+};
+
+} // namespace swp
+
+#endif // SWP_CODEGEN_REGALLOC_H

@@ -1,0 +1,83 @@
+//===- swp/DDG/DepGraph.h - Dependence graph with (d, p) edges --*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The precedence-constraint graph of section 2.1: nodes are schedule
+/// units, each edge carries a delay \c d and a minimum iteration difference
+/// \c p (omega), and a legal schedule sigma must satisfy, for initiation
+/// interval s,
+///
+///   sigma(dst) - sigma(src) >= d - s * p.
+///
+/// Inter-iteration dependences (p > 0) may create cycles; Tarjan's
+/// algorithm exposes the strongly connected components the scheduler treats
+/// specially.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_DDG_DEPGRAPH_H
+#define SWP_DDG_DEPGRAPH_H
+
+#include "swp/DDG/ScheduleUnit.h"
+
+#include <vector>
+
+namespace swp {
+
+/// Why a dependence edge exists (for diagnostics and tests).
+enum class DepKind : uint8_t {
+  Flow,   ///< Write -> read of the same register.
+  Anti,   ///< Read -> overwriting write.
+  Output, ///< Write -> later write of the same register.
+  Mem,    ///< Memory-carried (store/load ordering).
+  Queue,  ///< Communication channel ordering.
+};
+
+/// One precedence constraint.
+struct DepEdge {
+  unsigned Src = 0;
+  unsigned Dst = 0;
+  int Delay = 0;     ///< d: minimum cycle distance (may be <= 0).
+  unsigned Omega = 0; ///< p: minimum iteration difference (>= 0).
+  DepKind Kind = DepKind::Flow;
+};
+
+/// Nodes plus adjacency. Owns the schedule units.
+class DepGraph {
+public:
+  explicit DepGraph(std::vector<ScheduleUnit> Units)
+      : Units(std::move(Units)), Succs(this->Units.size()),
+        Preds(this->Units.size()) {}
+
+  unsigned numNodes() const { return Units.size(); }
+  const ScheduleUnit &unit(unsigned I) const { return Units[I]; }
+
+  void addEdge(DepEdge E);
+
+  const std::vector<DepEdge> &edges() const { return Edges; }
+  /// Indices into edges() of edges leaving / entering node \p I.
+  const std::vector<unsigned> &succs(unsigned I) const { return Succs[I]; }
+  const std::vector<unsigned> &preds(unsigned I) const { return Preds[I]; }
+
+  /// Strongly connected components under edges of any omega, returned in
+  /// topological order of the condensation (every edge goes from an
+  /// earlier to a later component, cycles being intra-component).
+  std::vector<std::vector<unsigned>> stronglyConnectedComponents() const;
+
+  /// Total uses of each resource by one iteration (for ResMII).
+  std::vector<uint64_t>
+  totalResourceUse(const MachineDescription &MD) const;
+
+private:
+  std::vector<ScheduleUnit> Units;
+  std::vector<DepEdge> Edges;
+  std::vector<std::vector<unsigned>> Succs;
+  std::vector<std::vector<unsigned>> Preds;
+};
+
+} // namespace swp
+
+#endif // SWP_DDG_DEPGRAPH_H

@@ -1,0 +1,62 @@
+//===- swp/IR/Execution.h - Program inputs and final state ------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The input/output contract shared by the scalar reference interpreter
+/// and the VLIW simulator: initial array contents, live-in scalar values,
+/// and the input queue on one side; final array contents, the output
+/// queue, and operation counters on the other. Keeping both executors on
+/// the same contract is what lets tests demand bit-identical results from
+/// pipelined and sequential code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_IR_EXECUTION_H
+#define SWP_IR_EXECUTION_H
+
+#include "swp/IR/Program.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace swp {
+
+/// Initial machine-visible state for one program run.
+struct ProgramInput {
+  /// Initial contents by array id; missing arrays start zeroed. Shorter
+  /// vectors are zero-extended to the declared size.
+  std::map<unsigned, std::vector<float>> FloatArrays;
+  std::map<unsigned, std::vector<int64_t>> IntArrays;
+  /// Values of live-in registers by vreg id.
+  std::map<unsigned, float> FloatScalars;
+  std::map<unsigned, int64_t> IntScalars;
+  /// Words available on the input communication channel.
+  std::vector<float> InputQueue;
+};
+
+/// Final state plus execution counters.
+struct ProgramState {
+  std::vector<std::vector<float>> FloatArrays;  ///< By array id ({} if int).
+  std::vector<std::vector<int64_t>> IntArrays;  ///< By array id ({} if float).
+  std::vector<float> OutputQueue;
+  uint64_t DynOps = 0; ///< Operations executed (excluding structural nops).
+  uint64_t Flops = 0;  ///< Floating-point operations executed.
+  bool Ok = true;
+  std::string Error; ///< First runtime error (OOB access, queue underflow).
+};
+
+/// Compares two final states; returns an empty string when equivalent, or
+/// a human-readable description of the first mismatch. \p Tolerance is an
+/// absolute-or-relative epsilon for float payloads (0 demands bit
+/// equality).
+std::string compareStates(const Program &P, const ProgramState &A,
+                          const ProgramState &B, double Tolerance = 0.0);
+
+} // namespace swp
+
+#endif // SWP_IR_EXECUTION_H

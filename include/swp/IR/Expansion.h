@@ -1,0 +1,38 @@
+//===- swp/IR/Expansion.h - Library pseudo-op expansion ---------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the library pseudo-ops into the sequences the paper describes
+/// (section 4.2): INVERSE becomes a 7-flop Newton-Raphson refinement of a
+/// seed-ROM estimate, SQRT a 19-flop reciprocal-square-root refinement,
+/// and EXP a range-reduction + polynomial calculation whose power-of-two
+/// scaling is built out of conditional statements — the structure that made
+/// Livermore kernel 22 unpipelinable on Warp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_IR_EXPANSION_H
+#define SWP_IR_EXPANSION_H
+
+#include "swp/IR/Program.h"
+
+namespace swp {
+
+/// Statistics returned by expandLibraryOps.
+struct ExpansionStats {
+  unsigned NumInv = 0;
+  unsigned NumSqrt = 0;
+  unsigned NumExp = 0;
+};
+
+/// Replaces every FInv / FSqrt / FExp in \p P in place. Returns counts of
+/// expanded calls. After this pass the program contains only opcodes the
+/// Warp-like machines can issue.
+ExpansionStats expandLibraryOps(Program &P);
+
+} // namespace swp
+
+#endif // SWP_IR_EXPANSION_H

@@ -1,0 +1,143 @@
+//===- swp/IR/IRBuilder.h - Convenience IR construction ---------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stack-based builder for constructing structured programs. Workloads
+/// and the mini-W2 lowering both use it; tests use it to write kernels
+/// inline. Control constructs nest via begin/end pairs:
+///
+/// \code
+///   Program P;
+///   IRBuilder B(P);
+///   unsigned A = P.createArray("a", RegClass::Float, 512);
+///   ForStmt *I = B.beginForImm(0, 511);
+///   VReg X = B.fload(A, B.ix(I));
+///   B.fstore(A, B.ix(I), B.fadd(X, B.fconst(1.0)));
+///   B.endFor();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_IR_IRBUILDER_H
+#define SWP_IR_IRBUILDER_H
+
+#include "swp/IR/Program.h"
+
+namespace swp {
+
+/// Builds statements into a Program with an insertion-point stack.
+class IRBuilder {
+public:
+  explicit IRBuilder(Program &P) : P(P) { Scopes.push_back(&P.Body); }
+
+  /// Builds into an arbitrary statement list of \p P (used by passes that
+  /// rewrite fragments in place, like the library-call expansion).
+  IRBuilder(Program &P, StmtList &Root) : P(P) { Scopes.push_back(&Root); }
+
+  Program &program() { return P; }
+
+  //===--------------------------------------------------------------------===
+  // Constants, arithmetic, moves.
+  //===--------------------------------------------------------------------===
+
+  VReg fconst(double V);
+  VReg iconst(int64_t V);
+
+  /// Two-operand op with a register result (FAdd, IMul, FCmpLT, ...).
+  VReg binop(Opcode Opc, VReg A, VReg B);
+  /// One-operand op with a register result (FNeg, INot, I2F, ...).
+  VReg unop(Opcode Opc, VReg A);
+
+  VReg fadd(VReg A, VReg B) { return binop(Opcode::FAdd, A, B); }
+  VReg fsub(VReg A, VReg B) { return binop(Opcode::FSub, A, B); }
+  VReg fmul(VReg A, VReg B) { return binop(Opcode::FMul, A, B); }
+  VReg fmin(VReg A, VReg B) { return binop(Opcode::FMin, A, B); }
+  VReg fmax(VReg A, VReg B) { return binop(Opcode::FMax, A, B); }
+  VReg fneg(VReg A) { return unop(Opcode::FNeg, A); }
+  VReg fabs(VReg A) { return unop(Opcode::FAbs, A); }
+  VReg fmov(VReg A) { return unop(Opcode::FMov, A); }
+  VReg iadd(VReg A, VReg B) { return binop(Opcode::IAdd, A, B); }
+  VReg isub(VReg A, VReg B) { return binop(Opcode::ISub, A, B); }
+  VReg imul(VReg A, VReg B) { return binop(Opcode::IMul, A, B); }
+  VReg imov(VReg A) { return unop(Opcode::IMov, A); }
+  VReg i2f(VReg A) { return unop(Opcode::I2F, A); }
+  VReg f2i(VReg A) { return unop(Opcode::F2I, A); }
+
+  /// Library pseudo-ops (expanded by expandLibraryOps before scheduling).
+  VReg finv(VReg A) { return unop(Opcode::FInv, A); }
+  VReg fsqrt(VReg A) { return unop(Opcode::FSqrt, A); }
+  VReg fexp(VReg A) { return unop(Opcode::FExp, A); }
+  /// a / b as a * (1/b), the paper's INVERSE-based division.
+  VReg fdiv(VReg A, VReg B) { return fmul(A, finv(B)); }
+
+  /// Three-operand selects.
+  VReg fsel(VReg Cond, VReg A, VReg B);
+  VReg isel(VReg Cond, VReg A, VReg B);
+
+  /// Writes an existing register instead of defining a fresh one; used for
+  /// accumulators that carry values across iterations.
+  void assign(VReg Dst, Opcode Opc, VReg A, VReg B);
+  void assignUn(VReg Dst, Opcode Opc, VReg A);
+  void assignMov(VReg Dst, VReg Src);
+
+  //===--------------------------------------------------------------------===
+  // Memory and queues.
+  //===--------------------------------------------------------------------===
+
+  /// Affine subscript over \p For's induction variable: Coef * i + Const.
+  AffineExpr ix(const ForStmt *For, int64_t Coef = 1, int64_t Const = 0);
+  /// Constant subscript.
+  AffineExpr cx(int64_t Const);
+
+  VReg fload(unsigned Array, AffineExpr Index);
+  VReg iload(unsigned Array, AffineExpr Index);
+  void fstore(unsigned Array, AffineExpr Index, VReg Val);
+  void istore(unsigned Array, AffineExpr Index, VReg Val);
+
+  VReg recv(int Queue);
+  void send(int Queue, VReg Val);
+
+  //===--------------------------------------------------------------------===
+  // Control flow.
+  //===--------------------------------------------------------------------===
+
+  /// Opens FOR i := Lo TO Hi; returns the loop for subscript building.
+  ForStmt *beginForImm(int64_t Lo, int64_t Hi);
+  /// FOR with arbitrary bounds (immediates or live integer registers).
+  ForStmt *beginFor(LoopBound Lo, LoopBound Hi);
+  /// FOR with a live-in upper bound register (runtime trip count).
+  ForStmt *beginForReg(int64_t Lo, VReg Hi);
+  void endFor();
+
+  /// Opens IF Cond (an integer register, taken when nonzero).
+  IfStmt *beginIf(VReg Cond);
+  /// Switches the insertion point to the ELSE branch of the innermost IF.
+  void beginElse();
+  void endIf();
+
+  /// Innermost open loop (null at top level).
+  ForStmt *currentLoop() const {
+    return LoopStack.empty() ? nullptr : LoopStack.back();
+  }
+
+  /// Appends a fully-formed operation at the insertion point.
+  void emit(Operation Op);
+
+private:
+  StmtList &top() { return *Scopes.back(); }
+
+  Program &P;
+  std::vector<StmtList *> Scopes;
+  std::vector<ForStmt *> LoopStack;
+  /// Tracks open IFs so beginElse/endIf can validate pairing.
+  std::vector<IfStmt *> IfStack;
+  /// Parallel to IfStack: true once beginElse was called.
+  std::vector<bool> InElse;
+};
+
+} // namespace swp
+
+#endif // SWP_IR_IRBUILDER_H

@@ -1,0 +1,154 @@
+//===- swp/IR/OpSemantics.h - Shared evaluation semantics -------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for what each opcode computes. Both the
+/// scalar reference interpreter and the VLIW simulator call these
+/// functions, so a pipelined program and its sequential original can be
+/// compared bit-for-bit. Floating arithmetic is IEEE single precision
+/// (Warp was a single-precision machine).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_IR_OPSEMANTICS_H
+#define SWP_IR_OPSEMANTICS_H
+
+#include "swp/Machine/Opcode.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace swp {
+
+/// Crude reciprocal estimate: 1/x rounded to 8 mantissa bits, modeling the
+/// seed ROM feeding Warp's Newton-Raphson INVERSE sequence.
+inline float recipSeed(float X) {
+  if (X == 0.0f)
+    return X < 0.0f ? -HUGE_VALF : HUGE_VALF;
+  int Exp = 0;
+  float M = std::frexp(1.0f / X, &Exp);
+  M = std::nearbyintf(M * 256.0f) / 256.0f;
+  return std::ldexp(M, Exp);
+}
+
+/// Crude reciprocal-square-root estimate with 8 mantissa bits.
+inline float rsqrtSeed(float X) {
+  if (X <= 0.0f)
+    return 0.0f;
+  int Exp = 0;
+  float M = std::frexp(1.0f / std::sqrt(X), &Exp);
+  M = std::nearbyintf(M * 256.0f) / 256.0f;
+  return std::ldexp(M, Exp);
+}
+
+/// Two-operand float arithmetic (FAdd..FMax).
+inline float evalFBin(Opcode Opc, float A, float B) {
+  switch (Opc) {
+  case Opcode::FAdd:
+    return A + B;
+  case Opcode::FSub:
+    return A - B;
+  case Opcode::FMul:
+    return A * B;
+  case Opcode::FMin:
+    return A < B ? A : B;
+  case Opcode::FMax:
+    return A > B ? A : B;
+  default:
+    assert(false && "not a float binop");
+    return 0.0f;
+  }
+}
+
+/// One-operand float ops (FNeg, FAbs, FMov, seed lookups).
+inline float evalFUn(Opcode Opc, float A) {
+  switch (Opc) {
+  case Opcode::FNeg:
+    return -A;
+  case Opcode::FAbs:
+    return A < 0.0f ? -A : A;
+  case Opcode::FMov:
+    return A;
+  case Opcode::FRecipSeed:
+    return recipSeed(A);
+  case Opcode::FRSqrtSeed:
+    return rsqrtSeed(A);
+  default:
+    assert(false && "not a float unop");
+    return 0.0f;
+  }
+}
+
+/// Float compares; result is 0/1.
+inline int64_t evalFCmp(Opcode Opc, float A, float B) {
+  switch (Opc) {
+  case Opcode::FCmpLT:
+    return A < B;
+  case Opcode::FCmpLE:
+    return A <= B;
+  case Opcode::FCmpEQ:
+    return A == B;
+  case Opcode::FCmpNE:
+    return A != B;
+  default:
+    assert(false && "not a float compare");
+    return 0;
+  }
+}
+
+/// Two-operand integer ops (arithmetic, logic, compares). Division and
+/// modulus by zero are defined to produce zero.
+inline int64_t evalIBin(Opcode Opc, int64_t A, int64_t B) {
+  switch (Opc) {
+  case Opcode::IAdd:
+    return A + B;
+  case Opcode::ISub:
+    return A - B;
+  case Opcode::IMul:
+    return A * B;
+  case Opcode::IDiv:
+    return B == 0 ? 0 : A / B;
+  case Opcode::IMod:
+    return B == 0 ? 0 : A % B;
+  case Opcode::ICmpLT:
+    return A < B;
+  case Opcode::ICmpLE:
+    return A <= B;
+  case Opcode::ICmpEQ:
+    return A == B;
+  case Opcode::ICmpNE:
+    return A != B;
+  case Opcode::IAnd:
+    return A & B;
+  case Opcode::IOr:
+    return A | B;
+  default:
+    assert(false && "not an integer binop");
+    return 0;
+  }
+}
+
+/// One-operand integer ops.
+inline int64_t evalIUn(Opcode Opc, int64_t A) {
+  switch (Opc) {
+  case Opcode::IMov:
+    return A;
+  case Opcode::INot:
+    return A == 0 ? 1 : 0;
+  default:
+    assert(false && "not an integer unop");
+    return 0;
+  }
+}
+
+/// Conversions. F2I truncates toward zero (the machine's convert unit).
+inline float evalI2F(int64_t A) { return static_cast<float>(A); }
+inline int64_t evalF2I(float A) { return static_cast<int64_t>(A); }
+
+} // namespace swp
+
+#endif // SWP_IR_OPSEMANTICS_H

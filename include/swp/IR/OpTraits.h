@@ -1,0 +1,39 @@
+//===- swp/IR/OpTraits.h - Machine-agnostic opcode signatures ---*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR-level opcode signatures: result register class and value-operand
+/// classes. These are machine-agnostic (the MachineDescription adds
+/// latencies and resources on top). "Value operands" excludes the optional
+/// dynamic subscript addend of memory operations, which trails the operand
+/// list when present.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_IR_OPTRAITS_H
+#define SWP_IR_OPTRAITS_H
+
+#include "swp/Machine/Opcode.h"
+
+namespace swp {
+
+/// Register class of the result of \p Opc (None if the op defines nothing).
+RegClass resultClassOf(Opcode Opc);
+
+/// Number of value operands of \p Opc (excluding any subscript addend).
+unsigned numValueOperands(Opcode Opc);
+
+/// Class of value operand \p Idx of \p Opc.
+RegClass operandClassOf(Opcode Opc, unsigned Idx);
+
+/// True if \p Opc counts toward the MFLOPS numerator at the IR level
+/// (floating-point arithmetic executed on the FP units, compares included
+/// since they occupy the adder).
+bool isFlopOpcode(Opcode Opc);
+
+} // namespace swp
+
+#endif // SWP_IR_OPTRAITS_H

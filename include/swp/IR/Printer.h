@@ -1,0 +1,42 @@
+//===- swp/IR/Printer.h - Textual IR dump -----------------------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a Program (or fragments of one) as readable text, for tests,
+/// examples, and debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_IR_PRINTER_H
+#define SWP_IR_PRINTER_H
+
+#include "swp/IR/Program.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace swp {
+
+/// Prints the whole program (symbol tables + body).
+void printProgram(const Program &P, std::ostream &OS);
+
+/// Prints one statement list at \p Indent levels of nesting.
+void printStmts(const Program &P, const StmtList &List, std::ostream &OS,
+                unsigned Indent = 0);
+
+/// Renders one operation like "%7:f = fadd %3, %5" or
+/// "fstore a[2*i0 + 1], %7".
+std::string operationToString(const Program &P, const Operation &Op);
+
+/// Renders a virtual register like "%7" (or its name when it has one).
+std::string vregToString(const Program &P, VReg R);
+
+/// Renders an affine subscript like "2*i0 + 3" or "%5 + 1".
+std::string affineToString(const Program &P, const AffineExpr &E);
+
+} // namespace swp
+
+#endif // SWP_IR_PRINTER_H

@@ -1,0 +1,60 @@
+//===- swp/IR/Transforms.h - Scalar IR optimizations ------------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scalar optimizations the paper's W2 compiler applied before
+/// scheduling: loop-invariant code motion (constants, invariant
+/// arithmetic, and invariant loads move out of loop bodies — shrinking
+/// ResMII by freeing issue slots and memory-port bandwidth) and dead code
+/// elimination (unused pure operations and empty conditionals vanish,
+/// e.g. the unused scale path of an EXP expansion).
+///
+/// Both passes preserve sequential semantics exactly; the test suite
+/// interprets programs before and after and demands identical states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_IR_TRANSFORMS_H
+#define SWP_IR_TRANSFORMS_H
+
+#include "swp/IR/Program.h"
+
+namespace swp {
+
+/// Hoists loop-invariant pure operations out of loop bodies (applied to a
+/// fixpoint across the nest). An operation hoists from a loop when
+///   - it sits at the top level of the body (not under a conditional),
+///   - it is pure (no store/send/recv); loads additionally need an
+///     invariant address and no store to the same array in the loop;
+///   - its operands are not defined anywhere in the loop;
+///   - its destination is defined exactly once in the loop and never read
+///     before that definition (no carried first-iteration value);
+///   - when the loop may run zero times, the destination is not read
+///     after the loop and the operation is not a load (speculation must
+///     not change post-loop state or fault).
+/// Returns the number of operations hoisted.
+unsigned hoistLoopInvariants(Program &P);
+
+/// Removes pure operations whose results are never read, and conditionals
+/// whose branches become empty, to a fixpoint. Stores, sends, and queue
+/// pops are never removed. Returns the number of statements removed.
+unsigned eliminateDeadCode(Program &P);
+
+/// Local value numbering within each straight-line statement list
+/// (availability is flushed at nested loops and conditionals): a pure
+/// operation recomputing an expression whose operands have not been
+/// redefined is rewritten into a move from the first result; redundant
+/// loads are reused unless the array was stored to in between. The
+/// trace-scheduling comparison in section 5 names common-subexpression
+/// elimination as table stakes for a block compactor; running it before
+/// scheduling keeps both the baseline and the pipeliner honest. Returns
+/// the number of operations rewritten (follow with eliminateDeadCode to
+/// sweep the moves whose results die).
+unsigned localValueNumbering(Program &P);
+
+} // namespace swp
+
+#endif // SWP_IR_TRANSFORMS_H

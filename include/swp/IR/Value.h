@@ -1,0 +1,65 @@
+//===- swp/IR/Value.h - Virtual registers and arrays ------------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value-level IR entities. The IR uses a non-SSA virtual-register model on
+/// purpose: the paper's dependence classes (flow, anti, and output
+/// dependences, both intra- and inter-iteration) arise directly from
+/// registers that loop bodies redefine every iteration, which is exactly
+/// what modulo variable expansion (section 2.3) operates on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_IR_VALUE_H
+#define SWP_IR_VALUE_H
+
+#include "swp/Machine/Opcode.h"
+
+#include <cstdint>
+#include <string>
+
+namespace swp {
+
+/// A virtual register. Invalid (default) means "no register".
+struct VReg {
+  static constexpr unsigned InvalidId = ~0u;
+  unsigned Id = InvalidId;
+
+  VReg() = default;
+  explicit VReg(unsigned Id) : Id(Id) {}
+
+  bool isValid() const { return Id != InvalidId; }
+  bool operator==(const VReg &RHS) const { return Id == RHS.Id; }
+  bool operator!=(const VReg &RHS) const { return Id != RHS.Id; }
+  bool operator<(const VReg &RHS) const { return Id < RHS.Id; }
+};
+
+/// Metadata for one virtual register.
+struct VRegInfo {
+  RegClass RC = RegClass::Float;
+  std::string Name; ///< Optional source-level name for printing.
+  /// Live on entry to the program (a parameter); never written by the
+  /// program body unless it is also an accumulator.
+  bool IsLiveIn = false;
+};
+
+/// One memory object (a program array). Arrays are disjoint: accesses to
+/// different arrays never alias.
+struct ArrayInfo {
+  std::string Name;
+  RegClass Elem = RegClass::Float; ///< Float or Int elements.
+  int64_t Size = 0;                ///< Element count.
+  /// User-asserted disambiguation directive (the paper's Table 4-2
+  /// footnote: "compiler directives to disambiguate array references
+  /// used"): distinct iterations of any loop touch distinct elements of
+  /// this array, so inter-iteration dependences between unanalyzable
+  /// references may be dropped. Same-iteration ordering is still honored.
+  bool NoAlias = false;
+};
+
+} // namespace swp
+
+#endif // SWP_IR_VALUE_H

@@ -1,0 +1,30 @@
+//===- swp/IR/Verifier.h - Structural and type checking ---------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks a Program's structural invariants: operand counts and register
+/// classes per opcode, valid array ids and in-bounds-at-compile-time
+/// constant subscripts, subscript loop ids referring only to enclosing
+/// loops, registers read only after a def (or marked live-in), and
+/// condition registers being integers. Violations are reported through a
+/// DiagnosticEngine so callers (tests, the frontend) can inspect them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_IR_VERIFIER_H
+#define SWP_IR_VERIFIER_H
+
+#include "swp/IR/Program.h"
+#include "swp/Support/Diagnostics.h"
+
+namespace swp {
+
+/// Verifies \p P; returns true when no errors were found.
+bool verifyProgram(const Program &P, DiagnosticEngine &Diags);
+
+} // namespace swp
+
+#endif // SWP_IR_VERIFIER_H

@@ -1,0 +1,31 @@
+//===- swp/Interp/Interpreter.h - Scalar reference executor -----*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a Program with sequential semantics: one operation at a time,
+/// loops iterated in order, conditionals taken by the actual condition
+/// value. This is the golden model; every schedule the pipeliner produces
+/// must make the VLIW simulator reach exactly the state the interpreter
+/// reaches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_INTERP_INTERPRETER_H
+#define SWP_INTERP_INTERPRETER_H
+
+#include "swp/IR/Execution.h"
+
+namespace swp {
+
+/// Runs \p P from \p Input with sequential semantics.
+///
+/// \returns the final state; ProgramState::Ok is false (with Error set) on
+/// out-of-bounds accesses or input-queue underflow.
+ProgramState interpret(const Program &P, const ProgramInput &Input);
+
+} // namespace swp
+
+#endif // SWP_INTERP_INTERPRETER_H

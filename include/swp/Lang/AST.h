@@ -1,0 +1,197 @@
+//===- swp/Lang/AST.h - mini-W2 abstract syntax -----------------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mini-W2 abstract syntax tree, produced by the parser and consumed
+/// by the lowering pass that performs semantic checking and emits IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_LANG_AST_H
+#define SWP_LANG_AST_H
+
+#include "swp/Lang/Lexer.h"
+#include "swp/Support/Casting.h"
+
+#include <memory>
+#include <vector>
+
+namespace swp {
+
+//===----------------------------------------------------------------------===//
+// Expressions.
+//===----------------------------------------------------------------------===//
+
+class Expr {
+public:
+  enum class Kind { IntLit, FloatLit, VarRef, ArrayRef, Unary, Binary, Call };
+
+  virtual ~Expr();
+  Kind kind() const { return K; }
+  SourceLoc Loc;
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : Loc(Loc), K(K) {}
+
+private:
+  Kind K;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(int64_t V, SourceLoc Loc) : Expr(Kind::IntLit, Loc), Value(V) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+  int64_t Value;
+};
+
+class FloatLitExpr : public Expr {
+public:
+  FloatLitExpr(double V, SourceLoc Loc)
+      : Expr(Kind::FloatLit, Loc), Value(V) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::FloatLit; }
+  double Value;
+};
+
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+  std::string Name;
+};
+
+class ArrayRefExpr : public Expr {
+public:
+  ArrayRefExpr(std::string Name, ExprPtr Index, SourceLoc Loc)
+      : Expr(Kind::ArrayRef, Loc), Name(std::move(Name)),
+        Index(std::move(Index)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayRef; }
+  std::string Name;
+  ExprPtr Index;
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(ExprPtr Sub, SourceLoc Loc)
+      : Expr(Kind::Unary, Loc), Sub(std::move(Sub)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+  ExprPtr Sub; ///< Negation is the only unary operator.
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(TokKind Op, ExprPtr L, ExprPtr R, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), L(std::move(L)), R(std::move(R)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+  TokKind Op; ///< Plus..Slash or a comparison token.
+  ExprPtr L, R;
+};
+
+/// Builtin calls: sqrt, exp, inv, abs, min, max, float, int, recv.
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements and declarations.
+//===----------------------------------------------------------------------===//
+
+class StmtAST {
+public:
+  enum class Kind { Assign, For, If, Send, Block };
+  virtual ~StmtAST();
+  Kind kind() const { return K; }
+  SourceLoc Loc;
+
+protected:
+  StmtAST(Kind K, SourceLoc Loc) : Loc(Loc), K(K) {}
+
+private:
+  Kind K;
+};
+
+using StmtASTPtr = std::unique_ptr<StmtAST>;
+
+class AssignStmt : public StmtAST {
+public:
+  AssignStmt(std::string Name, ExprPtr Index, ExprPtr Value, SourceLoc Loc)
+      : StmtAST(Kind::Assign, Loc), Name(std::move(Name)),
+        Index(std::move(Index)), Value(std::move(Value)) {}
+  static bool classof(const StmtAST *S) { return S->kind() == Kind::Assign; }
+  std::string Name;
+  ExprPtr Index; ///< Null for scalar assignment.
+  ExprPtr Value;
+};
+
+class ForStmtAST : public StmtAST {
+public:
+  ForStmtAST(std::string Var, ExprPtr Lo, ExprPtr Hi, StmtASTPtr Body,
+             SourceLoc Loc)
+      : StmtAST(Kind::For, Loc), Var(std::move(Var)), Lo(std::move(Lo)),
+        Hi(std::move(Hi)), Body(std::move(Body)) {}
+  static bool classof(const StmtAST *S) { return S->kind() == Kind::For; }
+  std::string Var;
+  ExprPtr Lo, Hi;
+  StmtASTPtr Body;
+};
+
+class IfStmtAST : public StmtAST {
+public:
+  IfStmtAST(ExprPtr Cond, StmtASTPtr Then, StmtASTPtr Else, SourceLoc Loc)
+      : StmtAST(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  static bool classof(const StmtAST *S) { return S->kind() == Kind::If; }
+  ExprPtr Cond;
+  StmtASTPtr Then;
+  StmtASTPtr Else; ///< May be null.
+};
+
+class SendStmt : public StmtAST {
+public:
+  SendStmt(ExprPtr Value, int Queue, SourceLoc Loc)
+      : StmtAST(Kind::Send, Loc), Value(std::move(Value)), Queue(Queue) {}
+  static bool classof(const StmtAST *S) { return S->kind() == Kind::Send; }
+  ExprPtr Value;
+  int Queue;
+};
+
+class BlockStmt : public StmtAST {
+public:
+  explicit BlockStmt(SourceLoc Loc) : StmtAST(Kind::Block, Loc) {}
+  static bool classof(const StmtAST *S) { return S->kind() == Kind::Block; }
+  std::vector<StmtASTPtr> Stmts;
+};
+
+/// One declaration: var (cell state, arrays or scalars) or param (live-in
+/// scalar).
+struct VarDeclAST {
+  std::string Name;
+  bool IsParam = false;
+  bool IsArray = false;
+  bool IsFloat = true;
+  int64_t Size = 0;
+  /// Dependence-disambiguation directive on an array declaration.
+  bool NoAlias = false;
+  SourceLoc Loc;
+};
+
+/// A whole translation unit.
+struct ModuleAST {
+  std::vector<VarDeclAST> Decls;
+  std::vector<StmtASTPtr> Body;
+};
+
+} // namespace swp
+
+#endif // SWP_LANG_AST_H

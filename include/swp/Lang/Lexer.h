@@ -1,0 +1,85 @@
+//===- swp/Lang/Lexer.h - mini-W2 tokenizer ---------------------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for mini-W2, the Pascal-like cell programming language
+/// modeled on the paper's W2. Comments are Pascal-style (* ... *) or
+/// line comments starting with --.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_LANG_LEXER_H
+#define SWP_LANG_LEXER_H
+
+#include "swp/Support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swp {
+
+/// Token kinds of mini-W2.
+enum class TokKind {
+  Eof,
+  Ident,
+  IntLit,
+  FloatLit,
+  // Keywords.
+  KwVar,
+  KwParam,
+  KwBegin,
+  KwEnd,
+  KwFor,
+  KwTo,
+  KwDo,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwFloat,
+  KwInt,
+  KwSend,
+  KwNoAlias,
+  // Punctuation and operators.
+  Assign,    // :=
+  Colon,     // :
+  Semicolon, // ;
+  Comma,     // ,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Less,      // <
+  LessEq,    // <=
+  Greater,   // >
+  GreaterEq, // >=
+  Equal,     // =
+  NotEqual,  // <>
+};
+
+/// One token with its source position and payload.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;   ///< Identifier spelling.
+  int64_t IntVal = 0; ///< IntLit payload.
+  double FloatVal = 0.0;
+};
+
+/// Returns a printable name for diagnostics ("':='", "identifier", ...).
+const char *tokKindName(TokKind K);
+
+/// Tokenizes \p Source; lexical errors go to \p Diags and yield an Eof-
+/// terminated prefix.
+std::vector<Token> lexW2(const std::string &Source, DiagnosticEngine &Diags);
+
+} // namespace swp
+
+#endif // SWP_LANG_LEXER_H

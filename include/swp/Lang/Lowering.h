@@ -1,0 +1,45 @@
+//===- swp/Lang/Lowering.h - mini-W2 semantic lowering ----------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type-checks a mini-W2 AST and lowers it to the structured IR. Array
+/// subscripts that are affine in enclosing loop variables become symbolic
+/// AffineExpr subscripts (enabling exact dependence distances); anything
+/// else is computed into an integer register and attached as the dynamic
+/// addend. `param` declarations become live-in scalar registers; builtins
+/// sqrt/exp/inv lower to the library pseudo-ops the expansion pass
+/// implements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_LANG_LOWERING_H
+#define SWP_LANG_LOWERING_H
+
+#include "swp/IR/Program.h"
+#include "swp/Lang/AST.h"
+
+#include <map>
+#include <optional>
+
+namespace swp {
+
+/// A lowered translation unit plus its external interface.
+struct W2Module {
+  Program Prog;
+  std::map<std::string, unsigned> Arrays; ///< Declared arrays by name.
+  std::map<std::string, VReg> Params;     ///< Live-in scalars by name.
+};
+
+/// Lowers \p M; semantic errors go to \p Diags and yield nullopt.
+std::optional<W2Module> lowerW2(const ModuleAST &M, DiagnosticEngine &Diags);
+
+/// Convenience: lex + parse + lower.
+std::optional<W2Module> compileW2Source(const std::string &Source,
+                                        DiagnosticEngine &Diags);
+
+} // namespace swp
+
+#endif // SWP_LANG_LOWERING_H

@@ -1,0 +1,45 @@
+//===- swp/Lang/Parser.h - mini-W2 recursive-descent parser -----*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for mini-W2:
+///
+/// \code
+///   program   := { decl } block
+///   decl      := ("var" | "param") ident ":" type ";"
+///   type      := ("float" | "int") [ "[" intlit "]" ]
+///   block     := "begin" { statement ";" } "end"
+///   statement := lvalue ":=" expr | forstmt | ifstmt | sendstmt | block
+///   forstmt   := "for" ident ":=" expr "to" expr "do" statement
+///   ifstmt    := "if" expr "then" statement [ "else" statement ]
+///   sendstmt  := "send" "(" expr [ "," intlit ] ")"
+///   expr      := addexpr [ relop addexpr ]
+///   addexpr   := mulexpr { ("+" | "-") mulexpr }
+///   mulexpr   := unary { ("*" | "/") unary }
+///   unary     := "-" unary | primary
+///   primary   := literal | ident [ "[" expr "]" ] | call | "(" expr ")"
+///   call      := ident "(" [ expr { "," expr } ] ")"
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_LANG_PARSER_H
+#define SWP_LANG_PARSER_H
+
+#include "swp/Lang/AST.h"
+
+#include <optional>
+
+namespace swp {
+
+/// Parses \p Source into an AST; syntax errors go to \p Diags and yield
+/// nullopt.
+std::optional<ModuleAST> parseW2(const std::string &Source,
+                                 DiagnosticEngine &Diags);
+
+} // namespace swp
+
+#endif // SWP_LANG_PARSER_H

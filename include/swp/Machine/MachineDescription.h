@@ -1,0 +1,144 @@
+//===- swp/Machine/MachineDescription.h - VLIW cell model -------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A configurable VLIW cell: a set of resources (functional units / ports)
+/// with unit counts, and per-opcode information (result latency, resource
+/// reservation pattern, register class, flop accounting). The default
+/// configuration, \ref MachineDescription::warpCell, models the Warp cell of
+/// the paper: 7-cycle pipelined floating adder and multiplier (5 pipeline
+/// stages plus the 2-cycle register-file delay), a 1-cycle integer ALU, one
+/// data-memory port fed by a dedicated address generation unit, and one
+/// input and one output communication queue. Instruction issue is fully
+/// horizontal: any set of operations whose resource reservations do not
+/// collide may occupy one long instruction word.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_MACHINE_MACHINEDESCRIPTION_H
+#define SWP_MACHINE_MACHINEDESCRIPTION_H
+
+#include "swp/Machine/Opcode.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace swp {
+
+/// One schedulable resource class (a functional unit or port).
+struct Resource {
+  std::string Name;
+  unsigned Units = 1; ///< How many identical copies exist.
+};
+
+/// One entry of an opcode's reservation pattern: the op occupies \c Units
+/// units of resource \c ResId exactly \c Cycle cycles after issue.
+struct ResourceUse {
+  unsigned ResId = 0;
+  unsigned Cycle = 0;
+  unsigned Units = 1;
+};
+
+/// Static properties of one opcode on this machine.
+struct OpcodeInfo {
+  /// Cycles from issue until the result may be read by a consumer. A
+  /// latency-1 op's result is readable in the next instruction.
+  unsigned Latency = 1;
+  /// Resource reservation pattern relative to the issue cycle.
+  std::vector<ResourceUse> Uses;
+  /// Register class of the result (None for stores/sends/nop).
+  RegClass Result = RegClass::None;
+  /// Number of register operands the opcode reads.
+  unsigned NumOperands = 0;
+  /// Counts toward the MFLOPS numerator (floating arithmetic).
+  bool IsFlop = false;
+  /// Opcode is legal on this machine (library pseudos are not, post-expand).
+  bool Legal = true;
+};
+
+/// A complete cell description.
+class MachineDescription {
+public:
+  /// The Warp cell of the paper (see file comment).
+  static MachineDescription warpCell();
+
+  /// The three-resource teaching machine of the paper's section 2 example:
+  /// a memory-read port (latency 1), a one-stage pipelined adder
+  /// (latency 2), and a memory-write port.
+  static MachineDescription toyCell();
+
+  /// A Warp cell scaled up: \p Factor copies of each arithmetic unit and
+  /// memory port (the section 6 scalability thought experiment).
+  static MachineDescription scaledWarpCell(unsigned Factor);
+
+  /// Registers a resource; returns its id.
+  unsigned addResource(std::string Name, unsigned Units);
+
+  /// Sets the description of \p Opc.
+  void setOpcodeInfo(Opcode Opc, OpcodeInfo Info);
+
+  const OpcodeInfo &opcodeInfo(Opcode Opc) const {
+    const OpcodeInfo &Info = Opcodes[static_cast<unsigned>(Opc)];
+    assert(Info.Legal && "querying an opcode this machine cannot issue");
+    return Info;
+  }
+
+  /// Like opcodeInfo but also valid for illegal (pseudo) opcodes.
+  const OpcodeInfo &opcodeInfoAllowIllegal(Opcode Opc) const {
+    return Opcodes[static_cast<unsigned>(Opc)];
+  }
+
+  bool isLegal(Opcode Opc) const {
+    return Opcodes[static_cast<unsigned>(Opc)].Legal;
+  }
+
+  unsigned numResources() const { return Resources.size(); }
+  const Resource &resource(unsigned Id) const {
+    assert(Id < Resources.size() && "resource id out of range");
+    return Resources[Id];
+  }
+
+  /// Register file capacity for \p RC (0 for RegClass::None).
+  unsigned registerFileSize(RegClass RC) const {
+    switch (RC) {
+    case RegClass::Float:
+      return FloatRegs;
+    case RegClass::Int:
+      return IntRegs;
+    case RegClass::None:
+      return 0;
+    }
+    return 0;
+  }
+  void setRegisterFileSizes(unsigned NumFloat, unsigned NumInt) {
+    FloatRegs = NumFloat;
+    IntRegs = NumInt;
+  }
+
+  /// Clock rate used only to convert cycle counts into MFLOPS for the
+  /// paper's tables. Warp: 5 MHz (2 flops/cycle peak = 10 MFLOPS/cell).
+  double clockMHz() const { return ClockMHz; }
+  void setClockMHz(double MHz) { ClockMHz = MHz; }
+
+  /// Human-readable machine name (appears in benchmark headers).
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+private:
+  std::string Name = "unnamed";
+  std::vector<Resource> Resources;
+  std::vector<OpcodeInfo> Opcodes =
+      std::vector<OpcodeInfo>(NumOpcodes, OpcodeInfo{1, {}, RegClass::None,
+                                                     0, false, false});
+  unsigned FloatRegs = 62;
+  unsigned IntRegs = 64;
+  double ClockMHz = 5.0;
+};
+
+} // namespace swp
+
+#endif // SWP_MACHINE_MACHINEDESCRIPTION_H

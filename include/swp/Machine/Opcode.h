@@ -1,0 +1,108 @@
+//===- swp/Machine/Opcode.h - Target operation set --------------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operation set of the modeled VLIW cell. It mirrors the Warp cell of
+/// the paper: a floating-point adder and multiplier (both deeply pipelined),
+/// an integer ALU, one data-memory port with a dedicated address-generation
+/// unit, and inter-cell communication queues. FInv / FSqrt / FExp are
+/// library pseudo-ops that the IR expansion pass lowers into the 7-, 19-,
+/// and conditional-heavy sequences the paper describes in section 4.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_MACHINE_OPCODE_H
+#define SWP_MACHINE_OPCODE_H
+
+#include <cstdint>
+
+namespace swp {
+
+/// Register class of a value.
+enum class RegClass : uint8_t {
+  None,  ///< No result (stores, sends).
+  Float, ///< Floating-point register file.
+  Int,   ///< Integer register file (also holds booleans as 0/1).
+};
+
+/// Every operation the modeled cell can issue.
+enum class Opcode : uint8_t {
+  // Floating-point arithmetic (adder unit unless noted).
+  FAdd,
+  FSub,
+  FMul, ///< Multiplier unit.
+  FNeg,
+  FAbs,
+  FMin,
+  FMax,
+  FConst, ///< Load float immediate (ALU/crossbar path).
+  FMov,
+  // Floating-point compares; produce 0/1 in an integer register.
+  FCmpLT,
+  FCmpLE,
+  FCmpEQ,
+  FCmpNE,
+  // Library pseudo-ops; must be expanded before scheduling.
+  FInv,  ///< Reciprocal: 7-op Newton-Raphson sequence (paper 4.2).
+  FSqrt, ///< Square root: 19-op sequence (paper 4.2).
+  FExp,  ///< Exponential: conditional-heavy expansion (paper kernel 22).
+  // Hardware seed ROM lookups used by the FInv / FSqrt expansions (Warp's
+  // reciprocal unit worked the same way: crude seed plus Newton-Raphson).
+  FRecipSeed,
+  FRSqrtSeed,
+  // Memory (one data-memory port; addresses come from the AGU).
+  FLoad,
+  FStore,
+  ILoad,
+  IStore,
+  // Integer ALU.
+  IAdd,
+  ISub,
+  IMul,
+  IDiv,
+  IMod,
+  IConst,
+  IMov,
+  ICmpLT,
+  ICmpLE,
+  ICmpEQ,
+  ICmpNE,
+  IAnd,
+  IOr,
+  INot,
+  // Selects (branch-free conditional moves on the ALU/crossbar).
+  FSel,
+  ISel,
+  // Conversions.
+  I2F,
+  F2I,
+  // Inter-cell communication queues.
+  Recv, ///< Dequeue a float from the input channel.
+  Send, ///< Enqueue a float onto the output channel.
+  Nop,
+};
+
+/// Number of distinct opcodes (for table sizing).
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::Nop) + 1;
+
+/// Returns a stable mnemonic like "fadd".
+const char *opcodeName(Opcode Opc);
+
+/// True for the library pseudo-ops that the expansion pass must lower.
+bool isLibraryPseudo(Opcode Opc);
+
+/// True if the op reads memory (FLoad, ILoad).
+bool isLoad(Opcode Opc);
+
+/// True if the op writes memory (FStore, IStore).
+bool isStore(Opcode Opc);
+
+/// True if the op accesses memory at all.
+inline bool isMemAccess(Opcode Opc) { return isLoad(Opc) || isStore(Opc); }
+
+} // namespace swp
+
+#endif // SWP_MACHINE_OPCODE_H

@@ -1,0 +1,49 @@
+//===- swp/Pipeliner/HierarchicalReducer.h - Section 3 ----------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hierarchical reduction (section 3): control constructs are scheduled
+/// innermost-first and each is collapsed into a single schedule unit whose
+/// constraints are the union of its components'. For a conditional, the
+/// THEN and ELSE branches are list-scheduled independently; the reduced
+/// unit's reservation table is the entry-wise maximum of the two branch
+/// tables and its length the maximum of the two (section 3.1), while the
+/// member operations keep their branch schedules as fixed internal offsets,
+/// tagged with the predicate under which they execute. The reduced unit
+/// then takes part in dependence analysis and (modulo) scheduling exactly
+/// like a simple operation, which is what lets loops with conditionals be
+/// software pipelined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_PIPELINER_HIERARCHICALREDUCER_H
+#define SWP_PIPELINER_HIERARCHICALREDUCER_H
+
+#include "swp/DDG/ScheduleUnit.h"
+#include "swp/IR/Program.h"
+
+namespace swp {
+
+/// Reduces a loop body (operations and arbitrarily nested conditionals; no
+/// nested loops) to a program-ordered list of schedule units.
+/// \p CurrentLoopId drives the memory-dependence analysis used while
+/// compacting branch bodies.
+std::vector<ScheduleUnit> reduceBodyToUnits(const StmtList &Body,
+                                            const MachineDescription &MD,
+                                            unsigned CurrentLoopId);
+
+/// Same, over an explicit statement view (used for straight-line segments
+/// between loops).
+std::vector<ScheduleUnit>
+reduceStmtsToUnits(const std::vector<const Stmt *> &Stmts,
+                   const MachineDescription &MD, unsigned CurrentLoopId);
+
+/// True if \p Body contains a conditional anywhere (for reports).
+bool bodyHasConditionals(const StmtList &Body);
+
+} // namespace swp
+
+#endif // SWP_PIPELINER_HIERARCHICALREDUCER_H

@@ -1,0 +1,74 @@
+//===- swp/Pipeliner/ModuloScheduler.h - Iterative modulo scheduling -*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduling algorithm of section 2.2. For a target initiation
+/// interval s, acyclic graphs are list-scheduled against the modulo
+/// reservation table, aborting s when a node fails in s consecutive slots.
+/// Cyclic graphs are preprocessed: strongly connected components are found,
+/// the all-points longest-path closure of each component is computed once
+/// with a symbolic initiation interval, then per candidate s each component
+/// is scheduled within precedence-constrained ranges and the acyclic
+/// condensation of component super-nodes is list-scheduled. The search over
+/// s is a linear scan from the lower bound (the paper's choice:
+/// schedulability is not monotonic in s, and the bound is usually
+/// achievable), with binary search available for the ablation study.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_PIPELINER_MODULOSCHEDULER_H
+#define SWP_PIPELINER_MODULOSCHEDULER_H
+
+#include "swp/DDG/Closure.h"
+#include "swp/DDG/MII.h"
+#include "swp/Sched/Schedule.h"
+
+#include <optional>
+
+namespace swp {
+
+/// Options for one modulo-scheduling run.
+struct ModuloScheduleOptions {
+  /// Largest interval to try; 0 means "derive from the locally compacted
+  /// schedule" (its unpipelined period), the paper's upper bound.
+  unsigned MaxII = 0;
+  /// Use binary instead of linear search over s (ablation A2). Binary
+  /// search assumes monotonic schedulability, which does not hold in
+  /// general; the ablation quantifies the damage.
+  bool BinarySearch = false;
+  /// Limit on overlapped iterations (pipeline stages). 0 = unlimited; 2
+  /// reproduces the FPS-164 compiler's two-iteration overlap (section 1).
+  unsigned MaxStages = 0;
+};
+
+/// Outcome of a modulo-scheduling run.
+struct ModuloScheduleResult {
+  bool Success = false;
+  Schedule Sched{0};   ///< Flat one-iteration schedule (issue cycles >= 0).
+  unsigned II = 0;     ///< Achieved initiation interval.
+  unsigned MII = 0;    ///< max(ResMII, RecMII), for efficiency statistics.
+  unsigned ResMII = 0;
+  unsigned RecMII = 0;
+  unsigned Stages = 0; ///< ceil(span / II): iterations in flight.
+  unsigned TriedIntervals = 0; ///< Candidate intervals attempted.
+};
+
+/// Runs the full iterative algorithm on \p G.
+ModuloScheduleResult moduloSchedule(const DepGraph &G,
+                                    const MachineDescription &MD,
+                                    const ModuloScheduleOptions &Opts = {});
+
+/// Attempts one fixed interval \p S; returns the schedule on success.
+/// Exposed for tests and for the search-strategy ablation.
+std::optional<Schedule> scheduleAtInterval(const DepGraph &G,
+                                           const MachineDescription &MD,
+                                           unsigned S,
+                                           unsigned RecBound,
+                                           const ModuloScheduleOptions &Opts);
+
+} // namespace swp
+
+#endif // SWP_PIPELINER_MODULOSCHEDULER_H

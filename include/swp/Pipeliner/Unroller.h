@@ -1,0 +1,35 @@
+//===- swp/Pipeliner/Unroller.h - Source-level loop unrolling ---*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source-level unrolling of innermost loops, the technique trace
+/// scheduling relies on for loop parallelism (section 5.1). The unrolled
+/// body gives the local compactor a bigger block; per-copy register
+/// renaming removes false dependences between copies, exactly what a
+/// trace compactor would do. Pipeline fill/drain still happens once per
+/// unrolled iteration, which is why the paper argues software pipelining
+/// dominates: measured by bench_unrolling_comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_PIPELINER_UNROLLER_H
+#define SWP_PIPELINER_UNROLLER_H
+
+#include "swp/IR/Program.h"
+
+namespace swp {
+
+/// Unrolls every innermost loop with compile-time bounds by \p Factor:
+/// the main loop executes floor(n/Factor) copies of the body per
+/// iteration (defs renamed per copy except loop-carried registers), and a
+/// remainder loop covers n mod Factor iterations. Returns the number of
+/// loops transformed. Factor 1 (or loops with runtime bounds) leaves the
+/// program unchanged.
+unsigned unrollInnermostLoops(Program &P, unsigned Factor);
+
+} // namespace swp
+
+#endif // SWP_PIPELINER_UNROLLER_H

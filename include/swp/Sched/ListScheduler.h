@@ -1,0 +1,38 @@
+//===- swp/Sched/ListScheduler.h - Basic-block list scheduling --*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic non-backtracking list scheduler (Fisher): nodes are placed
+/// in a topological order of the same-iteration (omega = 0) dependence
+/// edges, each at the earliest cycle satisfying precedence and resource
+/// constraints, with longest-path-to-sink height as the priority. This is
+/// both the paper's "locally compacted code" baseline (section 4.1,
+/// Figure 4-2) and the subroutine that schedules conditional branches
+/// during hierarchical reduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SCHED_LISTSCHEDULER_H
+#define SWP_SCHED_LISTSCHEDULER_H
+
+#include "swp/Sched/ReservationTables.h"
+#include "swp/Sched/Schedule.h"
+
+namespace swp {
+
+/// Computes each unit's height: the longest path to any sink over omega-0
+/// edges, counting the unit's own worst-case producer latency. Used as the
+/// list-scheduling priority.
+std::vector<int64_t> computeHeights(const DepGraph &G);
+
+/// List-schedules \p G as straight-line code (omega-0 edges only; carried
+/// edges constrain the enclosing loop's period, not the block schedule).
+/// Never fails: the block is compacted as tightly as resources allow.
+Schedule listSchedule(const DepGraph &G, const MachineDescription &MD);
+
+} // namespace swp
+
+#endif // SWP_SCHED_LISTSCHEDULER_H

@@ -1,0 +1,67 @@
+//===- swp/Sched/Schedule.h - Assignment of units to cycles -----*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A schedule maps every unit of a dependence graph to an issue cycle. The
+/// same container serves straight-line schedules (the locally-compacted
+/// baseline, conditional branches during hierarchical reduction) and the
+/// flat one-iteration schedules the modulo scheduler produces before kernel
+/// unrolling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SCHED_SCHEDULE_H
+#define SWP_SCHED_SCHEDULE_H
+
+#include "swp/DDG/DepGraph.h"
+
+#include <climits>
+#include <vector>
+
+namespace swp {
+
+/// Issue cycles for the units of one dependence graph.
+class Schedule {
+public:
+  explicit Schedule(unsigned NumUnits) : Start(NumUnits, Unscheduled) {}
+
+  static constexpr int Unscheduled = INT_MIN;
+
+  bool isScheduled(unsigned Unit) const {
+    return Start[Unit] != Unscheduled;
+  }
+  int startOf(unsigned Unit) const {
+    assert(isScheduled(Unit) && "querying an unscheduled unit");
+    return Start[Unit];
+  }
+  void setStart(unsigned Unit, int T) { Start[Unit] = T; }
+
+  unsigned numUnits() const { return Start.size(); }
+
+  /// One past the last issue cycle (0 when nothing is scheduled).
+  int issueLength() const;
+
+  /// One past the last cycle any unit occupies a resource or issues an op.
+  int spanLength(const DepGraph &G) const;
+
+  /// True if every precedence constraint sigma(dst) - sigma(src) >=
+  /// d - S*omega holds (all units must be scheduled).
+  bool satisfiesPrecedence(const DepGraph &G, int S) const;
+
+private:
+  std::vector<int> Start;
+};
+
+/// Smallest period P at which back-to-back (non-overlapped) iterations of
+/// this schedule respect every inter-iteration dependence: P >= issue
+/// length, and for every edge with omega > 0,
+/// P >= ceil((sigma(src) + d - sigma(dst)) / omega). This is the execution
+/// rate of the paper's "locally compacted" (unpipelined) loop.
+int unpipelinedPeriod(const DepGraph &G, const Schedule &Sched);
+
+} // namespace swp
+
+#endif // SWP_SCHED_SCHEDULE_H

@@ -1,0 +1,37 @@
+//===- swp/Sched/ScheduleDump.h - ASCII schedule visualization --*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders schedules the way compiler engineers read them: the flat
+/// one-iteration schedule as a cycle-by-unit chart, and the folded modulo
+/// reservation table (one row per interval slot, one column per machine
+/// resource) that shows which resource saturates — the visual form of the
+/// ResMII argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SCHED_SCHEDULEDUMP_H
+#define SWP_SCHED_SCHEDULEDUMP_H
+
+#include "swp/Sched/Schedule.h"
+
+#include <string>
+
+namespace swp {
+
+/// The flat schedule: one line per issue cycle listing the units (by
+/// index and leading opcode) issuing there, with their pipeline stage.
+std::string scheduleToString(const DepGraph &G, const Schedule &Sched,
+                             unsigned II);
+
+/// The folded view: II rows; each cell counts uses of a resource in that
+/// row against its capacity, marking saturated cells with '*'.
+std::string moduloTableToString(const DepGraph &G, const Schedule &Sched,
+                                unsigned II, const MachineDescription &MD);
+
+} // namespace swp
+
+#endif // SWP_SCHED_SCHEDULEDUMP_H

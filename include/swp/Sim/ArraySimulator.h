@@ -1,0 +1,70 @@
+//===- swp/Sim/ArraySimulator.h - Warp-array co-simulation ------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle-accurate co-simulation of a linear array of cells connected by
+/// bounded FIFO channels — the Warp topology (each cell has a 512-word
+/// queue per direction). All cells advance in lock step; a cell whose
+/// instruction would pop an empty channel or push a full one stalls for
+/// the cycle, exactly the hardware's flow control. The paper's programs
+/// "never stall on input or output" except at setup — a property the
+/// array simulator lets one actually measure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SIM_ARRAYSIMULATOR_H
+#define SWP_SIM_ARRAYSIMULATOR_H
+
+#include "swp/Sim/Simulator.h"
+
+#include <memory>
+
+namespace swp {
+
+/// One cell of the array: its compiled code, the program it came from
+/// (array metadata), and its private initial state. Queue 0 of the cell
+/// reads from its left neighbor (or the array input) and writes to its
+/// right neighbor (or the array output).
+struct ArrayCell {
+  const VLIWProgram *Code = nullptr;
+  const Program *Prog = nullptr;
+  ProgramInput Input; ///< InputQueue is ignored; channels feed the cells.
+};
+
+/// Result of one array run.
+struct ArrayRunResult {
+  bool Ok = false;
+  std::string Error;
+  /// Lock-step cycles until every cell halted.
+  uint64_t Cycles = 0;
+  /// Aggregate flops across cells, and the array rate.
+  uint64_t TotalFlops = 0;
+  double ArrayMFLOPS = 0.0;
+  /// Per-cell results (cycles include stalls; Stalls counts them).
+  std::vector<SimResult> Cells;
+  std::vector<uint64_t> StallCycles;
+  /// What the last cell pushed rightward.
+  std::vector<float> ArrayOutput;
+};
+
+/// Options for an array run.
+struct ArrayOptions {
+  unsigned ChannelCapacity = 512; ///< Warp's queue depth.
+  uint64_t MaxCycles = 200'000'000;
+};
+
+/// Runs \p Cells as a linear pipeline: \p ArrayInput streams into cell
+/// 0's input channel; the result collects cell N-1's output channel.
+/// Deadlock (every live cell stalled with no channel movement possible)
+/// is reported as an error.
+ArrayRunResult simulateLinearArray(const std::vector<ArrayCell> &Cells,
+                                   const MachineDescription &MD,
+                                   const std::vector<float> &ArrayInput,
+                                   const ArrayOptions &Opts = {});
+
+} // namespace swp
+
+#endif // SWP_SIM_ARRAYSIMULATOR_H

@@ -1,0 +1,52 @@
+//===- swp/Support/Casting.h - isa/cast/dyn_cast ----------------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal LLVM-style opt-in RTTI: classes expose
+/// `static bool classof(const Base *)` and clients use isa<>, cast<> and
+/// dyn_cast<> instead of dynamic_cast (the library builds without RTTI
+/// semantics in mind).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SUPPORT_CASTING_H
+#define SWP_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace swp {
+
+/// True if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts on mismatch.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> to an incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast; asserts on mismatch (const overload).
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> to an incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast returning null on mismatch.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Downcast returning null on mismatch (const overload).
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_CASTING_H

@@ -1,0 +1,67 @@
+//===- swp/Support/MathUtils.h - Small integer math helpers -----*- C++ -*-===//
+//
+// Part of warp-swp, a reproduction of M. Lam, "Software Pipelining: An
+// Effective Scheduling Technique for VLIW Machines", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer helpers used throughout the scheduler: ceiling division, gcd/lcm
+/// (modulo variable expansion's unroll factors), and factor searches for the
+/// paper's "smallest factor of u that is no smaller than q" register
+/// allocation rule (section 2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SUPPORT_MATHUTILS_H
+#define SWP_SUPPORT_MATHUTILS_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace swp {
+
+/// Returns ceil(Num / Den) for nonnegative \p Num and positive \p Den.
+constexpr int64_t ceilDiv(int64_t Num, int64_t Den) {
+  assert(Den > 0 && "ceilDiv requires a positive denominator");
+  if (Num <= 0)
+    return 0;
+  return (Num + Den - 1) / Den;
+}
+
+/// Greatest common divisor; gcd(0, x) == x.
+constexpr int64_t gcd(int64_t A, int64_t B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+/// Least common multiple; lcm(0, x) == 0.
+constexpr int64_t lcm(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  return A / gcd(A, B) * B;
+}
+
+/// Returns all positive divisors of \p N in increasing order.
+std::vector<int64_t> divisorsOf(int64_t N);
+
+/// Returns the smallest divisor of \p U that is >= \p Q.
+///
+/// This is the register-count rule of section 2.3: with a steady state
+/// unrolled U = max_i(q_i) times, variable v_i is allocated
+/// smallestDivisorAtLeast(U, q_i) registers so that the register sequence
+/// repeats with a period dividing U. Requires 1 <= Q <= U.
+int64_t smallestDivisorAtLeast(int64_t U, int64_t Q);
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_MATHUTILS_H

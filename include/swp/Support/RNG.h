@@ -1,0 +1,74 @@
+//===- swp/Support/RNG.h - Deterministic random number generator -*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xoshiro256**) used by the synthetic workload
+/// generator so that the "72 user programs" population of Figures 4-1/4-2 is
+/// reproducible bit-for-bit across runs and platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SUPPORT_RNG_H
+#define SWP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace swp {
+
+/// Deterministic 64-bit PRNG with splitmix64 seeding.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) {
+    // splitmix64 to expand the seed into the xoshiro state.
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    auto Rotl = [](uint64_t V, int K) {
+      return (V << K) | (V >> (64 - K));
+    };
+    uint64_t Result = Rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = Rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t uniform(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+    return Lo + static_cast<int64_t>(next() % Span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniformReal() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability \p P of returning true.
+  bool chance(double P) { return uniformReal() < P; }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_RNG_H

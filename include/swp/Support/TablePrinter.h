@@ -1,0 +1,45 @@
+//===- swp/Support/TablePrinter.h - Aligned text tables ---------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formats rows of strings as an aligned text table. The benchmark harness
+/// uses this to print the paper's tables (4-1, 4-2) and figure data series
+/// in a stable, diffable layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SUPPORT_TABLEPRINTER_H
+#define SWP_SUPPORT_TABLEPRINTER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swp {
+
+/// Accumulates rows and prints them column-aligned.
+class TablePrinter {
+public:
+  /// \p Header names the columns; its size fixes the column count.
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Adds one row; missing trailing cells are treated as empty.
+  void addRow(std::vector<std::string> Row);
+
+  /// Formats a double with \p Precision digits after the point.
+  static std::string num(double Value, int Precision = 2);
+
+  /// Prints header, separator, and all rows to \p OS.
+  void print(std::ostream &OS) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_TABLEPRINTER_H

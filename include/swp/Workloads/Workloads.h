@@ -1,0 +1,76 @@
+//===- swp/Workloads/Workloads.h - Benchmark programs -----------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation workloads:
+///   - the Livermore kernels of Table 4-2, written in mini-W2 exactly as
+///     the paper's were hand-translated into W2 (kernels that need
+///     constructs mini-W2 lacks are substituted by loops with the same
+///     dependence structure; EXPERIMENTS.md records each substitution);
+///   - the application kernels of Table 4-1 (matrix multiplication, FFT,
+///     3x3 convolution, Hough transform, local selective averaging,
+///     Warshall shortest path, Roberts operator);
+///   - a seeded synthetic population standing in for the paper's 72
+///     proprietary user programs (Figures 4-1 and 4-2), with the same
+///     structural mix: 42 of 72 contain conditionals.
+///
+/// Every workload is a factory: compilation mutates the program, so each
+/// compile/run gets a fresh instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_WORKLOADS_WORKLOADS_H
+#define SWP_WORKLOADS_WORKLOADS_H
+
+#include "swp/IR/Execution.h"
+#include "swp/IR/Program.h"
+#include "swp/Lang/Lowering.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace swp {
+
+/// One instantiated workload.
+struct BuiltWorkload {
+  std::unique_ptr<Program> Prog;
+  ProgramInput Input;
+};
+
+/// One workload factory.
+struct WorkloadSpec {
+  std::string Name;
+  /// Livermore kernel number (0 for non-Livermore workloads).
+  int Number = 0;
+  /// Work items per run, used for ms-per-task style reporting.
+  double WorkItems = 1.0;
+  std::function<BuiltWorkload()> Make;
+};
+
+/// The Livermore kernels of Table 4-2.
+const std::vector<WorkloadSpec> &livermoreKernels();
+
+/// The Table 4-1 application kernels.
+const std::vector<WorkloadSpec> &userPrograms();
+
+/// A deterministic synthetic population of \p Count kernels (the 72 user
+/// programs of Figures 4-1/4-2), \p CondFraction of which contain
+/// conditionals.
+std::vector<WorkloadSpec> syntheticPopulation(unsigned Count, uint64_t Seed,
+                                              double CondFraction = 42.0 / 72);
+
+/// Helper shared by workloads and tests: compiles mini-W2 source and
+/// aborts (with the diagnostics printed) on error. \p Fill populates the
+/// inputs using the module's name maps.
+BuiltWorkload buildFromW2(const std::string &Source,
+                          const std::function<void(const W2Module &,
+                                                   ProgramInput &)> &Fill);
+
+} // namespace swp
+
+#endif // SWP_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,98 @@
+//===- RegAlloc.cpp - Physical register management -----------------------------===//
+//
+// Part of warp-swp. See RegAlloc.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Codegen/RegAlloc.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace swp;
+
+std::optional<PhysReg> RegisterFile::allocate() {
+  if (Free.empty())
+    return std::nullopt;
+  unsigned Index = *Free.begin();
+  Free.erase(Free.begin());
+  HighWater = std::max(HighWater, Capacity - static_cast<unsigned>(Free.size()));
+  return PhysReg{RC, Index};
+}
+
+void RegisterFile::release(PhysReg R) {
+  assert(R.RC == RC && R.Index < Capacity && "releasing a foreign register");
+  [[maybe_unused]] bool Inserted = Free.insert(R.Index).second;
+  assert(Inserted && "double release");
+}
+
+bool RegAlloc::assignPermanent(unsigned VRegId, RegClass RC) {
+  assert(!Assigned.count(VRegId) && "vreg already assigned");
+  std::optional<PhysReg> R = Files[fileIndex(RC)].allocate();
+  if (!R)
+    return false;
+  Assigned[VRegId] = {*R};
+  return true;
+}
+
+void RegAlloc::beginScope() { Scopes.emplace_back(); }
+
+bool RegAlloc::assignLocal(unsigned VRegId, RegClass RC, unsigned Copies) {
+  assert(!Scopes.empty() && "assignLocal outside any scope");
+  assert(Copies >= 1 && "a register needs at least one copy");
+  assert(!Assigned.count(VRegId) && "vreg already assigned");
+  std::vector<PhysReg> Regs;
+  for (unsigned I = 0; I != Copies; ++I) {
+    std::optional<PhysReg> R = Files[fileIndex(RC)].allocate();
+    if (!R) {
+      for (PhysReg Owned : Regs)
+        Files[fileIndex(RC)].release(Owned);
+      return false;
+    }
+    Regs.push_back(*R);
+  }
+  Scope &S = Scopes.back();
+  S.LocalVRegs.push_back(VRegId);
+  S.Owned.insert(S.Owned.end(), Regs.begin(), Regs.end());
+  Assigned[VRegId] = std::move(Regs);
+  return true;
+}
+
+void RegAlloc::aliasLocal(unsigned VRegId, PhysReg R) {
+  assert(!Scopes.empty() && "aliasLocal outside any scope");
+  assert(!Assigned.count(VRegId) && "vreg already assigned");
+  Scopes.back().LocalVRegs.push_back(VRegId);
+  Assigned[VRegId] = {R};
+}
+
+std::optional<PhysReg> RegAlloc::allocateScratch(RegClass RC) {
+  std::optional<PhysReg> R = Files[fileIndex(RC)].allocate();
+  if (R && !Scopes.empty())
+    Scopes.back().Owned.push_back(*R);
+  return R;
+}
+
+void RegAlloc::endScope() {
+  assert(!Scopes.empty() && "endScope without beginScope");
+  Scope &S = Scopes.back();
+  for (unsigned VRegId : S.LocalVRegs)
+    Assigned.erase(VRegId);
+  for (PhysReg R : S.Owned)
+    Files[fileIndex(R.RC)].release(R);
+  Scopes.pop_back();
+}
+
+PhysReg RegAlloc::regFor(unsigned VRegId, unsigned Copy) const {
+  auto It = Assigned.find(VRegId);
+  if (It == Assigned.end()) {
+    std::fprintf(stderr, "regFor: vreg %%%u has no register\n", VRegId);
+    assert(false && "vreg has no register");
+  }
+  return It->second[Copy % It->second.size()];
+}
+
+unsigned RegAlloc::copiesOf(unsigned VRegId) const {
+  auto It = Assigned.find(VRegId);
+  assert(It != Assigned.end() && "vreg has no register");
+  return It->second.size();
+}

@@ -1,0 +1,270 @@
+//===- DDGBuilder.cpp - Dependence analysis ---------------------------------===//
+//
+// Part of warp-swp. See DDGBuilder.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/DDG/DDGBuilder.h"
+
+#include <map>
+
+using namespace swp;
+
+namespace {
+
+/// One register access in program order.
+struct RegAccess {
+  unsigned Unit;
+  int Offset;
+  bool IsWrite;
+  unsigned Latency; // Writes only.
+};
+
+/// One memory access in program order.
+struct MemUse {
+  unsigned Unit;
+  int Offset;
+  bool IsStore;
+  const Operation *Op;
+};
+
+class Builder {
+public:
+  Builder(std::vector<ScheduleUnit> Units, const MachineDescription &MD,
+          const DDGBuildOptions &Opts)
+      : G(std::move(Units)), MD(MD), Opts(Opts) {}
+
+  DepGraph run() {
+    collectAccesses();
+    buildRegisterDeps();
+    buildMemoryDeps();
+    buildQueueDeps();
+    (void)MD;
+    return std::move(G);
+  }
+
+private:
+  void collectAccesses() {
+    for (unsigned I = 0; I != G.numNodes(); ++I) {
+      const ScheduleUnit &U = G.unit(I);
+      for (const ScheduleUnit::RegRead &R : U.reads())
+        RegAccs[R.R.Id].push_back({I, R.Offset, false, 0});
+      for (const ScheduleUnit::RegWrite &W : U.writes())
+        RegAccs[W.R.Id].push_back({I, W.Offset, true, W.Latency});
+      for (const ScheduleUnit::MemAccess &M : U.memAccesses())
+        MemUses.push_back({I, M.Offset, M.IsStore, M.Op});
+      for (const ScheduleUnit::QueueAccess &Q : U.queueAccesses())
+        QueueSeqs[{Q.Queue, Q.IsSend}].push_back({I, Q.Offset, false, 0});
+    }
+  }
+
+  void addEdge(unsigned Src, unsigned Dst, int Delay, unsigned Omega,
+               DepKind Kind) {
+    // Same-iteration self edges are internal to a reduced unit and already
+    // honored by its internal schedule.
+    if (Src == Dst && Omega == 0)
+      return;
+    G.addEdge({Src, Dst, Delay, Omega, Kind});
+  }
+
+  void buildRegisterDeps() {
+    for (auto &[RegId, Accs] : RegAccs) {
+      bool Expanded = Opts.ExpandedRegs.count(RegId) != 0;
+      // Partition while keeping program order (unit index order).
+      std::vector<RegAccess> Writes, Reads;
+      for (const RegAccess &A : Accs)
+        (A.IsWrite ? Writes : Reads).push_back(A);
+      if (Writes.empty())
+        continue; // Loop-invariant: no constraints.
+
+      // Writing units in ascending order, for nearest-write queries.
+      // (Writes is already ordered by unit index.)
+      for (const RegAccess &Rd : Reads) {
+        // Flow: latest writing unit strictly before the read.
+        const RegAccess *Last = nullptr;
+        for (const RegAccess &W : Writes) {
+          if (W.Unit >= Rd.Unit)
+            break;
+          Last = &W;
+        }
+        if (Last) {
+          unsigned LastUnit = Last->Unit;
+          for (const RegAccess &W : Writes)
+            if (W.Unit == LastUnit)
+              addEdge(W.Unit, Rd.Unit,
+                      W.Offset + static_cast<int>(W.Latency) - Rd.Offset, 0,
+                      DepKind::Flow);
+        } else {
+          // Read-before-write: the value comes from the previous
+          // iteration's last write.
+          unsigned LastUnit = Writes.back().Unit;
+          for (const RegAccess &W : Writes)
+            if (W.Unit == LastUnit)
+              addEdge(W.Unit, Rd.Unit,
+                      W.Offset + static_cast<int>(W.Latency) - Rd.Offset, 1,
+                      DepKind::Flow);
+        }
+        // Anti: the next writing unit must not commit before this read.
+        const RegAccess *Next = nullptr;
+        for (const RegAccess &W : Writes)
+          if (W.Unit > Rd.Unit) {
+            Next = &W;
+            break;
+          }
+        if (Next) {
+          unsigned NextUnit = Next->Unit;
+          for (const RegAccess &W : Writes)
+            if (W.Unit == NextUnit)
+              addEdge(Rd.Unit, W.Unit,
+                      Rd.Offset - W.Offset - static_cast<int>(W.Latency) + 1,
+                      0, DepKind::Anti);
+        } else if (!Expanded) {
+          unsigned FirstUnit = Writes.front().Unit;
+          for (const RegAccess &W : Writes)
+            if (W.Unit == FirstUnit)
+              addEdge(Rd.Unit, W.Unit,
+                      Rd.Offset - W.Offset - static_cast<int>(W.Latency) + 1,
+                      1, DepKind::Anti);
+        }
+      }
+
+      // Output chains between consecutive writing units, with a wrap-around
+      // edge ordering the last write before the next iteration's first.
+      auto OutputDelay = [](const RegAccess &A, const RegAccess &B) {
+        return A.Offset + static_cast<int>(A.Latency) - B.Offset -
+               static_cast<int>(B.Latency) + 1;
+      };
+      for (size_t I = 0; I + 1 < Writes.size(); ++I) {
+        if (Writes[I].Unit == Writes[I + 1].Unit)
+          continue;
+        addEdge(Writes[I].Unit, Writes[I + 1].Unit,
+                OutputDelay(Writes[I], Writes[I + 1]), 0, DepKind::Output);
+      }
+      if (!Expanded)
+        addEdge(Writes.back().Unit, Writes.front().Unit,
+                OutputDelay(Writes.back(), Writes.front()), 1,
+                DepKind::Output);
+    }
+  }
+
+  /// Subscripts are comparable when neither has a dynamic addend and their
+  /// terms over every loop other than the current one agree (those values
+  /// are fixed while the current loop runs, so they cancel).
+  static bool comparableSubscripts(const AffineExpr &A, const AffineExpr &B,
+                                   unsigned LoopId) {
+    if (A.hasAddend() || B.hasAddend())
+      return false;
+    for (const AffineExpr::Term &T : A.Terms)
+      if (T.LoopId != LoopId && B.coefOf(T.LoopId) != T.Coef)
+        return false;
+    for (const AffineExpr::Term &T : B.Terms)
+      if (T.LoopId != LoopId && A.coefOf(T.LoopId) != T.Coef)
+        return false;
+    return true;
+  }
+
+  /// Delay of a memory ordering edge between access \p A and \p B.
+  static int memDelay(const MemUse &A, const MemUse &B) {
+    if (A.IsStore && !B.IsStore)
+      return A.Offset + 1 - B.Offset; // Store commits at end of cycle.
+    if (!A.IsStore && B.IsStore)
+      return A.Offset - B.Offset; // Load samples at issue; same cycle ok.
+    return A.Offset + 1 - B.Offset; // Store/store strictly ordered.
+  }
+
+  void buildMemoryDeps() {
+    for (size_t I = 0; I != MemUses.size(); ++I) {
+      for (size_t J = I + 1; J != MemUses.size(); ++J) {
+        const MemUse &A = MemUses[I]; // Earlier in program order.
+        const MemUse &B = MemUses[J];
+        if (!A.IsStore && !B.IsStore)
+          continue;
+        if (A.Op->Mem.ArrayId != B.Op->Mem.ArrayId)
+          continue;
+        const AffineExpr &IA = A.Op->Mem.Index;
+        const AffineExpr &IB = B.Op->Mem.Index;
+        bool NoAlias = Opts.NoAliasArrays.count(A.Op->Mem.ArrayId) != 0;
+        if (!comparableSubscripts(IA, IB, Opts.CurrentLoopId)) {
+          // Conservative: may conflict at any distance — unless the user
+          // asserted iteration-disjointness with a no-alias directive.
+          addEdge(A.Unit, B.Unit, memDelay(A, B), 0, DepKind::Mem);
+          if (!NoAlias)
+            addEdge(B.Unit, A.Unit, memDelay(B, A), 1, DepKind::Mem);
+          continue;
+        }
+        int64_t CA = IA.coefOf(Opts.CurrentLoopId);
+        int64_t CB = IB.coefOf(Opts.CurrentLoopId);
+        if (CA != CB) {
+          addEdge(A.Unit, B.Unit, memDelay(A, B), 0, DepKind::Mem);
+          if (!NoAlias)
+            addEdge(B.Unit, A.Unit, memDelay(B, A), 1, DepKind::Mem);
+          continue;
+        }
+        if (CA == 0) {
+          // Loop-invariant addresses: conflict iff the constants agree,
+          // and then at every distance.
+          if (IA.Const != IB.Const)
+            continue;
+          addEdge(A.Unit, B.Unit, memDelay(A, B), 0, DepKind::Mem);
+          addEdge(B.Unit, A.Unit, memDelay(B, A), 1, DepKind::Mem);
+          continue;
+        }
+        // A at iteration i and B at iteration i+K touch the same element
+        // when K = (ConstA - ConstB) / C.
+        int64_t Delta = IA.Const - IB.Const;
+        if (Delta % CA != 0)
+          continue;
+        int64_t K = Delta / CA;
+        if (K > 0)
+          addEdge(A.Unit, B.Unit, memDelay(A, B), static_cast<unsigned>(K),
+                  DepKind::Mem);
+        else if (K < 0)
+          addEdge(B.Unit, A.Unit, memDelay(B, A), static_cast<unsigned>(-K),
+                  DepKind::Mem);
+        else
+          addEdge(A.Unit, B.Unit, memDelay(A, B), 0, DepKind::Mem);
+      }
+    }
+  }
+
+  void buildQueueDeps() {
+    for (auto &[Key, Seq] : QueueSeqs) {
+      for (size_t I = 0; I + 1 < Seq.size(); ++I)
+        if (Seq[I].Unit != Seq[I + 1].Unit)
+          addEdge(Seq[I].Unit, Seq[I + 1].Unit,
+                  Seq[I].Offset + 1 - Seq[I + 1].Offset, 0, DepKind::Queue);
+      if (Seq.size() > 1 && Seq.back().Unit != Seq.front().Unit)
+        addEdge(Seq.back().Unit, Seq.front().Unit,
+                Seq.back().Offset + 1 - Seq.front().Offset, 1,
+                DepKind::Queue);
+    }
+  }
+
+  DepGraph G;
+  const MachineDescription &MD;
+  const DDGBuildOptions &Opts;
+
+  std::map<unsigned, std::vector<RegAccess>> RegAccs;
+  std::vector<MemUse> MemUses;
+  std::map<std::pair<int, bool>, std::vector<RegAccess>> QueueSeqs;
+};
+
+} // namespace
+
+DepGraph swp::buildLoopDepGraph(std::vector<ScheduleUnit> Units,
+                                const MachineDescription &MD,
+                                const DDGBuildOptions &Opts) {
+  return Builder(std::move(Units), MD, Opts).run();
+}
+
+std::vector<ScheduleUnit>
+swp::simpleUnitsFromBody(const StmtList &Body, const MachineDescription &MD) {
+  std::vector<ScheduleUnit> Units;
+  Units.reserve(Body.size());
+  for (const StmtPtr &S : Body) {
+    const auto *Op = dyn_cast<OpStmt>(S.get());
+    assert(Op && "simpleUnitsFromBody requires a straight-line body");
+    Units.push_back(ScheduleUnit::makeSimple(Op->Op, MD));
+  }
+  return Units;
+}

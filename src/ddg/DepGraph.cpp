@@ -1,0 +1,115 @@
+//===- DepGraph.cpp - Dependence graph with (d, p) edges --------------------===//
+//
+// Part of warp-swp. See DepGraph.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/DDG/DepGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace swp;
+
+void DepGraph::addEdge(DepEdge E) {
+  assert(E.Src < Units.size() && E.Dst < Units.size() && "edge out of range");
+  assert((E.Omega > 0 || E.Src != E.Dst) &&
+         "a same-iteration self-dependence is unsatisfiable");
+  Succs[E.Src].push_back(Edges.size());
+  Preds[E.Dst].push_back(Edges.size());
+  Edges.push_back(E);
+}
+
+namespace {
+
+/// Iterative Tarjan SCC (explicit stack; loop bodies can be large).
+class TarjanSCC {
+public:
+  TarjanSCC(const DepGraph &G) : G(G) {
+    unsigned N = G.numNodes();
+    Index.assign(N, ~0u);
+    LowLink.assign(N, 0);
+    OnStack.assign(N, false);
+  }
+
+  std::vector<std::vector<unsigned>> run() {
+    for (unsigned I = 0; I != G.numNodes(); ++I)
+      if (Index[I] == ~0u)
+        strongConnect(I);
+    // Tarjan emits components in reverse topological order.
+    std::reverse(Components.begin(), Components.end());
+    return std::move(Components);
+  }
+
+private:
+  void strongConnect(unsigned Root) {
+    struct Frame {
+      unsigned Node;
+      unsigned EdgePos;
+    };
+    std::vector<Frame> CallStack;
+    CallStack.push_back({Root, 0});
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      unsigned V = F.Node;
+      if (F.EdgePos == 0) {
+        Index[V] = LowLink[V] = NextIndex++;
+        Stack.push_back(V);
+        OnStack[V] = true;
+      }
+      bool Descended = false;
+      const auto &Out = G.succs(V);
+      while (F.EdgePos < Out.size()) {
+        unsigned W = G.edges()[Out[F.EdgePos]].Dst;
+        ++F.EdgePos;
+        if (Index[W] == ~0u) {
+          CallStack.push_back({W, 0});
+          Descended = true;
+          break;
+        }
+        if (OnStack[W])
+          LowLink[V] = std::min(LowLink[V], Index[W]);
+      }
+      if (Descended)
+        continue;
+      if (LowLink[V] == Index[V]) {
+        Components.emplace_back();
+        unsigned W;
+        do {
+          W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          Components.back().push_back(W);
+        } while (W != V);
+      }
+      CallStack.pop_back();
+      if (!CallStack.empty()) {
+        unsigned Parent = CallStack.back().Node;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[V]);
+      }
+    }
+  }
+
+  const DepGraph &G;
+  std::vector<unsigned> Index, LowLink;
+  std::vector<bool> OnStack;
+  std::vector<unsigned> Stack;
+  std::vector<std::vector<unsigned>> Components;
+  unsigned NextIndex = 0;
+};
+
+} // namespace
+
+std::vector<std::vector<unsigned>>
+DepGraph::stronglyConnectedComponents() const {
+  return TarjanSCC(*this).run();
+}
+
+std::vector<uint64_t>
+DepGraph::totalResourceUse(const MachineDescription &MD) const {
+  std::vector<uint64_t> Use(MD.numResources(), 0);
+  for (const ScheduleUnit &U : Units)
+    for (const ResourceUse &R : U.reservation())
+      Use[R.ResId] += R.Units;
+  return Use;
+}

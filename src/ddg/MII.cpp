@@ -1,0 +1,73 @@
+//===- MII.cpp - Lower bounds on the initiation interval --------------------===//
+//
+// Part of warp-swp. See MII.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/DDG/MII.h"
+
+#include "swp/Support/MathUtils.h"
+
+#include <algorithm>
+
+using namespace swp;
+
+unsigned swp::resMII(const DepGraph &G, const MachineDescription &MD) {
+  std::vector<uint64_t> Use = G.totalResourceUse(MD);
+  uint64_t Bound = 1;
+  for (unsigned R = 0; R != MD.numResources(); ++R)
+    Bound = std::max<uint64_t>(Bound, ceilDiv(Use[R], MD.resource(R).Units));
+  return static_cast<unsigned>(Bound);
+}
+
+/// True if the weights d - S*p admit a positive-weight cycle. Bellman-Ford
+/// style longest-path relaxation: with N nodes, any relaxation still
+/// possible after N-1 rounds implies a positive cycle.
+static bool hasPositiveCycle(const DepGraph &G, int64_t S) {
+  unsigned N = G.numNodes();
+  if (N == 0)
+    return false;
+  // Longest-path potentials from a virtual source connected to all nodes.
+  std::vector<int64_t> Dist(N, 0);
+  for (unsigned Round = 0; Round != N; ++Round) {
+    bool Changed = false;
+    for (const DepEdge &E : G.edges()) {
+      int64_t W = E.Delay - S * static_cast<int64_t>(E.Omega);
+      if (Dist[E.Src] + W > Dist[E.Dst]) {
+        Dist[E.Dst] = Dist[E.Src] + W;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      return false;
+  }
+  return true;
+}
+
+unsigned swp::recMII(const DepGraph &G) {
+  // Upper bound: any cycle's total delay is at most the sum of positive
+  // delays, and p(c) >= 1 for any legal cycle.
+  int64_t Hi = 1;
+  for (const DepEdge &E : G.edges())
+    if (E.Delay > 0)
+      Hi += E.Delay;
+  assert(!hasPositiveCycle(G, Hi) &&
+         "positive cycle at the delay-sum bound: a zero-omega cycle has "
+         "positive delay, the dependence graph is malformed");
+  int64_t Lo = 1; // Smallest candidate interval.
+  if (!hasPositiveCycle(G, Lo))
+    return 1;
+  // Invariant: positive cycle at Lo, none at Hi.
+  while (Lo + 1 < Hi) {
+    int64_t Mid = Lo + (Hi - Lo) / 2;
+    if (hasPositiveCycle(G, Mid))
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  return static_cast<unsigned>(Hi);
+}
+
+unsigned swp::minimumII(const DepGraph &G, const MachineDescription &MD) {
+  return std::max(resMII(G, MD), recMII(G));
+}

@@ -1,0 +1,230 @@
+//===- Interpreter.cpp - Scalar reference executor ---------------------------===//
+//
+// Part of warp-swp. See Interpreter.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Interp/Interpreter.h"
+
+#include "swp/IR/OpSemantics.h"
+#include "swp/IR/OpTraits.h"
+#include "swp/IR/Printer.h"
+
+using namespace swp;
+
+namespace {
+
+class InterpImpl {
+public:
+  InterpImpl(const Program &P, const ProgramInput &Input) : P(P) {
+    FRegs.assign(P.numVRegs(), 0.0f);
+    IRegs.assign(P.numVRegs(), 0);
+    State.FloatArrays.resize(P.numArrays());
+    State.IntArrays.resize(P.numArrays());
+    for (unsigned Id = 0; Id != P.numArrays(); ++Id) {
+      const ArrayInfo &A = P.arrayInfo(Id);
+      if (A.Elem == RegClass::Float) {
+        auto &Dst = State.FloatArrays[Id];
+        Dst.assign(A.Size, 0.0f);
+        auto It = Input.FloatArrays.find(Id);
+        if (It != Input.FloatArrays.end())
+          for (size_t I = 0; I != It->second.size() && I != Dst.size(); ++I)
+            Dst[I] = It->second[I];
+      } else {
+        auto &Dst = State.IntArrays[Id];
+        Dst.assign(A.Size, 0);
+        auto It = Input.IntArrays.find(Id);
+        if (It != Input.IntArrays.end())
+          for (size_t I = 0; I != It->second.size() && I != Dst.size(); ++I)
+            Dst[I] = It->second[I];
+      }
+    }
+    for (const auto &[Id, Val] : Input.FloatScalars)
+      FRegs[Id] = Val;
+    for (const auto &[Id, Val] : Input.IntScalars)
+      IRegs[Id] = Val;
+    InQueue = Input.InputQueue;
+    LoopVals.assign(P.numLoops(), 0);
+  }
+
+  ProgramState run() {
+    exec(P.Body);
+    return std::move(State);
+  }
+
+private:
+  void fail(const std::string &Msg) {
+    if (!State.Ok)
+      return;
+    State.Ok = false;
+    State.Error = Msg;
+  }
+
+  int64_t evalAffine(const AffineExpr &E) {
+    int64_t V = E.Const;
+    for (const AffineExpr::Term &T : E.Terms)
+      V += T.Coef * LoopVals[T.LoopId];
+    if (E.hasAddend())
+      V += IRegs[E.Addend.Id];
+    return V;
+  }
+
+  int64_t boundValue(const LoopBound &B) {
+    return B.IsImm ? B.Imm : IRegs[B.Reg.Id];
+  }
+
+  void execOp(const Operation &Op) {
+    ++State.DynOps;
+    if (isFlopOpcode(Op.Opc))
+      ++State.Flops;
+    switch (Op.Opc) {
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FMin:
+    case Opcode::FMax:
+      FRegs[Op.Def.Id] =
+          evalFBin(Op.Opc, FRegs[Op.Operands[0].Id], FRegs[Op.Operands[1].Id]);
+      return;
+    case Opcode::FNeg:
+    case Opcode::FAbs:
+    case Opcode::FMov:
+    case Opcode::FRecipSeed:
+    case Opcode::FRSqrtSeed:
+      FRegs[Op.Def.Id] = evalFUn(Op.Opc, FRegs[Op.Operands[0].Id]);
+      return;
+    case Opcode::FCmpLT:
+    case Opcode::FCmpLE:
+    case Opcode::FCmpEQ:
+    case Opcode::FCmpNE:
+      IRegs[Op.Def.Id] =
+          evalFCmp(Op.Opc, FRegs[Op.Operands[0].Id], FRegs[Op.Operands[1].Id]);
+      return;
+    case Opcode::FConst:
+      FRegs[Op.Def.Id] = static_cast<float>(Op.FImm);
+      return;
+    case Opcode::IConst:
+      IRegs[Op.Def.Id] = Op.IImm;
+      return;
+    case Opcode::IAdd:
+    case Opcode::ISub:
+    case Opcode::IMul:
+    case Opcode::IDiv:
+    case Opcode::IMod:
+    case Opcode::ICmpLT:
+    case Opcode::ICmpLE:
+    case Opcode::ICmpEQ:
+    case Opcode::ICmpNE:
+    case Opcode::IAnd:
+    case Opcode::IOr:
+      IRegs[Op.Def.Id] =
+          evalIBin(Op.Opc, IRegs[Op.Operands[0].Id], IRegs[Op.Operands[1].Id]);
+      return;
+    case Opcode::IMov:
+    case Opcode::INot:
+      IRegs[Op.Def.Id] = evalIUn(Op.Opc, IRegs[Op.Operands[0].Id]);
+      return;
+    case Opcode::FSel:
+      FRegs[Op.Def.Id] = IRegs[Op.Operands[0].Id] != 0
+                             ? FRegs[Op.Operands[1].Id]
+                             : FRegs[Op.Operands[2].Id];
+      return;
+    case Opcode::ISel:
+      IRegs[Op.Def.Id] = IRegs[Op.Operands[0].Id] != 0
+                             ? IRegs[Op.Operands[1].Id]
+                             : IRegs[Op.Operands[2].Id];
+      return;
+    case Opcode::I2F:
+      FRegs[Op.Def.Id] = evalI2F(IRegs[Op.Operands[0].Id]);
+      return;
+    case Opcode::F2I:
+      IRegs[Op.Def.Id] = evalF2I(FRegs[Op.Operands[0].Id]);
+      return;
+    case Opcode::FLoad:
+    case Opcode::ILoad: {
+      int64_t Idx = evalAffine(Op.Mem.Index);
+      const ArrayInfo &A = P.arrayInfo(Op.Mem.ArrayId);
+      if (Idx < 0 || Idx >= A.Size) {
+        fail("load out of bounds: " + A.Name + "[" + std::to_string(Idx) +
+             "]");
+        return;
+      }
+      if (Op.Opc == Opcode::FLoad)
+        FRegs[Op.Def.Id] = State.FloatArrays[Op.Mem.ArrayId][Idx];
+      else
+        IRegs[Op.Def.Id] = State.IntArrays[Op.Mem.ArrayId][Idx];
+      return;
+    }
+    case Opcode::FStore:
+    case Opcode::IStore: {
+      int64_t Idx = evalAffine(Op.Mem.Index);
+      const ArrayInfo &A = P.arrayInfo(Op.Mem.ArrayId);
+      if (Idx < 0 || Idx >= A.Size) {
+        fail("store out of bounds: " + A.Name + "[" + std::to_string(Idx) +
+             "]");
+        return;
+      }
+      if (Op.Opc == Opcode::FStore)
+        State.FloatArrays[Op.Mem.ArrayId][Idx] = FRegs[Op.Operands[0].Id];
+      else
+        State.IntArrays[Op.Mem.ArrayId][Idx] = IRegs[Op.Operands[0].Id];
+      return;
+    }
+    case Opcode::Recv:
+      if (InCursor >= InQueue.size()) {
+        fail("input queue underflow");
+        return;
+      }
+      FRegs[Op.Def.Id] = InQueue[InCursor++];
+      return;
+    case Opcode::Send:
+      State.OutputQueue.push_back(FRegs[Op.Operands[0].Id]);
+      return;
+    case Opcode::Nop:
+      return;
+    case Opcode::FInv:
+    case Opcode::FSqrt:
+    case Opcode::FExp:
+      fail("library pseudo-op reached the interpreter; run expandLibraryOps");
+      return;
+    }
+    fail("unknown opcode");
+  }
+
+  void exec(const StmtList &List) {
+    for (const StmtPtr &S : List) {
+      if (!State.Ok)
+        return;
+      if (const auto *Op = dyn_cast<OpStmt>(S.get())) {
+        execOp(Op->Op);
+        continue;
+      }
+      if (const auto *For = dyn_cast<ForStmt>(S.get())) {
+        int64_t Lo = boundValue(For->Lo);
+        int64_t Hi = boundValue(For->Hi);
+        for (int64_t I = Lo; I <= Hi && State.Ok; ++I) {
+          LoopVals[For->LoopId] = I;
+          IRegs[For->IndVar.Id] = I;
+          exec(For->Body);
+        }
+        continue;
+      }
+      const auto *If = cast<IfStmt>(S.get());
+      exec(IRegs[If->Cond.Id] != 0 ? If->Then : If->Else);
+    }
+  }
+
+  const Program &P;
+  ProgramState State;
+  std::vector<float> FRegs;
+  std::vector<int64_t> IRegs;
+  std::vector<int64_t> LoopVals;
+  std::vector<float> InQueue;
+  size_t InCursor = 0;
+};
+
+} // namespace
+
+ProgramState swp::interpret(const Program &P, const ProgramInput &Input) {
+  return InterpImpl(P, Input).run();
+}

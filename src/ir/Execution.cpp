@@ -1,0 +1,74 @@
+//===- Execution.cpp - Program inputs and final state -----------------------===//
+//
+// Part of warp-swp. See Execution.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/IR/Execution.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+using namespace swp;
+
+/// True when \p A and \p B agree within \p Tol (absolute or relative).
+/// NaNs compare bitwise: the oracle checks that two executions computed
+/// the very same operations, and identical op sequences produce identical
+/// NaN payloads.
+static bool floatClose(float A, float B, double Tol) {
+  if (A == B)
+    return true;
+  if (std::isnan(A) && std::isnan(B)) {
+    uint32_t BitsA, BitsB;
+    std::memcpy(&BitsA, &A, sizeof(BitsA));
+    std::memcpy(&BitsB, &B, sizeof(BitsB));
+    return BitsA == BitsB;
+  }
+  if (Tol == 0.0)
+    return false;
+  double Diff = std::fabs(double(A) - double(B));
+  double Mag = std::max(std::fabs(double(A)), std::fabs(double(B)));
+  return Diff <= Tol || Diff <= Tol * Mag;
+}
+
+std::string swp::compareStates(const Program &P, const ProgramState &A,
+                               const ProgramState &B, double Tolerance) {
+  if (!A.Ok)
+    return "left state failed: " + A.Error;
+  if (!B.Ok)
+    return "right state failed: " + B.Error;
+  for (unsigned Id = 0; Id != P.numArrays(); ++Id) {
+    const ArrayInfo &Info = P.arrayInfo(Id);
+    if (Info.Elem == RegClass::Float) {
+      const auto &FA = A.FloatArrays[Id];
+      const auto &FB = B.FloatArrays[Id];
+      if (FA.size() != FB.size())
+        return "array " + Info.Name + " size mismatch";
+      for (size_t I = 0; I != FA.size(); ++I)
+        if (!floatClose(FA[I], FB[I], Tolerance))
+          return "array " + Info.Name + "[" + std::to_string(I) +
+                 "]: " + std::to_string(FA[I]) + " vs " +
+                 std::to_string(FB[I]);
+    } else {
+      const auto &IA = A.IntArrays[Id];
+      const auto &IB = B.IntArrays[Id];
+      if (IA.size() != IB.size())
+        return "array " + Info.Name + " size mismatch";
+      for (size_t I = 0; I != IA.size(); ++I)
+        if (IA[I] != IB[I])
+          return "array " + Info.Name + "[" + std::to_string(I) +
+                 "]: " + std::to_string(IA[I]) + " vs " +
+                 std::to_string(IB[I]);
+    }
+  }
+  if (A.OutputQueue.size() != B.OutputQueue.size())
+    return "output queue length: " + std::to_string(A.OutputQueue.size()) +
+           " vs " + std::to_string(B.OutputQueue.size());
+  for (size_t I = 0; I != A.OutputQueue.size(); ++I)
+    if (!floatClose(A.OutputQueue[I], B.OutputQueue[I], Tolerance))
+      return "output queue[" + std::to_string(I) +
+             "]: " + std::to_string(A.OutputQueue[I]) + " vs " +
+             std::to_string(B.OutputQueue[I]);
+  return "";
+}

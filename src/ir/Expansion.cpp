@@ -1,0 +1,180 @@
+//===- Expansion.cpp - Library pseudo-op expansion --------------------------===//
+//
+// Part of warp-swp. See Expansion.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/IR/Expansion.h"
+
+#include "swp/IR/IRBuilder.h"
+
+using namespace swp;
+
+namespace {
+
+class Expander {
+public:
+  explicit Expander(Program &P) : P(P) {}
+
+  ExpansionStats run() {
+    rewrite(P.Body);
+    return Stats;
+  }
+
+private:
+  /// 1/X in 7 floating operations: seed plus two Newton-Raphson steps
+  /// x <- x * (2 - X*x). Emits into \p B; returns the result register.
+  VReg emitInv(IRBuilder &B, VReg X) {
+    VReg Two = B.fconst(2.0);
+    VReg R = B.unop(Opcode::FRecipSeed, X); // 1
+    for (int Step = 0; Step != 2; ++Step) {
+      VReg Prod = B.fmul(X, R);     // 2, 5
+      VReg T = B.fsub(Two, Prod);   // 3, 6
+      R = B.fmul(R, T);             // 4, 7
+    }
+    return R;
+  }
+
+  /// sqrt(X) in 19 floating operations: rsqrt seed, four Newton-Raphson
+  /// steps r <- r * (1.5 - 0.5*X*r*r), then X * r.
+  VReg emitSqrt(IRBuilder &B, VReg X) {
+    VReg Half = B.fconst(0.5);
+    VReg OnePointFive = B.fconst(1.5);
+    VReg HalfX = B.fmul(Half, X);              // 1
+    VReg R = B.unop(Opcode::FRSqrtSeed, X);    // 2
+    for (int Step = 0; Step != 4; ++Step) {
+      VReg R2 = B.fmul(R, R);                  // +1
+      VReg HXR2 = B.fmul(HalfX, R2);           // +2
+      VReg T = B.fsub(OnePointFive, HXR2);     // +3
+      R = B.fmul(R, T);                        // +4  (x4 steps = 16; total 18)
+    }
+    return B.fmul(X, R);                       // 19
+  }
+
+  /// exp(X): clamp, split X = N*ln2 + F via conditional rounding, evaluate
+  /// a degree-6 polynomial for 2^F... actually e^F, then scale by 2^N
+  /// through a cascade of conditional multiplies on the bits of |N|. The
+  /// conditionals (sign test, clamps, five bit tests, inversion test) give
+  /// the expansion the branch-heavy shape of the paper's EXP library call.
+  VReg emitExp(IRBuilder &B, VReg X) {
+    Program &Prog = B.program();
+    // Clamp X to +-60 to keep 2^N in range (conditionals 1 and 2).
+    VReg Hi = B.fconst(60.0);
+    VReg Lo = B.fconst(-60.0);
+    VReg Xc = Prog.createVReg(RegClass::Float);
+    B.assignMov(Xc, X);
+    VReg TooBig = B.binop(Opcode::FCmpLT, Hi, Xc);
+    B.beginIf(TooBig);
+    B.assignMov(Xc, Hi);
+    B.endIf();
+    VReg TooSmall = B.binop(Opcode::FCmpLT, Xc, Lo);
+    B.beginIf(TooSmall);
+    B.assignMov(Xc, Lo);
+    B.endIf();
+
+    // N = round(X / ln2), rounding via a sign conditional (conditional 3).
+    VReg Log2E = B.fconst(1.4426950408889634);
+    VReg T = B.fmul(Xc, Log2E);
+    VReg HalfC = B.fconst(0.5);
+    VReg Bias = Prog.createVReg(RegClass::Float);
+    B.assignMov(Bias, HalfC);
+    VReg Zero = B.fconst(0.0);
+    VReg Neg = B.binop(Opcode::FCmpLT, T, Zero);
+    B.beginIf(Neg);
+    B.assignUn(Bias, Opcode::FNeg, HalfC);
+    B.endIf();
+    VReg N = B.f2i(B.fadd(T, Bias));
+
+    // F = X - N*ln2; e^F via a degree-6 Horner polynomial.
+    VReg Ln2 = B.fconst(0.6931471805599453);
+    VReg F = B.fsub(Xc, B.fmul(B.i2f(N), Ln2));
+    static const double Coef[] = {1.0 / 720, 1.0 / 120, 1.0 / 24,
+                                  1.0 / 6,   1.0 / 2,   1.0,      1.0};
+    VReg Poly = B.fconst(Coef[0]);
+    for (unsigned I = 1; I != 7; ++I)
+      Poly = B.fadd(B.fmul(Poly, F), B.fconst(Coef[I]));
+
+    // Scale by 2^|N| via bit-tested conditional multiplies
+    // (conditionals 4..9), then invert for negative N (conditional 10).
+    VReg IZero = B.iconst(0);
+    VReg NNeg = B.binop(Opcode::ICmpLT, N, IZero);
+    VReg NAbs = Prog.createVReg(RegClass::Int);
+    B.assignMov(NAbs, N);
+    B.beginIf(NNeg);
+    B.assign(NAbs, Opcode::ISub, IZero, N);
+    B.endIf();
+
+    VReg Scale = Prog.createVReg(RegClass::Float);
+    B.assignMov(Scale, B.fconst(1.0));
+    double Pow = 2.0;
+    for (unsigned Bit = 0; Bit != 6; ++Bit) {
+      VReg Mask = B.iconst(int64_t(1) << Bit);
+      VReg BitSet =
+          B.binop(Opcode::ICmpNE, B.binop(Opcode::IAnd, NAbs, Mask), IZero);
+      VReg Factor = B.fconst(Pow);
+      B.beginIf(BitSet);
+      B.assign(Scale, Opcode::FMul, Scale, Factor);
+      B.endIf();
+      Pow *= Pow;
+    }
+    VReg Result = Prog.createVReg(RegClass::Float);
+    B.assign(Result, Opcode::FMul, Poly, Scale);
+    B.beginIf(NNeg);
+    VReg Inv = emitInv(B, Scale);
+    B.assign(Result, Opcode::FMul, Poly, Inv);
+    B.endIf();
+    return Result;
+  }
+
+  void rewrite(StmtList &List) {
+    StmtList Out;
+    Out.reserve(List.size());
+    for (StmtPtr &S : List) {
+      if (auto *For = dyn_cast<ForStmt>(S.get())) {
+        rewrite(For->Body);
+        Out.push_back(std::move(S));
+        continue;
+      }
+      if (auto *If = dyn_cast<IfStmt>(S.get())) {
+        rewrite(If->Then);
+        rewrite(If->Else);
+        Out.push_back(std::move(S));
+        continue;
+      }
+      auto *Op = cast<OpStmt>(S.get());
+      if (!isLibraryPseudo(Op->Op.Opc)) {
+        Out.push_back(std::move(S));
+        continue;
+      }
+      IRBuilder B(P, Out);
+      VReg Arg = Op->Op.Operands[0];
+      VReg Result;
+      switch (Op->Op.Opc) {
+      case Opcode::FInv:
+        Result = emitInv(B, Arg);
+        ++Stats.NumInv;
+        break;
+      case Opcode::FSqrt:
+        Result = emitSqrt(B, Arg);
+        ++Stats.NumSqrt;
+        break;
+      case Opcode::FExp:
+        Result = emitExp(B, Arg);
+        ++Stats.NumExp;
+        break;
+      default:
+        assert(false && "unhandled library pseudo");
+      }
+      // Preserve the original destination register.
+      B.assignMov(Op->Op.Def, Result);
+    }
+    List = std::move(Out);
+  }
+
+  Program &P;
+  ExpansionStats Stats;
+};
+
+} // namespace
+
+ExpansionStats swp::expandLibraryOps(Program &P) { return Expander(P).run(); }

@@ -1,0 +1,252 @@
+//===- IRBuilder.cpp - Convenience IR construction --------------------------===//
+//
+// Part of warp-swp. See IRBuilder.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/IR/IRBuilder.h"
+
+#include "swp/IR/OpTraits.h"
+
+using namespace swp;
+
+VReg IRBuilder::fconst(double V) {
+  Operation Op;
+  Op.Opc = Opcode::FConst;
+  Op.FImm = V;
+  Op.Def = P.createVReg(RegClass::Float);
+  VReg R = Op.Def;
+  emit(std::move(Op));
+  return R;
+}
+
+VReg IRBuilder::iconst(int64_t V) {
+  Operation Op;
+  Op.Opc = Opcode::IConst;
+  Op.IImm = V;
+  Op.Def = P.createVReg(RegClass::Int);
+  VReg R = Op.Def;
+  emit(std::move(Op));
+  return R;
+}
+
+VReg IRBuilder::binop(Opcode Opc, VReg A, VReg B) {
+  Operation Op;
+  Op.Opc = Opc;
+  Op.Operands = {A, B};
+  Op.Def = P.createVReg(resultClassOf(Opc));
+  VReg R = Op.Def;
+  emit(std::move(Op));
+  return R;
+}
+
+VReg IRBuilder::unop(Opcode Opc, VReg A) {
+  Operation Op;
+  Op.Opc = Opc;
+  Op.Operands = {A};
+  Op.Def = P.createVReg(resultClassOf(Opc));
+  VReg R = Op.Def;
+  emit(std::move(Op));
+  return R;
+}
+
+VReg IRBuilder::fsel(VReg Cond, VReg A, VReg B) {
+  Operation Op;
+  Op.Opc = Opcode::FSel;
+  Op.Operands = {Cond, A, B};
+  Op.Def = P.createVReg(RegClass::Float);
+  VReg R = Op.Def;
+  emit(std::move(Op));
+  return R;
+}
+
+VReg IRBuilder::isel(VReg Cond, VReg A, VReg B) {
+  Operation Op;
+  Op.Opc = Opcode::ISel;
+  Op.Operands = {Cond, A, B};
+  Op.Def = P.createVReg(RegClass::Int);
+  VReg R = Op.Def;
+  emit(std::move(Op));
+  return R;
+}
+
+void IRBuilder::assign(VReg Dst, Opcode Opc, VReg A, VReg B) {
+  assert(resultClassOf(Opc) == P.vregInfo(Dst).RC &&
+         "assignment register class mismatch");
+  Operation Op;
+  Op.Opc = Opc;
+  Op.Operands = {A, B};
+  Op.Def = Dst;
+  emit(std::move(Op));
+}
+
+void IRBuilder::assignUn(VReg Dst, Opcode Opc, VReg A) {
+  assert(resultClassOf(Opc) == P.vregInfo(Dst).RC &&
+         "assignment register class mismatch");
+  Operation Op;
+  Op.Opc = Opc;
+  Op.Operands = {A};
+  Op.Def = Dst;
+  emit(std::move(Op));
+}
+
+void IRBuilder::assignMov(VReg Dst, VReg Src) {
+  assignUn(Dst,
+           P.vregInfo(Dst).RC == RegClass::Float ? Opcode::FMov : Opcode::IMov,
+           Src);
+}
+
+AffineExpr IRBuilder::ix(const ForStmt *For, int64_t Coef, int64_t Const) {
+  assert(For && "subscript over a null loop");
+  AffineExpr E;
+  E.addTerm(For->LoopId, Coef);
+  E.Const = Const;
+  return E;
+}
+
+AffineExpr IRBuilder::cx(int64_t Const) {
+  AffineExpr E;
+  E.Const = Const;
+  return E;
+}
+
+VReg IRBuilder::fload(unsigned Array, AffineExpr Index) {
+  assert(P.arrayInfo(Array).Elem == RegClass::Float &&
+         "fload from a non-float array");
+  Operation Op;
+  Op.Opc = Opcode::FLoad;
+  Op.Mem = {Array, std::move(Index)};
+  if (Op.Mem.Index.hasAddend())
+    Op.Operands.push_back(Op.Mem.Index.Addend);
+  Op.Def = P.createVReg(RegClass::Float);
+  VReg R = Op.Def;
+  emit(std::move(Op));
+  return R;
+}
+
+VReg IRBuilder::iload(unsigned Array, AffineExpr Index) {
+  assert(P.arrayInfo(Array).Elem == RegClass::Int &&
+         "iload from a non-int array");
+  Operation Op;
+  Op.Opc = Opcode::ILoad;
+  Op.Mem = {Array, std::move(Index)};
+  if (Op.Mem.Index.hasAddend())
+    Op.Operands.push_back(Op.Mem.Index.Addend);
+  Op.Def = P.createVReg(RegClass::Int);
+  VReg R = Op.Def;
+  emit(std::move(Op));
+  return R;
+}
+
+void IRBuilder::fstore(unsigned Array, AffineExpr Index, VReg Val) {
+  assert(P.arrayInfo(Array).Elem == RegClass::Float &&
+         "fstore to a non-float array");
+  Operation Op;
+  Op.Opc = Opcode::FStore;
+  Op.Mem = {Array, std::move(Index)};
+  Op.Operands.push_back(Val);
+  if (Op.Mem.Index.hasAddend())
+    Op.Operands.push_back(Op.Mem.Index.Addend);
+  emit(std::move(Op));
+}
+
+void IRBuilder::istore(unsigned Array, AffineExpr Index, VReg Val) {
+  assert(P.arrayInfo(Array).Elem == RegClass::Int &&
+         "istore to a non-int array");
+  Operation Op;
+  Op.Opc = Opcode::IStore;
+  Op.Mem = {Array, std::move(Index)};
+  Op.Operands.push_back(Val);
+  if (Op.Mem.Index.hasAddend())
+    Op.Operands.push_back(Op.Mem.Index.Addend);
+  emit(std::move(Op));
+}
+
+VReg IRBuilder::recv(int Queue) {
+  Operation Op;
+  Op.Opc = Opcode::Recv;
+  Op.Queue = Queue;
+  Op.Def = P.createVReg(RegClass::Float);
+  VReg R = Op.Def;
+  emit(std::move(Op));
+  return R;
+}
+
+void IRBuilder::send(int Queue, VReg Val) {
+  Operation Op;
+  Op.Opc = Opcode::Send;
+  Op.Queue = Queue;
+  Op.Operands = {Val};
+  emit(std::move(Op));
+}
+
+ForStmt *IRBuilder::beginForImm(int64_t Lo, int64_t Hi) {
+  return beginFor(LoopBound::imm(Lo), LoopBound::imm(Hi));
+}
+
+ForStmt *IRBuilder::beginFor(LoopBound Lo, LoopBound Hi) {
+  assert((Lo.IsImm || P.vregInfo(Lo.Reg).RC == RegClass::Int) &&
+         "loop bound must be integer");
+  assert((Hi.IsImm || P.vregInfo(Hi.Reg).RC == RegClass::Int) &&
+         "loop bound must be integer");
+  VReg IndVar = P.createVReg(RegClass::Int, "i" + std::to_string(P.numLoops()));
+  auto For = std::make_unique<ForStmt>(P.createLoopId(), IndVar, Lo, Hi);
+  ForStmt *Raw = For.get();
+  top().push_back(std::move(For));
+  Scopes.push_back(&Raw->Body);
+  LoopStack.push_back(Raw);
+  return Raw;
+}
+
+ForStmt *IRBuilder::beginForReg(int64_t Lo, VReg Hi) {
+  assert(P.vregInfo(Hi).RC == RegClass::Int && "loop bound must be integer");
+  VReg IndVar = P.createVReg(RegClass::Int, "i" + std::to_string(P.numLoops()));
+  auto For = std::make_unique<ForStmt>(P.createLoopId(), IndVar,
+                                       LoopBound::imm(Lo), LoopBound::reg(Hi));
+  ForStmt *Raw = For.get();
+  top().push_back(std::move(For));
+  Scopes.push_back(&Raw->Body);
+  LoopStack.push_back(Raw);
+  return Raw;
+}
+
+void IRBuilder::endFor() {
+  assert(!LoopStack.empty() && "endFor without an open loop");
+  assert(Scopes.back() == &LoopStack.back()->Body &&
+         "endFor inside an unclosed nested construct");
+  Scopes.pop_back();
+  LoopStack.pop_back();
+}
+
+IfStmt *IRBuilder::beginIf(VReg Cond) {
+  assert(P.vregInfo(Cond).RC == RegClass::Int &&
+         "if condition must be an integer register");
+  auto If = std::make_unique<IfStmt>(Cond);
+  IfStmt *Raw = If.get();
+  top().push_back(std::move(If));
+  Scopes.push_back(&Raw->Then);
+  IfStack.push_back(Raw);
+  InElse.push_back(false);
+  return Raw;
+}
+
+void IRBuilder::beginElse() {
+  assert(!IfStack.empty() && !InElse.back() &&
+         "beginElse without a matching beginIf");
+  assert(Scopes.back() == &IfStack.back()->Then &&
+         "beginElse inside an unclosed nested construct");
+  Scopes.pop_back();
+  Scopes.push_back(&IfStack.back()->Else);
+  InElse.back() = true;
+}
+
+void IRBuilder::endIf() {
+  assert(!IfStack.empty() && "endIf without an open if");
+  Scopes.pop_back();
+  IfStack.pop_back();
+  InElse.pop_back();
+}
+
+void IRBuilder::emit(Operation Op) {
+  top().push_back(std::make_unique<OpStmt>(std::move(Op)));
+}

@@ -1,0 +1,195 @@
+//===- OpTraits.cpp - Machine-agnostic opcode signatures -------------------===//
+//
+// Part of warp-swp. See OpTraits.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/IR/OpTraits.h"
+
+#include <cassert>
+
+using namespace swp;
+
+RegClass swp::resultClassOf(Opcode Opc) {
+  switch (Opc) {
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FNeg:
+  case Opcode::FAbs:
+  case Opcode::FMin:
+  case Opcode::FMax:
+  case Opcode::FConst:
+  case Opcode::FMov:
+  case Opcode::FInv:
+  case Opcode::FSqrt:
+  case Opcode::FExp:
+  case Opcode::FRecipSeed:
+  case Opcode::FRSqrtSeed:
+  case Opcode::FLoad:
+  case Opcode::FSel:
+  case Opcode::I2F:
+  case Opcode::Recv:
+    return RegClass::Float;
+  case Opcode::FCmpLT:
+  case Opcode::FCmpLE:
+  case Opcode::FCmpEQ:
+  case Opcode::FCmpNE:
+  case Opcode::ILoad:
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IDiv:
+  case Opcode::IMod:
+  case Opcode::IConst:
+  case Opcode::IMov:
+  case Opcode::ICmpLT:
+  case Opcode::ICmpLE:
+  case Opcode::ICmpEQ:
+  case Opcode::ICmpNE:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+  case Opcode::INot:
+  case Opcode::ISel:
+  case Opcode::F2I:
+    return RegClass::Int;
+  case Opcode::FStore:
+  case Opcode::IStore:
+  case Opcode::Send:
+  case Opcode::Nop:
+    return RegClass::None;
+  }
+  assert(false && "unknown opcode");
+  return RegClass::None;
+}
+
+unsigned swp::numValueOperands(Opcode Opc) {
+  switch (Opc) {
+  case Opcode::FConst:
+  case Opcode::IConst:
+  case Opcode::FLoad:
+  case Opcode::ILoad:
+  case Opcode::Recv:
+  case Opcode::Nop:
+    return 0;
+  case Opcode::FNeg:
+  case Opcode::FAbs:
+  case Opcode::FMov:
+  case Opcode::FInv:
+  case Opcode::FSqrt:
+  case Opcode::FExp:
+  case Opcode::FRecipSeed:
+  case Opcode::FRSqrtSeed:
+  case Opcode::IMov:
+  case Opcode::INot:
+  case Opcode::I2F:
+  case Opcode::F2I:
+  case Opcode::FStore:
+  case Opcode::IStore:
+  case Opcode::Send:
+    return 1;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FMin:
+  case Opcode::FMax:
+  case Opcode::FCmpLT:
+  case Opcode::FCmpLE:
+  case Opcode::FCmpEQ:
+  case Opcode::FCmpNE:
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IDiv:
+  case Opcode::IMod:
+  case Opcode::ICmpLT:
+  case Opcode::ICmpLE:
+  case Opcode::ICmpEQ:
+  case Opcode::ICmpNE:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+    return 2;
+  case Opcode::FSel:
+  case Opcode::ISel:
+    return 3;
+  }
+  assert(false && "unknown opcode");
+  return 0;
+}
+
+bool swp::isFlopOpcode(Opcode Opc) {
+  switch (Opc) {
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FNeg:
+  case Opcode::FAbs:
+  case Opcode::FMin:
+  case Opcode::FMax:
+  case Opcode::FCmpLT:
+  case Opcode::FCmpLE:
+  case Opcode::FCmpEQ:
+  case Opcode::FCmpNE:
+  case Opcode::FRecipSeed:
+  case Opcode::FRSqrtSeed:
+    return true;
+  default:
+    return false;
+  }
+}
+
+RegClass swp::operandClassOf(Opcode Opc, unsigned Idx) {
+  assert(Idx < numValueOperands(Opc) && "operand index out of range");
+  switch (Opc) {
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FMin:
+  case Opcode::FMax:
+  case Opcode::FCmpLT:
+  case Opcode::FCmpLE:
+  case Opcode::FCmpEQ:
+  case Opcode::FCmpNE:
+  case Opcode::FNeg:
+  case Opcode::FAbs:
+  case Opcode::FMov:
+  case Opcode::FInv:
+  case Opcode::FSqrt:
+  case Opcode::FExp:
+  case Opcode::FRecipSeed:
+  case Opcode::FRSqrtSeed:
+  case Opcode::F2I:
+  case Opcode::FStore:
+  case Opcode::Send:
+    return RegClass::Float;
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IDiv:
+  case Opcode::IMod:
+  case Opcode::ICmpLT:
+  case Opcode::ICmpLE:
+  case Opcode::ICmpEQ:
+  case Opcode::ICmpNE:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+  case Opcode::IMov:
+  case Opcode::INot:
+  case Opcode::I2F:
+  case Opcode::IStore:
+    return RegClass::Int;
+  case Opcode::FSel:
+    return Idx == 0 ? RegClass::Int : RegClass::Float;
+  case Opcode::ISel:
+    return RegClass::Int;
+  case Opcode::FConst:
+  case Opcode::IConst:
+  case Opcode::FLoad:
+  case Opcode::ILoad:
+  case Opcode::Recv:
+  case Opcode::Nop:
+    break;
+  }
+  assert(false && "opcode has no value operands");
+  return RegClass::None;
+}

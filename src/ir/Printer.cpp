@@ -1,0 +1,131 @@
+//===- Printer.cpp - Textual IR dump ---------------------------------------===//
+//
+// Part of warp-swp. See Printer.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/IR/Printer.h"
+
+#include "swp/IR/OpTraits.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace swp;
+
+std::string swp::vregToString(const Program &P, VReg R) {
+  if (!R.isValid())
+    return "%<invalid>";
+  const VRegInfo &Info = P.vregInfo(R);
+  if (!Info.Name.empty())
+    return "%" + Info.Name;
+  return "%" + std::to_string(R.Id);
+}
+
+std::string swp::affineToString(const Program &P, const AffineExpr &E) {
+  std::string Out;
+  bool First = true;
+  for (const AffineExpr::Term &T : E.Terms) {
+    if (!First)
+      Out += " + ";
+    First = false;
+    if (T.Coef != 1)
+      Out += std::to_string(T.Coef) + "*";
+    Out += "i" + std::to_string(T.LoopId);
+  }
+  if (E.hasAddend()) {
+    if (!First)
+      Out += " + ";
+    First = false;
+    Out += vregToString(P, E.Addend);
+  }
+  if (E.Const != 0 || First) {
+    if (!First)
+      Out += E.Const >= 0 ? " + " : " - ";
+    Out += std::to_string(First           ? E.Const
+                          : E.Const >= 0 ? E.Const
+                                         : -E.Const);
+  }
+  return Out;
+}
+
+std::string swp::operationToString(const Program &P, const Operation &Op) {
+  std::ostringstream OS;
+  if (Op.Def.isValid()) {
+    OS << vregToString(P, Op.Def)
+       << (resultClassOf(Op.Opc) == RegClass::Float ? ":f" : ":i") << " = ";
+  }
+  OS << opcodeName(Op.Opc);
+  bool NeedComma = false;
+  auto Comma = [&] {
+    OS << (NeedComma ? ", " : " ");
+    NeedComma = true;
+  };
+  if (Op.Opc == Opcode::FConst) {
+    Comma();
+    OS << Op.FImm;
+  } else if (Op.Opc == Opcode::IConst) {
+    Comma();
+    OS << Op.IImm;
+  }
+  if (Op.Mem.isValid()) {
+    Comma();
+    OS << P.arrayInfo(Op.Mem.ArrayId).Name << "["
+       << affineToString(P, Op.Mem.Index) << "]";
+  }
+  unsigned NumVals = numValueOperands(Op.Opc);
+  for (unsigned I = 0; I != NumVals && I != Op.Operands.size(); ++I) {
+    Comma();
+    OS << vregToString(P, Op.Operands[I]);
+  }
+  if (Op.Opc == Opcode::Recv || Op.Opc == Opcode::Send) {
+    Comma();
+    OS << "q" << Op.Queue;
+  }
+  return OS.str();
+}
+
+void swp::printStmts(const Program &P, const StmtList &List, std::ostream &OS,
+                     unsigned Indent) {
+  std::string Pad(2 * Indent, ' ');
+  for (const StmtPtr &S : List) {
+    if (const auto *Op = dyn_cast<OpStmt>(S.get())) {
+      OS << Pad << operationToString(P, Op->Op) << '\n';
+      continue;
+    }
+    if (const auto *For = dyn_cast<ForStmt>(S.get())) {
+      OS << Pad << "for i" << For->LoopId << " := ";
+      if (For->Lo.IsImm)
+        OS << For->Lo.Imm;
+      else
+        OS << vregToString(P, For->Lo.Reg);
+      OS << " to ";
+      if (For->Hi.IsImm)
+        OS << For->Hi.Imm;
+      else
+        OS << vregToString(P, For->Hi.Reg);
+      OS << " {\n";
+      printStmts(P, For->Body, OS, Indent + 1);
+      OS << Pad << "}\n";
+      continue;
+    }
+    const auto *If = cast<IfStmt>(S.get());
+    OS << Pad << "if " << vregToString(P, If->Cond) << " {\n";
+    printStmts(P, If->Then, OS, Indent + 1);
+    if (!If->Else.empty()) {
+      OS << Pad << "} else {\n";
+      printStmts(P, If->Else, OS, Indent + 1);
+    }
+    OS << Pad << "}\n";
+  }
+}
+
+void swp::printProgram(const Program &P, std::ostream &OS) {
+  for (unsigned I = 0; I != P.numArrays(); ++I) {
+    const ArrayInfo &A = P.arrayInfo(I);
+    OS << "array " << A.Name << ": "
+       << (A.Elem == RegClass::Float ? "float" : "int") << "[" << A.Size
+       << "]\n";
+  }
+  printStmts(P, P.Body, OS, 0);
+}

@@ -1,0 +1,82 @@
+//===- Program.cpp - Structured program representation ---------------------===//
+//
+// Part of warp-swp. See Program.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/IR/Program.h"
+
+using namespace swp;
+
+Stmt::~Stmt() = default;
+
+void AffineExpr::addTerm(unsigned LoopId, int64_t Coef) {
+  if (Coef == 0)
+    return;
+  for (auto It = Terms.begin(); It != Terms.end(); ++It) {
+    if (It->LoopId != LoopId)
+      continue;
+    It->Coef += Coef;
+    if (It->Coef == 0)
+      Terms.erase(It);
+    return;
+  }
+  Terms.push_back({LoopId, Coef});
+}
+
+bool AffineExpr::equalsStatically(const AffineExpr &RHS) const {
+  if (hasAddend() || RHS.hasAddend() || Const != RHS.Const)
+    return false;
+  if (Terms.size() != RHS.Terms.size())
+    return false;
+  for (const Term &T : Terms)
+    if (RHS.coefOf(T.LoopId) != T.Coef)
+      return false;
+  return true;
+}
+
+void swp::forEachStmt(const StmtList &List,
+                      const std::function<void(const Stmt &)> &Fn) {
+  for (const StmtPtr &S : List) {
+    Fn(*S);
+    if (const auto *For = dyn_cast<ForStmt>(S.get())) {
+      forEachStmt(For->Body, Fn);
+    } else if (const auto *If = dyn_cast<IfStmt>(S.get())) {
+      forEachStmt(If->Then, Fn);
+      forEachStmt(If->Else, Fn);
+    }
+  }
+}
+
+unsigned swp::countOps(const StmtList &List) {
+  unsigned N = 0;
+  forEachStmt(List, [&](const Stmt &S) {
+    if (isa<OpStmt>(&S))
+      ++N;
+  });
+  return N;
+}
+
+StmtList swp::cloneStmts(const StmtList &List) {
+  StmtList Out;
+  Out.reserve(List.size());
+  for (const StmtPtr &S : List) {
+    if (const auto *Op = dyn_cast<OpStmt>(S.get())) {
+      Out.push_back(std::make_unique<OpStmt>(Op->Op));
+      continue;
+    }
+    if (const auto *For = dyn_cast<ForStmt>(S.get())) {
+      auto NewFor = std::make_unique<ForStmt>(For->LoopId, For->IndVar,
+                                              For->Lo, For->Hi);
+      NewFor->Body = cloneStmts(For->Body);
+      Out.push_back(std::move(NewFor));
+      continue;
+    }
+    const auto *If = cast<IfStmt>(S.get());
+    auto NewIf = std::make_unique<IfStmt>(If->Cond);
+    NewIf->Then = cloneStmts(If->Then);
+    NewIf->Else = cloneStmts(If->Else);
+    Out.push_back(std::move(NewIf));
+  }
+  return Out;
+}

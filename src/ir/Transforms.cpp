@@ -1,0 +1,447 @@
+//===- Transforms.cpp - Scalar IR optimizations ---------------------------------===//
+//
+// Part of warp-swp. See Transforms.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/IR/Transforms.h"
+
+#include "swp/IR/OpTraits.h"
+
+#include <map>
+#include <set>
+
+using namespace swp;
+
+namespace {
+
+/// True if executing \p Opc has no effect beyond its register result.
+/// (Recv pops the input channel, so it is not pure.)
+bool isPureOp(Opcode Opc) {
+  if (isStore(Opc) || Opc == Opcode::Send || Opc == Opcode::Recv)
+    return false;
+  return true;
+}
+
+/// Collects, for the subtree \p List: every register read (operands,
+/// subscript addends, conditions, nested loop bounds), the def count per
+/// register, the set of arrays stored to, and the loop ids of all loops
+/// inside.
+struct SubtreeInfo {
+  std::set<unsigned> Reads;
+  std::map<unsigned, unsigned> DefCount;
+  std::set<unsigned> StoredArrays;
+  std::set<unsigned> LoopIds;
+  /// Registers whose first access in walk order is a read.
+  std::set<unsigned> ReadBeforeWrite;
+
+  void noteRead(unsigned Id) {
+    Reads.insert(Id);
+    if (!DefCount.count(Id))
+      ReadBeforeWrite.insert(Id);
+  }
+  void noteDef(unsigned Id) { ++DefCount[Id]; }
+};
+
+void collect(const StmtList &List, SubtreeInfo &Info) {
+  for (const StmtPtr &S : List) {
+    if (const auto *Op = dyn_cast<OpStmt>(S.get())) {
+      for (const VReg &R : Op->Op.Operands)
+        Info.noteRead(R.Id);
+      if (Op->Op.Mem.isValid()) {
+        if (Op->Op.Mem.Index.hasAddend())
+          Info.noteRead(Op->Op.Mem.Index.Addend.Id);
+        if (isStore(Op->Op.Opc))
+          Info.StoredArrays.insert(Op->Op.Mem.ArrayId);
+      }
+      if (Op->Op.Def.isValid())
+        Info.noteDef(Op->Op.Def.Id);
+      continue;
+    }
+    if (const auto *If = dyn_cast<IfStmt>(S.get())) {
+      Info.noteRead(If->Cond.Id);
+      collect(If->Then, Info);
+      collect(If->Else, Info);
+      continue;
+    }
+    const auto *For = cast<ForStmt>(S.get());
+    if (!For->Lo.IsImm)
+      Info.noteRead(For->Lo.Reg.Id);
+    if (!For->Hi.IsImm)
+      Info.noteRead(For->Hi.Reg.Id);
+    Info.LoopIds.insert(For->LoopId);
+    Info.noteDef(For->IndVar.Id);
+    collect(For->Body, Info);
+  }
+}
+
+/// Register reads anywhere in \p List except inside the subtree \p Skip.
+void collectReadsOutside(const StmtList &List, const Stmt *Skip,
+                         std::set<unsigned> &Reads) {
+  for (const StmtPtr &S : List) {
+    if (S.get() == Skip)
+      continue;
+    if (const auto *Op = dyn_cast<OpStmt>(S.get())) {
+      for (const VReg &R : Op->Op.Operands)
+        Reads.insert(R.Id);
+      if (Op->Op.Mem.isValid() && Op->Op.Mem.Index.hasAddend())
+        Reads.insert(Op->Op.Mem.Index.Addend.Id);
+      continue;
+    }
+    if (const auto *If = dyn_cast<IfStmt>(S.get())) {
+      Reads.insert(If->Cond.Id);
+      collectReadsOutside(If->Then, Skip, Reads);
+      collectReadsOutside(If->Else, Skip, Reads);
+      continue;
+    }
+    const auto *For = cast<ForStmt>(S.get());
+    if (!For->Lo.IsImm)
+      Reads.insert(For->Lo.Reg.Id);
+    if (!For->Hi.IsImm)
+      Reads.insert(For->Hi.Reg.Id);
+    collectReadsOutside(For->Body, Skip, Reads);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Loop-invariant code motion.
+//===----------------------------------------------------------------------===//
+
+class Hoister {
+public:
+  explicit Hoister(Program &P) : P(P) {}
+
+  unsigned run() {
+    bool Changed = true;
+    while (Changed) {
+      Changed = processList(P.Body);
+    }
+    return Hoisted;
+  }
+
+private:
+  /// Processes loops in \p List; returns true if anything moved (so outer
+  /// passes re-examine cascades like const -> product-of-consts).
+  bool processList(StmtList &List) {
+    bool Changed = false;
+    for (size_t I = 0; I < List.size(); ++I) {
+      if (auto *If = dyn_cast<IfStmt>(List[I].get())) {
+        Changed |= processList(If->Then);
+        Changed |= processList(If->Else);
+        continue;
+      }
+      auto *For = dyn_cast<ForStmt>(List[I].get());
+      if (!For)
+        continue;
+      Changed |= processList(For->Body); // Inner loops first.
+      Changed |= hoistFrom(*For, List, I);
+    }
+    return Changed;
+  }
+
+  /// Moves eligible ops from \p For's body to before position \p Pos in
+  /// \p Parent (advancing \p Pos past the insertions).
+  bool hoistFrom(ForStmt &For, StmtList &Parent, size_t &Pos) {
+    SubtreeInfo Info;
+    collect(For.Body, Info);
+
+    std::optional<int64_t> Trip = For.staticTripCount();
+    bool RunsAtLeastOnce = Trip && *Trip >= 1;
+    std::set<unsigned> ReadAfter;
+    if (!RunsAtLeastOnce)
+      collectReadsOutside(P.Body, &For, ReadAfter);
+
+    bool Changed = false;
+    for (size_t I = 0; I < For.Body.size();) {
+      auto *Op = dyn_cast<OpStmt>(For.Body[I].get());
+      if (!Op || !isEligible(Op->Op, For, Info, RunsAtLeastOnce,
+                             ReadAfter)) {
+        ++I;
+        continue;
+      }
+      // Move the statement in front of the loop.
+      StmtPtr Stmt = std::move(For.Body[I]);
+      For.Body.erase(For.Body.begin() + I);
+      Parent.insert(Parent.begin() + Pos, std::move(Stmt));
+      ++Pos;
+      ++Hoisted;
+      Changed = true;
+      // The body changed: recompute the summary.
+      Info = SubtreeInfo();
+      collect(For.Body, Info);
+    }
+    return Changed;
+  }
+
+  bool isEligible(const Operation &Op, const ForStmt &For,
+                  const SubtreeInfo &Info, bool RunsAtLeastOnce,
+                  const std::set<unsigned> &ReadAfter) const {
+    if (!Op.Def.isValid() || !isPureOp(Op.Opc))
+      return false;
+    // The only definition in the loop, never read before it.
+    auto DC = Info.DefCount.find(Op.Def.Id);
+    if (DC == Info.DefCount.end() || DC->second != 1)
+      return false;
+    if (Info.ReadBeforeWrite.count(Op.Def.Id))
+      return false;
+    // Operands must come from outside the loop.
+    for (const VReg &R : Op.Operands)
+      if (Info.DefCount.count(R.Id) || R == For.IndVar)
+        return false;
+    if (isLoad(Op.Opc)) {
+      // Invariant address, no stores to the array, and the loop provably
+      // executes (a speculated load must not fault).
+      if (!RunsAtLeastOnce)
+        return false;
+      if (Info.StoredArrays.count(Op.Mem.ArrayId))
+        return false;
+      if (Op.Mem.Index.hasAddend() &&
+          Info.DefCount.count(Op.Mem.Index.Addend.Id))
+        return false;
+      for (const AffineExpr::Term &T : Op.Mem.Index.Terms)
+        if (T.LoopId == For.LoopId || Info.LoopIds.count(T.LoopId))
+          return false;
+    } else if (Op.Mem.isValid()) {
+      return false;
+    }
+    // Speculating past a zero-trip loop must not change post-loop state.
+    if (!RunsAtLeastOnce && ReadAfter.count(Op.Def.Id))
+      return false;
+    return true;
+  }
+
+  Program &P;
+  unsigned Hoisted = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Dead code elimination.
+//===----------------------------------------------------------------------===//
+
+class DeadCodeEliminator {
+public:
+  explicit DeadCodeEliminator(Program &P) : P(P) {}
+
+  unsigned run() {
+    bool Changed = true;
+    while (Changed) {
+      std::set<unsigned> Live;
+      gatherReads(P.Body, Live);
+      Changed = sweep(P.Body, Live);
+    }
+    return Removed;
+  }
+
+private:
+  void gatherReads(const StmtList &List, std::set<unsigned> &Live) const {
+    forEachStmt(List, [&](const Stmt &S) {
+      if (const auto *Op = dyn_cast<OpStmt>(&S)) {
+        for (const VReg &R : Op->Op.Operands)
+          Live.insert(R.Id);
+        if (Op->Op.Mem.isValid() && Op->Op.Mem.Index.hasAddend())
+          Live.insert(Op->Op.Mem.Index.Addend.Id);
+      } else if (const auto *If = dyn_cast<IfStmt>(&S)) {
+        Live.insert(If->Cond.Id);
+      } else {
+        const auto *For = cast<ForStmt>(&S);
+        if (!For->Lo.IsImm)
+          Live.insert(For->Lo.Reg.Id);
+        if (!For->Hi.IsImm)
+          Live.insert(For->Hi.Reg.Id);
+      }
+    });
+  }
+
+  bool sweep(StmtList &List, const std::set<unsigned> &Live) {
+    bool Changed = false;
+    for (size_t I = 0; I < List.size();) {
+      Stmt *S = List[I].get();
+      if (auto *Op = dyn_cast<OpStmt>(S)) {
+        bool Dead = Op->Op.Def.isValid() && isPureOp(Op->Op.Opc) &&
+                    !Live.count(Op->Op.Def.Id);
+        if (Dead) {
+          List.erase(List.begin() + I);
+          ++Removed;
+          Changed = true;
+          continue;
+        }
+        ++I;
+        continue;
+      }
+      if (auto *If = dyn_cast<IfStmt>(S)) {
+        Changed |= sweep(If->Then, Live);
+        Changed |= sweep(If->Else, Live);
+        if (If->Then.empty() && If->Else.empty()) {
+          List.erase(List.begin() + I);
+          ++Removed;
+          Changed = true;
+          continue;
+        }
+        ++I;
+        continue;
+      }
+      auto *For = cast<ForStmt>(S);
+      Changed |= sweep(For->Body, Live);
+      // An empty loop with immediate bounds has no effect at all.
+      if (For->Body.empty() && For->Lo.IsImm && For->Hi.IsImm) {
+        List.erase(List.begin() + I);
+        ++Removed;
+        Changed = true;
+        continue;
+      }
+      ++I;
+    }
+    return Changed;
+  }
+
+  Program &P;
+  unsigned Removed = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Local value numbering.
+//===----------------------------------------------------------------------===//
+
+class ValueNumberer {
+public:
+  explicit ValueNumberer(Program &P) : P(P) {}
+
+  unsigned run() {
+    process(P.Body);
+    return Rewritten;
+  }
+
+private:
+  /// A structural key for one pure operation.
+  struct ExprKey {
+    Opcode Opc;
+    std::vector<unsigned> Operands;
+    int64_t IImm;
+    double FImm;
+    unsigned ArrayId;
+    std::vector<std::pair<unsigned, int64_t>> Terms;
+    int64_t Const;
+    unsigned Addend;
+
+    bool operator<(const ExprKey &O) const {
+      return std::tie(Opc, Operands, IImm, FImm, ArrayId, Terms, Const,
+                      Addend) < std::tie(O.Opc, O.Operands, O.IImm, O.FImm,
+                                         O.ArrayId, O.Terms, O.Const,
+                                         O.Addend);
+    }
+  };
+
+  static ExprKey keyOf(const Operation &Op) {
+    ExprKey K;
+    K.Opc = Op.Opc;
+    for (const VReg &R : Op.Operands)
+      K.Operands.push_back(R.Id);
+    K.IImm = Op.IImm;
+    K.FImm = Op.FImm;
+    K.ArrayId = Op.Mem.isValid() ? Op.Mem.ArrayId : ~0u;
+    if (Op.Mem.isValid()) {
+      for (const AffineExpr::Term &T : Op.Mem.Index.Terms)
+        K.Terms.push_back({T.LoopId, T.Coef});
+      K.Const = Op.Mem.Index.Const;
+      K.Addend = Op.Mem.Index.hasAddend() ? Op.Mem.Index.Addend.Id : ~0u;
+    } else {
+      K.Const = 0;
+      K.Addend = ~0u;
+    }
+    return K;
+  }
+
+  void process(StmtList &List) {
+    // Available expressions and the bookkeeping to invalidate them.
+    std::map<ExprKey, VReg> Available;
+    std::map<unsigned, std::vector<ExprKey>> KeysUsingReg;
+    std::map<unsigned, std::vector<ExprKey>> KeysUsingArray;
+
+    auto InvalidateReg = [&](unsigned Id) {
+      auto It = KeysUsingReg.find(Id);
+      if (It == KeysUsingReg.end())
+        return;
+      for (const ExprKey &K : It->second)
+        Available.erase(K);
+      KeysUsingReg.erase(It);
+    };
+    auto InvalidateArray = [&](unsigned Id) {
+      auto It = KeysUsingArray.find(Id);
+      if (It == KeysUsingArray.end())
+        return;
+      for (const ExprKey &K : It->second)
+        Available.erase(K);
+      KeysUsingArray.erase(It);
+    };
+    auto Flush = [&] {
+      Available.clear();
+      KeysUsingReg.clear();
+      KeysUsingArray.clear();
+    };
+
+    for (StmtPtr &S : List) {
+      if (auto *If = dyn_cast<IfStmt>(S.get())) {
+        process(If->Then);
+        process(If->Else);
+        Flush(); // Conditional definitions poison availability.
+        continue;
+      }
+      if (auto *For = dyn_cast<ForStmt>(S.get())) {
+        process(For->Body);
+        Flush();
+        continue;
+      }
+      auto *Op = cast<OpStmt>(S.get());
+      Operation &O = Op->Op;
+
+      bool Registered = false;
+      if (O.Def.isValid() && isPureOp(O.Opc)) {
+        ExprKey K = keyOf(O);
+        auto Found = Available.find(K);
+        if (Found != Available.end() && !(Found->second == O.Def)) {
+          // Recomputation: turn it into a move from the first result.
+          Operation Mov;
+          Mov.Opc = P.vregInfo(O.Def).RC == RegClass::Float ? Opcode::FMov
+                                                            : Opcode::IMov;
+          Mov.Def = O.Def;
+          Mov.Operands = {Found->second};
+          O = std::move(Mov);
+          ++Rewritten;
+        } else {
+          // The redefinition of Def kills stale entries first, then the
+          // fresh availability is registered (including against later
+          // redefinitions of its own holder).
+          InvalidateReg(O.Def.Id);
+          Available[K] = O.Def;
+          for (unsigned Id : K.Operands)
+            KeysUsingReg[Id].push_back(K);
+          if (K.Addend != ~0u)
+            KeysUsingReg[K.Addend].push_back(K);
+          KeysUsingReg[O.Def.Id].push_back(K);
+          if (isLoad(O.Opc))
+            KeysUsingArray[O.Mem.ArrayId].push_back(K);
+          Registered = true;
+        }
+      }
+      if (O.Def.isValid() && !Registered)
+        InvalidateReg(O.Def.Id);
+      if (isStore(O.Opc))
+        InvalidateArray(O.Mem.ArrayId);
+    }
+  }
+
+  Program &P;
+  unsigned Rewritten = 0;
+};
+
+} // namespace
+
+unsigned swp::localValueNumbering(Program &P) {
+  return ValueNumberer(P).run();
+}
+
+unsigned swp::hoistLoopInvariants(Program &P) { return Hoister(P).run(); }
+
+unsigned swp::eliminateDeadCode(Program &P) {
+  return DeadCodeEliminator(P).run();
+}

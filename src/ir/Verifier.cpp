@@ -1,0 +1,189 @@
+//===- Verifier.cpp - Structural and type checking --------------------------===//
+//
+// Part of warp-swp. See Verifier.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/IR/Verifier.h"
+
+#include "swp/IR/OpTraits.h"
+#include "swp/IR/Printer.h"
+
+#include <set>
+
+using namespace swp;
+
+namespace {
+
+/// Walks the statement tree carrying scope state.
+class VerifierImpl {
+public:
+  VerifierImpl(const Program &P, DiagnosticEngine &Diags)
+      : P(P), Diags(Diags) {}
+
+  bool run() {
+    // Live-in registers and induction variables may be read without a
+    // visible def.
+    for (unsigned I = 0; I != P.numVRegs(); ++I)
+      if (P.vregInfo(VReg(I)).IsLiveIn)
+        Defined.insert(I);
+    visit(P.Body);
+    return !Diags.hasErrors();
+  }
+
+private:
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.error(Loc, std::move(Msg));
+  }
+
+  void checkRead(VReg R, RegClass Expected, const Operation &Op) {
+    if (!R.isValid() || R.Id >= P.numVRegs()) {
+      error(Op.Loc, "operand register is invalid in '" +
+                        operationToString(P, Op) + "'");
+      return;
+    }
+    if (P.vregInfo(R).RC != Expected)
+      error(Op.Loc, "operand " + vregToString(P, R) +
+                        " has the wrong register class in '" +
+                        operationToString(P, Op) + "'");
+    if (!Defined.count(R.Id))
+      error(Op.Loc, "register " + vregToString(P, R) +
+                        " is read before any definition in '" +
+                        operationToString(P, Op) +
+                        "' and is not marked live-in");
+  }
+
+  void checkAffine(const AffineExpr &E, const Operation &Op) {
+    for (const AffineExpr::Term &T : E.Terms)
+      if (!OpenLoops.count(T.LoopId))
+        error(Op.Loc, "subscript references loop i" + std::to_string(T.LoopId) +
+                          " which does not enclose '" +
+                          operationToString(P, Op) + "'");
+    if (E.hasAddend()) {
+      if (E.Addend.Id >= P.numVRegs() ||
+          P.vregInfo(E.Addend).RC != RegClass::Int)
+        error(Op.Loc, "subscript addend must be an integer register in '" +
+                          operationToString(P, Op) + "'");
+      else if (!Defined.count(E.Addend.Id))
+        error(Op.Loc, "subscript addend " + vregToString(P, E.Addend) +
+                          " is read before any definition");
+    }
+  }
+
+  void visitOp(const Operation &Op) {
+    unsigned NumVals = numValueOperands(Op.Opc);
+    unsigned Expected = NumVals + (Op.Mem.isValid() && Op.Mem.Index.hasAddend()
+                                       ? 1
+                                       : 0);
+    if (Op.Operands.size() != Expected) {
+      error(Op.Loc, "'" + operationToString(P, Op) + "' expects " +
+                        std::to_string(Expected) + " operands, has " +
+                        std::to_string(Op.Operands.size()));
+      return;
+    }
+    for (unsigned I = 0; I != NumVals; ++I)
+      checkRead(Op.Operands[I], operandClassOf(Op.Opc, I), Op);
+
+    if (isMemAccess(Op.Opc)) {
+      if (!Op.Mem.isValid() || Op.Mem.ArrayId >= P.numArrays()) {
+        error(Op.Loc, "memory operation without a valid array reference");
+        return;
+      }
+      const ArrayInfo &A = P.arrayInfo(Op.Mem.ArrayId);
+      RegClass Elem = (Op.Opc == Opcode::FLoad || Op.Opc == Opcode::FStore)
+                          ? RegClass::Float
+                          : RegClass::Int;
+      if (A.Elem != Elem)
+        error(Op.Loc, "element class mismatch accessing array " + A.Name);
+      checkAffine(Op.Mem.Index, Op);
+      // A purely constant subscript must be in bounds.
+      if (Op.Mem.Index.Terms.empty() && !Op.Mem.Index.hasAddend() &&
+          (Op.Mem.Index.Const < 0 || Op.Mem.Index.Const >= A.Size))
+        error(Op.Loc, "constant subscript out of bounds for array " + A.Name);
+    } else if (Op.Mem.isValid()) {
+      error(Op.Loc, "non-memory operation carries a memory reference");
+    }
+
+    RegClass DefRC = resultClassOf(Op.Opc);
+    if (DefRC == RegClass::None) {
+      if (Op.Def.isValid())
+        error(Op.Loc, "'" + operationToString(P, Op) +
+                          "' must not define a register");
+    } else {
+      if (!Op.Def.isValid() || Op.Def.Id >= P.numVRegs()) {
+        error(Op.Loc, "'" + std::string(opcodeName(Op.Opc)) +
+                          "' must define a register");
+      } else {
+        if (P.vregInfo(Op.Def).RC != DefRC)
+          error(Op.Loc, "result register class mismatch in '" +
+                            operationToString(P, Op) + "'");
+        Defined.insert(Op.Def.Id);
+      }
+    }
+  }
+
+  void visit(const StmtList &List) {
+    for (const StmtPtr &S : List) {
+      if (const auto *Op = dyn_cast<OpStmt>(S.get())) {
+        visitOp(Op->Op);
+        continue;
+      }
+      if (const auto *For = dyn_cast<ForStmt>(S.get())) {
+        if (OpenLoops.count(For->LoopId))
+          error({}, "loop id i" + std::to_string(For->LoopId) +
+                        " is reused by a nested loop");
+        if (!For->Lo.IsImm)
+          checkBoundReg(For->Lo.Reg);
+        if (!For->Hi.IsImm)
+          checkBoundReg(For->Hi.Reg);
+        OpenLoops.insert(For->LoopId);
+        bool IndVarWasDefined = Defined.count(For->IndVar.Id);
+        Defined.insert(For->IndVar.Id);
+        visit(For->Body);
+        OpenLoops.erase(For->LoopId);
+        if (!IndVarWasDefined)
+          Defined.erase(For->IndVar.Id);
+        continue;
+      }
+      const auto *If = cast<IfStmt>(S.get());
+      if (!If->Cond.isValid() || If->Cond.Id >= P.numVRegs() ||
+          P.vregInfo(If->Cond).RC != RegClass::Int)
+        error({}, "if condition must be an integer register");
+      else if (!Defined.count(If->Cond.Id))
+        error({}, "if condition " + vregToString(P, If->Cond) +
+                      " is read before any definition");
+      // Defs inside one branch only are not visible after the IF; track
+      // the intersection conservatively by restoring and merging.
+      std::set<unsigned> Before = Defined;
+      visit(If->Then);
+      std::set<unsigned> AfterThen = Defined;
+      Defined = Before;
+      visit(If->Else);
+      std::set<unsigned> AfterElse = Defined;
+      Defined.clear();
+      for (unsigned Id : AfterThen)
+        if (AfterElse.count(Id))
+          Defined.insert(Id);
+    }
+  }
+
+  void checkBoundReg(VReg R) {
+    if (!R.isValid() || R.Id >= P.numVRegs() ||
+        P.vregInfo(R).RC != RegClass::Int)
+      error({}, "loop bound must be an integer register");
+    else if (!Defined.count(R.Id))
+      error({}, "loop bound " + vregToString(P, R) +
+                    " is read before any definition");
+  }
+
+  const Program &P;
+  DiagnosticEngine &Diags;
+  std::set<unsigned> OpenLoops;
+  std::set<unsigned> Defined;
+};
+
+} // namespace
+
+bool swp::verifyProgram(const Program &P, DiagnosticEngine &Diags) {
+  return VerifierImpl(P, Diags).run();
+}

@@ -1,0 +1,313 @@
+//===- Lexer.cpp - mini-W2 tokenizer -------------------------------------------===//
+//
+// Part of warp-swp. See Lexer.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Lang/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace swp;
+
+const char *swp::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::FloatLit:
+    return "float literal";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwParam:
+    return "'param'";
+  case TokKind::KwBegin:
+    return "'begin'";
+  case TokKind::KwEnd:
+    return "'end'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwTo:
+    return "'to'";
+  case TokKind::KwDo:
+    return "'do'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwThen:
+    return "'then'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwFloat:
+    return "'float'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwSend:
+    return "'send'";
+  case TokKind::KwNoAlias:
+    return "'noalias'";
+  case TokKind::Assign:
+    return "':='";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Semicolon:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::Equal:
+    return "'='";
+  case TokKind::NotEqual:
+    return "'<>'";
+  }
+  return "<bad token>";
+}
+
+std::vector<Token> swp::lexW2(const std::string &Source,
+                              DiagnosticEngine &Diags) {
+  static const std::map<std::string, TokKind> Keywords = {
+      {"var", TokKind::KwVar},     {"param", TokKind::KwParam},
+      {"begin", TokKind::KwBegin}, {"end", TokKind::KwEnd},
+      {"for", TokKind::KwFor},     {"to", TokKind::KwTo},
+      {"do", TokKind::KwDo},       {"if", TokKind::KwIf},
+      {"then", TokKind::KwThen},   {"else", TokKind::KwElse},
+      {"float", TokKind::KwFloat}, {"int", TokKind::KwInt},
+      {"send", TokKind::KwSend},
+      {"noalias", TokKind::KwNoAlias},
+  };
+
+  std::vector<Token> Tokens;
+  size_t I = 0, N = Source.size();
+  int Line = 1, Col = 1;
+
+  auto Advance = [&](size_t By = 1) {
+    for (size_t K = 0; K != By && I < N; ++K, ++I) {
+      if (Source[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+  };
+  auto Peek = [&](size_t Ahead = 0) -> char {
+    return I + Ahead < N ? Source[I + Ahead] : '\0';
+  };
+  auto Push = [&](TokKind K, SourceLoc Loc) {
+    Token T;
+    T.Kind = K;
+    T.Loc = Loc;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (I < N) {
+    char C = Peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    // Comments: (* ... *) and -- to end of line.
+    if (C == '(' && Peek(1) == '*') {
+      SourceLoc Start{Line, Col};
+      Advance(2);
+      while (I < N && !(Peek() == '*' && Peek(1) == ')'))
+        Advance();
+      if (I >= N) {
+        Diags.error(Start, "unterminated comment");
+        break;
+      }
+      Advance(2);
+      continue;
+    }
+    if (C == '-' && Peek(1) == '-') {
+      while (I < N && Peek() != '\n')
+        Advance();
+      continue;
+    }
+
+    SourceLoc Loc{Line, Col};
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Word;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                       Peek() == '_')) {
+        Word += Peek();
+        Advance();
+      }
+      auto It = Keywords.find(Word);
+      if (It != Keywords.end()) {
+        Push(It->second, Loc);
+      } else {
+        Token T;
+        T.Kind = TokKind::Ident;
+        T.Loc = Loc;
+        T.Text = std::move(Word);
+        Tokens.push_back(std::move(T));
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Num;
+      bool IsFloat = false;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Num += Peek();
+        Advance();
+      }
+      if (Peek() == '.' &&
+          std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        IsFloat = true;
+        Num += '.';
+        Advance();
+        while (I < N && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Num += Peek();
+          Advance();
+        }
+      }
+      if (Peek() == 'e' || Peek() == 'E') {
+        size_t Save = I;
+        std::string Exp;
+        Exp += Peek();
+        Advance();
+        if (Peek() == '+' || Peek() == '-') {
+          Exp += Peek();
+          Advance();
+        }
+        if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+          IsFloat = true;
+          while (I < N && std::isdigit(static_cast<unsigned char>(Peek()))) {
+            Exp += Peek();
+            Advance();
+          }
+          Num += Exp;
+        } else {
+          // Not an exponent after all (e.g. identifier following).
+          I = Save;
+        }
+      }
+      Token T;
+      T.Loc = Loc;
+      if (IsFloat) {
+        T.Kind = TokKind::FloatLit;
+        T.FloatVal = std::strtod(Num.c_str(), nullptr);
+      } else {
+        T.Kind = TokKind::IntLit;
+        T.IntVal = std::strtoll(Num.c_str(), nullptr, 10);
+      }
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    switch (C) {
+    case ':':
+      if (Peek(1) == '=') {
+        Advance(2);
+        Push(TokKind::Assign, Loc);
+      } else {
+        Advance();
+        Push(TokKind::Colon, Loc);
+      }
+      continue;
+    case ';':
+      Advance();
+      Push(TokKind::Semicolon, Loc);
+      continue;
+    case ',':
+      Advance();
+      Push(TokKind::Comma, Loc);
+      continue;
+    case '(':
+      Advance();
+      Push(TokKind::LParen, Loc);
+      continue;
+    case ')':
+      Advance();
+      Push(TokKind::RParen, Loc);
+      continue;
+    case '[':
+      Advance();
+      Push(TokKind::LBracket, Loc);
+      continue;
+    case ']':
+      Advance();
+      Push(TokKind::RBracket, Loc);
+      continue;
+    case '+':
+      Advance();
+      Push(TokKind::Plus, Loc);
+      continue;
+    case '-':
+      Advance();
+      Push(TokKind::Minus, Loc);
+      continue;
+    case '*':
+      Advance();
+      Push(TokKind::Star, Loc);
+      continue;
+    case '/':
+      Advance();
+      Push(TokKind::Slash, Loc);
+      continue;
+    case '<':
+      if (Peek(1) == '=') {
+        Advance(2);
+        Push(TokKind::LessEq, Loc);
+      } else if (Peek(1) == '>') {
+        Advance(2);
+        Push(TokKind::NotEqual, Loc);
+      } else {
+        Advance();
+        Push(TokKind::Less, Loc);
+      }
+      continue;
+    case '>':
+      if (Peek(1) == '=') {
+        Advance(2);
+        Push(TokKind::GreaterEq, Loc);
+      } else {
+        Advance();
+        Push(TokKind::Greater, Loc);
+      }
+      continue;
+    case '=':
+      Advance();
+      Push(TokKind::Equal, Loc);
+      continue;
+    default:
+      Diags.error(Loc, std::string("unexpected character '") + C + "'");
+      Advance();
+      continue;
+    }
+  }
+
+  Token End;
+  End.Kind = TokKind::Eof;
+  End.Loc = {Line, Col};
+  Tokens.push_back(std::move(End));
+  return Tokens;
+}

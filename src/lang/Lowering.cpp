@@ -1,0 +1,548 @@
+//===- Lowering.cpp - mini-W2 semantic lowering --------------------------------===//
+//
+// Part of warp-swp. See Lowering.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Lang/Lowering.h"
+
+#include "swp/IR/IRBuilder.h"
+#include "swp/Lang/Parser.h"
+
+using namespace swp;
+
+namespace {
+
+/// A lowered expression value.
+struct TypedValue {
+  VReg R;
+  bool IsFloat = true;
+};
+
+class Lowerer {
+public:
+  Lowerer(const ModuleAST &M, DiagnosticEngine &Diags)
+      : M(M), Diags(Diags), B(Out.Prog) {}
+
+  std::optional<W2Module> run();
+
+private:
+  struct Symbol {
+    enum class Kind { Array, Scalar, Param, LoopVar } K;
+    bool IsFloat = true;
+    unsigned ArrayId = 0;
+    VReg Reg;
+    const ForStmt *Loop = nullptr;
+  };
+
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.error(Loc, std::move(Msg));
+  }
+
+  const Symbol *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return &F->second;
+    }
+    return nullptr;
+  }
+
+  bool lowerStmt(const StmtAST &S);
+  std::optional<TypedValue> lowerExpr(const Expr &E);
+  /// Lowers \p E directly into \p Dst when the root allows it (one fewer
+  /// move on accumulator updates, which keeps recurrence cycles honest).
+  bool lowerExprInto(VReg Dst, bool DstFloat, const Expr &E);
+
+  /// Pure affine extraction: loop variables and integer literals only.
+  std::optional<AffineExpr> extractAffine(const Expr &E) const;
+  /// Affine if possible, otherwise dynamic (computed into a register).
+  std::optional<AffineExpr> lowerSubscript(const Expr &E);
+
+  std::optional<TypedValue> lowerCall(const CallExpr &C);
+  std::optional<TypedValue> lowerBinary(const BinaryExpr &E);
+
+  const ModuleAST &M;
+  DiagnosticEngine &Diags;
+  W2Module Out;
+  IRBuilder B;
+  std::vector<std::map<std::string, Symbol>> Scopes;
+};
+
+std::optional<AffineExpr> Lowerer::extractAffine(const Expr &E) const {
+  if (const auto *Lit = dyn_cast<IntLitExpr>(&E)) {
+    AffineExpr A;
+    A.Const = Lit->Value;
+    return A;
+  }
+  if (const auto *Ref = dyn_cast<VarRefExpr>(&E)) {
+    const Symbol *Sym = lookup(Ref->Name);
+    if (!Sym || Sym->K != Symbol::Kind::LoopVar)
+      return std::nullopt;
+    AffineExpr A;
+    A.addTerm(Sym->Loop->LoopId, 1);
+    return A;
+  }
+  if (const auto *Un = dyn_cast<UnaryExpr>(&E)) {
+    std::optional<AffineExpr> Sub = extractAffine(*Un->Sub);
+    if (!Sub)
+      return std::nullopt;
+    AffineExpr A;
+    for (const AffineExpr::Term &T : Sub->Terms)
+      A.addTerm(T.LoopId, -T.Coef);
+    A.Const = -Sub->Const;
+    return A;
+  }
+  const auto *Bin = dyn_cast<BinaryExpr>(&E);
+  if (!Bin)
+    return std::nullopt;
+  if (Bin->Op == TokKind::Plus || Bin->Op == TokKind::Minus) {
+    std::optional<AffineExpr> L = extractAffine(*Bin->L);
+    std::optional<AffineExpr> R = extractAffine(*Bin->R);
+    if (!L || !R)
+      return std::nullopt;
+    AffineExpr A = *L;
+    int64_t Sign = Bin->Op == TokKind::Plus ? 1 : -1;
+    for (const AffineExpr::Term &T : R->Terms)
+      A.addTerm(T.LoopId, Sign * T.Coef);
+    A.Const += Sign * R->Const;
+    return A;
+  }
+  if (Bin->Op == TokKind::Star) {
+    std::optional<AffineExpr> L = extractAffine(*Bin->L);
+    std::optional<AffineExpr> R = extractAffine(*Bin->R);
+    if (!L || !R)
+      return std::nullopt;
+    // One side must be a pure constant.
+    const AffineExpr *Scale = L->Terms.empty() ? &*L : &*R;
+    const AffineExpr *Base = L->Terms.empty() ? &*R : &*L;
+    if (!Scale->Terms.empty())
+      return std::nullopt;
+    AffineExpr A;
+    for (const AffineExpr::Term &T : Base->Terms)
+      A.addTerm(T.LoopId, T.Coef * Scale->Const);
+    A.Const = Base->Const * Scale->Const;
+    return A;
+  }
+  if (Bin->Op == TokKind::Slash) {
+    // Fold integer division of two compile-time constants (loop bounds
+    // like "n/2 - 1"); anything else is not affine.
+    std::optional<AffineExpr> L = extractAffine(*Bin->L);
+    std::optional<AffineExpr> R = extractAffine(*Bin->R);
+    if (!L || !R || !L->Terms.empty() || !R->Terms.empty() ||
+        R->Const == 0)
+      return std::nullopt;
+    AffineExpr A;
+    A.Const = L->Const / R->Const;
+    return A;
+  }
+  return std::nullopt;
+}
+
+std::optional<AffineExpr> Lowerer::lowerSubscript(const Expr &E) {
+  if (std::optional<AffineExpr> A = extractAffine(E))
+    return A;
+  // A bare integer variable becomes the dynamic addend without extra code.
+  if (const auto *Ref = dyn_cast<VarRefExpr>(&E)) {
+    const Symbol *Sym = lookup(Ref->Name);
+    if (Sym && (Sym->K == Symbol::Kind::Scalar ||
+                Sym->K == Symbol::Kind::Param) &&
+        !Sym->IsFloat) {
+      AffineExpr A;
+      A.Addend = Sym->Reg;
+      return A;
+    }
+  }
+  std::optional<TypedValue> V = lowerExpr(E);
+  if (!V)
+    return std::nullopt;
+  if (V->IsFloat) {
+    error(E.Loc, "array subscripts must be integers");
+    return std::nullopt;
+  }
+  AffineExpr A;
+  A.Addend = V->R;
+  return A;
+}
+
+std::optional<TypedValue> Lowerer::lowerCall(const CallExpr &C) {
+  auto Arg = [&](size_t I) { return lowerExpr(*C.Args[I]); };
+  auto WantArgs = [&](size_t N) {
+    if (C.Args.size() == N)
+      return true;
+    error(C.Loc, "'" + C.Callee + "' expects " + std::to_string(N) +
+                     " argument(s)");
+    return false;
+  };
+  auto Float1 = [&](Opcode Opc) -> std::optional<TypedValue> {
+    if (!WantArgs(1))
+      return std::nullopt;
+    std::optional<TypedValue> A = Arg(0);
+    if (!A)
+      return std::nullopt;
+    if (!A->IsFloat) {
+      error(C.Loc, "'" + C.Callee + "' expects a float argument");
+      return std::nullopt;
+    }
+    return TypedValue{B.unop(Opc, A->R), true};
+  };
+
+  if (C.Callee == "sqrt")
+    return Float1(Opcode::FSqrt);
+  if (C.Callee == "exp")
+    return Float1(Opcode::FExp);
+  if (C.Callee == "inv")
+    return Float1(Opcode::FInv);
+  if (C.Callee == "abs")
+    return Float1(Opcode::FAbs);
+  if (C.Callee == "min" || C.Callee == "max") {
+    if (!WantArgs(2))
+      return std::nullopt;
+    std::optional<TypedValue> A = Arg(0), Bv = Arg(1);
+    if (!A || !Bv)
+      return std::nullopt;
+    if (!A->IsFloat || !Bv->IsFloat) {
+      error(C.Loc, "'" + C.Callee + "' expects float arguments");
+      return std::nullopt;
+    }
+    Opcode Opc = C.Callee == "min" ? Opcode::FMin : Opcode::FMax;
+    return TypedValue{B.binop(Opc, A->R, Bv->R), true};
+  }
+  if (C.Callee == "float") {
+    if (!WantArgs(1))
+      return std::nullopt;
+    std::optional<TypedValue> A = Arg(0);
+    if (!A)
+      return std::nullopt;
+    if (A->IsFloat) {
+      error(C.Loc, "'float' expects an integer argument");
+      return std::nullopt;
+    }
+    return TypedValue{B.i2f(A->R), true};
+  }
+  if (C.Callee == "int") {
+    if (!WantArgs(1))
+      return std::nullopt;
+    std::optional<TypedValue> A = Arg(0);
+    if (!A)
+      return std::nullopt;
+    if (!A->IsFloat) {
+      error(C.Loc, "'int' expects a float argument");
+      return std::nullopt;
+    }
+    return TypedValue{B.f2i(A->R), false};
+  }
+  if (C.Callee == "recv") {
+    int Queue = 0;
+    if (!C.Args.empty()) {
+      const auto *Lit = dyn_cast<IntLitExpr>(C.Args[0].get());
+      if (!Lit || C.Args.size() > 1) {
+        error(C.Loc, "'recv' takes at most one literal channel index");
+        return std::nullopt;
+      }
+      Queue = static_cast<int>(Lit->Value);
+    }
+    return TypedValue{B.recv(Queue), true};
+  }
+  error(C.Loc, "unknown builtin '" + C.Callee + "'");
+  return std::nullopt;
+}
+
+std::optional<TypedValue> Lowerer::lowerBinary(const BinaryExpr &E) {
+  std::optional<TypedValue> L = lowerExpr(*E.L);
+  std::optional<TypedValue> R = lowerExpr(*E.R);
+  if (!L || !R)
+    return std::nullopt;
+  if (L->IsFloat != R->IsFloat) {
+    error(E.Loc, "mixed int/float operands; use float() or int()");
+    return std::nullopt;
+  }
+  bool Fl = L->IsFloat;
+  switch (E.Op) {
+  case TokKind::Plus:
+    return TypedValue{B.binop(Fl ? Opcode::FAdd : Opcode::IAdd, L->R, R->R),
+                      Fl};
+  case TokKind::Minus:
+    return TypedValue{B.binop(Fl ? Opcode::FSub : Opcode::ISub, L->R, R->R),
+                      Fl};
+  case TokKind::Star:
+    return TypedValue{B.binop(Fl ? Opcode::FMul : Opcode::IMul, L->R, R->R),
+                      Fl};
+  case TokKind::Slash:
+    if (Fl)
+      return TypedValue{B.fdiv(L->R, R->R), true};
+    return TypedValue{B.binop(Opcode::IDiv, L->R, R->R), false};
+  case TokKind::Less:
+    return TypedValue{
+        B.binop(Fl ? Opcode::FCmpLT : Opcode::ICmpLT, L->R, R->R), false};
+  case TokKind::LessEq:
+    return TypedValue{
+        B.binop(Fl ? Opcode::FCmpLE : Opcode::ICmpLE, L->R, R->R), false};
+  case TokKind::Greater:
+    return TypedValue{
+        B.binop(Fl ? Opcode::FCmpLT : Opcode::ICmpLT, R->R, L->R), false};
+  case TokKind::GreaterEq:
+    return TypedValue{
+        B.binop(Fl ? Opcode::FCmpLE : Opcode::ICmpLE, R->R, L->R), false};
+  case TokKind::Equal:
+    return TypedValue{
+        B.binop(Fl ? Opcode::FCmpEQ : Opcode::ICmpEQ, L->R, R->R), false};
+  case TokKind::NotEqual:
+    return TypedValue{
+        B.binop(Fl ? Opcode::FCmpNE : Opcode::ICmpNE, L->R, R->R), false};
+  default:
+    error(E.Loc, "unsupported binary operator");
+    return std::nullopt;
+  }
+}
+
+std::optional<TypedValue> Lowerer::lowerExpr(const Expr &E) {
+  if (const auto *Lit = dyn_cast<IntLitExpr>(&E))
+    return TypedValue{B.iconst(Lit->Value), false};
+  if (const auto *Lit = dyn_cast<FloatLitExpr>(&E))
+    return TypedValue{B.fconst(Lit->Value), true};
+  if (const auto *Ref = dyn_cast<VarRefExpr>(&E)) {
+    const Symbol *Sym = lookup(Ref->Name);
+    if (!Sym) {
+      error(E.Loc, "use of undeclared name '" + Ref->Name + "'");
+      return std::nullopt;
+    }
+    switch (Sym->K) {
+    case Symbol::Kind::Array:
+      error(E.Loc, "array '" + Ref->Name + "' needs a subscript");
+      return std::nullopt;
+    case Symbol::Kind::LoopVar:
+      return TypedValue{Sym->Loop->IndVar, false};
+    case Symbol::Kind::Scalar:
+    case Symbol::Kind::Param:
+      return TypedValue{Sym->Reg, Sym->IsFloat};
+    }
+  }
+  if (const auto *Ref = dyn_cast<ArrayRefExpr>(&E)) {
+    const Symbol *Sym = lookup(Ref->Name);
+    if (!Sym || Sym->K != Symbol::Kind::Array) {
+      error(E.Loc, "'" + Ref->Name + "' is not an array");
+      return std::nullopt;
+    }
+    std::optional<AffineExpr> Index = lowerSubscript(*Ref->Index);
+    if (!Index)
+      return std::nullopt;
+    if (Sym->IsFloat)
+      return TypedValue{B.fload(Sym->ArrayId, std::move(*Index)), true};
+    return TypedValue{B.iload(Sym->ArrayId, std::move(*Index)), false};
+  }
+  if (const auto *Un = dyn_cast<UnaryExpr>(&E)) {
+    std::optional<TypedValue> Sub = lowerExpr(*Un->Sub);
+    if (!Sub)
+      return std::nullopt;
+    if (Sub->IsFloat)
+      return TypedValue{B.fneg(Sub->R), true};
+    VReg Zero = B.iconst(0);
+    return TypedValue{B.binop(Opcode::ISub, Zero, Sub->R), false};
+  }
+  if (const auto *Bin = dyn_cast<BinaryExpr>(&E))
+    return lowerBinary(*Bin);
+  return lowerCall(*cast<CallExpr>(&E));
+}
+
+bool Lowerer::lowerExprInto(VReg Dst, bool DstFloat, const Expr &E) {
+  // Fuse the root operation's destination to avoid a trailing move (which
+  // would stretch recurrence cycles on accumulators).
+  if (const auto *Bin = dyn_cast<BinaryExpr>(&E)) {
+    if (Bin->Op == TokKind::Plus || Bin->Op == TokKind::Minus ||
+        Bin->Op == TokKind::Star) {
+      std::optional<TypedValue> L = lowerExpr(*Bin->L);
+      std::optional<TypedValue> R = lowerExpr(*Bin->R);
+      if (!L || !R)
+        return false;
+      if (L->IsFloat != R->IsFloat || L->IsFloat != DstFloat) {
+        error(E.Loc, "type mismatch in assignment");
+        return false;
+      }
+      Opcode Opc;
+      switch (Bin->Op) {
+      case TokKind::Plus:
+        Opc = DstFloat ? Opcode::FAdd : Opcode::IAdd;
+        break;
+      case TokKind::Minus:
+        Opc = DstFloat ? Opcode::FSub : Opcode::ISub;
+        break;
+      default:
+        Opc = DstFloat ? Opcode::FMul : Opcode::IMul;
+        break;
+      }
+      B.assign(Dst, Opc, L->R, R->R);
+      return true;
+    }
+  }
+  std::optional<TypedValue> V = lowerExpr(E);
+  if (!V)
+    return false;
+  if (V->IsFloat != DstFloat) {
+    error(E.Loc, "type mismatch in assignment");
+    return false;
+  }
+  B.assignMov(Dst, V->R);
+  return true;
+}
+
+bool Lowerer::lowerStmt(const StmtAST &S) {
+  if (const auto *Block = dyn_cast<BlockStmt>(&S)) {
+    for (const StmtASTPtr &Sub : Block->Stmts)
+      if (!lowerStmt(*Sub))
+        return false;
+    return true;
+  }
+  if (const auto *Assign = dyn_cast<AssignStmt>(&S)) {
+    const Symbol *Sym = lookup(Assign->Name);
+    if (!Sym) {
+      error(S.Loc, "assignment to undeclared name '" + Assign->Name + "'");
+      return false;
+    }
+    if (Assign->Index) {
+      if (Sym->K != Symbol::Kind::Array) {
+        error(S.Loc, "'" + Assign->Name + "' is not an array");
+        return false;
+      }
+      std::optional<AffineExpr> Index = lowerSubscript(*Assign->Index);
+      if (!Index)
+        return false;
+      std::optional<TypedValue> V = lowerExpr(*Assign->Value);
+      if (!V)
+        return false;
+      if (V->IsFloat != Sym->IsFloat) {
+        error(S.Loc, "type mismatch storing to '" + Assign->Name + "'");
+        return false;
+      }
+      if (Sym->IsFloat)
+        B.fstore(Sym->ArrayId, std::move(*Index), V->R);
+      else
+        B.istore(Sym->ArrayId, std::move(*Index), V->R);
+      return true;
+    }
+    if (Sym->K == Symbol::Kind::Param) {
+      error(S.Loc, "parameters are read-only");
+      return false;
+    }
+    if (Sym->K != Symbol::Kind::Scalar) {
+      error(S.Loc, "cannot assign to '" + Assign->Name + "'");
+      return false;
+    }
+    return lowerExprInto(Sym->Reg, Sym->IsFloat, *Assign->Value);
+  }
+  if (const auto *For = dyn_cast<ForStmtAST>(&S)) {
+    auto Bound = [&](const Expr &E) -> std::optional<LoopBound> {
+      // Compile-time-constant bounds fold to immediates so trip counts
+      // stay static (cheap dispatch code, unrollable loops).
+      if (std::optional<AffineExpr> A = extractAffine(E))
+        if (A->Terms.empty() && !A->hasAddend())
+          return LoopBound::imm(A->Const);
+      std::optional<TypedValue> V = lowerExpr(E);
+      if (!V)
+        return std::nullopt;
+      if (V->IsFloat) {
+        error(E.Loc, "loop bounds must be integers");
+        return std::nullopt;
+      }
+      return LoopBound::reg(V->R);
+    };
+    std::optional<LoopBound> Lo = Bound(*For->Lo);
+    if (!Lo)
+      return false;
+    std::optional<LoopBound> Hi = Bound(*For->Hi);
+    if (!Hi)
+      return false;
+    ForStmt *Loop = B.beginFor(*Lo, *Hi);
+    Scopes.emplace_back();
+    Symbol LV;
+    LV.K = Symbol::Kind::LoopVar;
+    LV.IsFloat = false;
+    LV.Loop = Loop;
+    Scopes.back().emplace(For->Var, LV);
+    bool Ok = lowerStmt(*For->Body);
+    Scopes.pop_back();
+    B.endFor();
+    return Ok;
+  }
+  if (const auto *If = dyn_cast<IfStmtAST>(&S)) {
+    std::optional<TypedValue> Cond = lowerExpr(*If->Cond);
+    if (!Cond)
+      return false;
+    if (Cond->IsFloat) {
+      error(S.Loc, "conditions must be comparisons (integers)");
+      return false;
+    }
+    B.beginIf(Cond->R);
+    bool Ok = lowerStmt(*If->Then);
+    if (Ok && If->Else) {
+      B.beginElse();
+      Ok = lowerStmt(*If->Else);
+    }
+    B.endIf();
+    return Ok;
+  }
+  const auto *Send = cast<SendStmt>(&S);
+  std::optional<TypedValue> V = lowerExpr(*Send->Value);
+  if (!V)
+    return false;
+  if (!V->IsFloat) {
+    error(S.Loc, "channels carry floats");
+    return false;
+  }
+  B.send(Send->Queue, V->R);
+  return true;
+}
+
+std::optional<W2Module> Lowerer::run() {
+  Scopes.emplace_back();
+  for (const VarDeclAST &D : M.Decls) {
+    if (Scopes.back().count(D.Name)) {
+      error(D.Loc, "redeclaration of '" + D.Name + "'");
+      return std::nullopt;
+    }
+    Symbol Sym;
+    Sym.IsFloat = D.IsFloat;
+    if (D.IsArray) {
+      Sym.K = Symbol::Kind::Array;
+      Sym.ArrayId = Out.Prog.createArray(
+          D.Name, D.IsFloat ? RegClass::Float : RegClass::Int, D.Size);
+      Out.Prog.arrayInfo(Sym.ArrayId).NoAlias = D.NoAlias;
+      Out.Arrays[D.Name] = Sym.ArrayId;
+    } else if (D.IsParam) {
+      Sym.K = Symbol::Kind::Param;
+      Sym.Reg = Out.Prog.createVReg(
+          D.IsFloat ? RegClass::Float : RegClass::Int, D.Name,
+          /*LiveIn=*/true);
+      Out.Params[D.Name] = Sym.Reg;
+    } else {
+      Sym.K = Symbol::Kind::Scalar;
+      Sym.Reg = Out.Prog.createVReg(
+          D.IsFloat ? RegClass::Float : RegClass::Int, D.Name);
+    }
+    Scopes.back().emplace(D.Name, Sym);
+  }
+  for (const StmtASTPtr &S : M.Body)
+    if (!lowerStmt(*S))
+      return std::nullopt;
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return std::move(Out);
+}
+
+} // namespace
+
+Expr::~Expr() = default;
+StmtAST::~StmtAST() = default;
+
+std::optional<W2Module> swp::lowerW2(const ModuleAST &M,
+                                     DiagnosticEngine &Diags) {
+  return Lowerer(M, Diags).run();
+}
+
+std::optional<W2Module> swp::compileW2Source(const std::string &Source,
+                                             DiagnosticEngine &Diags) {
+  std::optional<ModuleAST> M = parseW2(Source, Diags);
+  if (!M)
+    return std::nullopt;
+  return lowerW2(*M, Diags);
+}

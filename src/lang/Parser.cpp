@@ -1,0 +1,349 @@
+//===- Parser.cpp - mini-W2 recursive-descent parser ---------------------------===//
+//
+// Part of warp-swp. See Parser.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Lang/Parser.h"
+
+using namespace swp;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  std::optional<ModuleAST> parseModule();
+
+private:
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = std::min(Pos + Ahead, Tokens.size() - 1);
+    return Tokens[I];
+  }
+  const Token &advance() {
+    const Token &T = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool check(TokKind K) const { return peek().Kind == K; }
+  bool match(TokKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokKind K, const char *Context) {
+    if (match(K))
+      return true;
+    Diags.error(peek().Loc, std::string("expected ") + tokKindName(K) +
+                                " " + Context + ", found " +
+                                tokKindName(peek().Kind));
+    return false;
+  }
+
+  std::optional<VarDeclAST> parseDecl();
+  StmtASTPtr parseStatement();
+  StmtASTPtr parseBlock();
+  ExprPtr parseExpr();
+  ExprPtr parseAddExpr();
+  ExprPtr parseMulExpr();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+std::optional<VarDeclAST> Parser::parseDecl() {
+  VarDeclAST D;
+  D.Loc = peek().Loc;
+  D.IsParam = peek().Kind == TokKind::KwParam;
+  advance(); // var / param
+  if (!check(TokKind::Ident)) {
+    Diags.error(peek().Loc, "expected a name in declaration");
+    return std::nullopt;
+  }
+  D.Name = advance().Text;
+  if (!expect(TokKind::Colon, "after the declared name"))
+    return std::nullopt;
+  if (match(TokKind::KwFloat)) {
+    D.IsFloat = true;
+  } else if (match(TokKind::KwInt)) {
+    D.IsFloat = false;
+  } else {
+    Diags.error(peek().Loc, "expected 'float' or 'int' type");
+    return std::nullopt;
+  }
+  if (match(TokKind::LBracket)) {
+    if (!check(TokKind::IntLit)) {
+      Diags.error(peek().Loc, "array size must be an integer literal");
+      return std::nullopt;
+    }
+    D.IsArray = true;
+    D.Size = advance().IntVal;
+    if (!expect(TokKind::RBracket, "after the array size"))
+      return std::nullopt;
+    if (D.IsParam) {
+      Diags.error(D.Loc, "parameters must be scalars");
+      return std::nullopt;
+    }
+    if (match(TokKind::KwNoAlias))
+      D.NoAlias = true;
+  }
+  if (!expect(TokKind::Semicolon, "after the declaration"))
+    return std::nullopt;
+  return D;
+}
+
+StmtASTPtr Parser::parseBlock() {
+  SourceLoc Loc = peek().Loc;
+  if (!expect(TokKind::KwBegin, "to open a block"))
+    return nullptr;
+  auto Block = std::make_unique<BlockStmt>(Loc);
+  while (!check(TokKind::KwEnd) && !check(TokKind::Eof)) {
+    StmtASTPtr S = parseStatement();
+    if (!S)
+      return nullptr;
+    Block->Stmts.push_back(std::move(S));
+    // Semicolons separate statements; a trailing one before 'end' is fine.
+    if (!match(TokKind::Semicolon) && !check(TokKind::KwEnd)) {
+      Diags.error(peek().Loc, "expected ';' between statements");
+      return nullptr;
+    }
+  }
+  if (!expect(TokKind::KwEnd, "to close the block"))
+    return nullptr;
+  return Block;
+}
+
+StmtASTPtr Parser::parseStatement() {
+  SourceLoc Loc = peek().Loc;
+  if (check(TokKind::KwBegin))
+    return parseBlock();
+
+  if (match(TokKind::KwFor)) {
+    if (!check(TokKind::Ident)) {
+      Diags.error(peek().Loc, "expected the loop variable name");
+      return nullptr;
+    }
+    std::string Var = advance().Text;
+    if (!expect(TokKind::Assign, "after the loop variable"))
+      return nullptr;
+    ExprPtr Lo = parseExpr();
+    if (!Lo || !expect(TokKind::KwTo, "between loop bounds"))
+      return nullptr;
+    ExprPtr Hi = parseExpr();
+    if (!Hi || !expect(TokKind::KwDo, "before the loop body"))
+      return nullptr;
+    StmtASTPtr Body = parseStatement();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<ForStmtAST>(std::move(Var), std::move(Lo),
+                                        std::move(Hi), std::move(Body), Loc);
+  }
+
+  if (match(TokKind::KwIf)) {
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokKind::KwThen, "after the condition"))
+      return nullptr;
+    StmtASTPtr Then = parseStatement();
+    if (!Then)
+      return nullptr;
+    StmtASTPtr Else;
+    if (match(TokKind::KwElse)) {
+      Else = parseStatement();
+      if (!Else)
+        return nullptr;
+    }
+    return std::make_unique<IfStmtAST>(std::move(Cond), std::move(Then),
+                                       std::move(Else), Loc);
+  }
+
+  if (match(TokKind::KwSend)) {
+    if (!expect(TokKind::LParen, "after 'send'"))
+      return nullptr;
+    ExprPtr Value = parseExpr();
+    if (!Value)
+      return nullptr;
+    int Queue = 0;
+    if (match(TokKind::Comma)) {
+      if (!check(TokKind::IntLit)) {
+        Diags.error(peek().Loc, "the channel index must be a literal");
+        return nullptr;
+      }
+      Queue = static_cast<int>(advance().IntVal);
+    }
+    if (!expect(TokKind::RParen, "to close 'send'"))
+      return nullptr;
+    return std::make_unique<SendStmt>(std::move(Value), Queue, Loc);
+  }
+
+  if (check(TokKind::Ident)) {
+    std::string Name = advance().Text;
+    ExprPtr Index;
+    if (match(TokKind::LBracket)) {
+      Index = parseExpr();
+      if (!Index || !expect(TokKind::RBracket, "after the subscript"))
+        return nullptr;
+    }
+    if (!expect(TokKind::Assign, "in assignment"))
+      return nullptr;
+    ExprPtr Value = parseExpr();
+    if (!Value)
+      return nullptr;
+    return std::make_unique<AssignStmt>(std::move(Name), std::move(Index),
+                                        std::move(Value), Loc);
+  }
+
+  Diags.error(Loc, std::string("expected a statement, found ") +
+                       tokKindName(peek().Kind));
+  return nullptr;
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr L = parseAddExpr();
+  if (!L)
+    return nullptr;
+  TokKind K = peek().Kind;
+  if (K == TokKind::Less || K == TokKind::LessEq || K == TokKind::Greater ||
+      K == TokKind::GreaterEq || K == TokKind::Equal ||
+      K == TokKind::NotEqual) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseAddExpr();
+    if (!R)
+      return nullptr;
+    return std::make_unique<BinaryExpr>(K, std::move(L), std::move(R), Loc);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseAddExpr() {
+  ExprPtr L = parseMulExpr();
+  if (!L)
+    return nullptr;
+  while (check(TokKind::Plus) || check(TokKind::Minus)) {
+    TokKind K = peek().Kind;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseMulExpr();
+    if (!R)
+      return nullptr;
+    L = std::make_unique<BinaryExpr>(K, std::move(L), std::move(R), Loc);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseMulExpr() {
+  ExprPtr L = parseUnary();
+  if (!L)
+    return nullptr;
+  while (check(TokKind::Star) || check(TokKind::Slash)) {
+    TokKind K = peek().Kind;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseUnary();
+    if (!R)
+      return nullptr;
+    L = std::make_unique<BinaryExpr>(K, std::move(L), std::move(R), Loc);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokKind::Minus)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(std::move(Sub), Loc);
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+  // Conversions spell like calls but use the type keywords.
+  if ((check(TokKind::KwFloat) || check(TokKind::KwInt)) &&
+      peek(1).Kind == TokKind::LParen) {
+    std::string Callee = check(TokKind::KwFloat) ? "float" : "int";
+    advance();
+    advance(); // (
+    ExprPtr A = parseExpr();
+    if (!A || !expect(TokKind::RParen, "to close the conversion"))
+      return nullptr;
+    std::vector<ExprPtr> Args;
+    Args.push_back(std::move(A));
+    return std::make_unique<CallExpr>(std::move(Callee), std::move(Args),
+                                      Loc);
+  }
+  if (check(TokKind::IntLit))
+    return std::make_unique<IntLitExpr>(advance().IntVal, Loc);
+  if (check(TokKind::FloatLit))
+    return std::make_unique<FloatLitExpr>(advance().FloatVal, Loc);
+  if (match(TokKind::LParen)) {
+    ExprPtr E = parseExpr();
+    if (!E || !expect(TokKind::RParen, "to close the parenthesis"))
+      return nullptr;
+    return E;
+  }
+  if (check(TokKind::Ident)) {
+    std::string Name = advance().Text;
+    if (match(TokKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!check(TokKind::RParen)) {
+        do {
+          ExprPtr A = parseExpr();
+          if (!A)
+            return nullptr;
+          Args.push_back(std::move(A));
+        } while (match(TokKind::Comma));
+      }
+      if (!expect(TokKind::RParen, "to close the call"))
+        return nullptr;
+      return std::make_unique<CallExpr>(std::move(Name), std::move(Args),
+                                        Loc);
+    }
+    if (match(TokKind::LBracket)) {
+      ExprPtr Index = parseExpr();
+      if (!Index || !expect(TokKind::RBracket, "after the subscript"))
+        return nullptr;
+      return std::make_unique<ArrayRefExpr>(std::move(Name),
+                                            std::move(Index), Loc);
+    }
+    return std::make_unique<VarRefExpr>(std::move(Name), Loc);
+  }
+  Diags.error(Loc, std::string("expected an expression, found ") +
+                       tokKindName(peek().Kind));
+  return nullptr;
+}
+
+std::optional<ModuleAST> Parser::parseModule() {
+  ModuleAST M;
+  while (check(TokKind::KwVar) || check(TokKind::KwParam)) {
+    std::optional<VarDeclAST> D = parseDecl();
+    if (!D)
+      return std::nullopt;
+    M.Decls.push_back(std::move(*D));
+  }
+  StmtASTPtr Body = parseBlock();
+  if (!Body)
+    return std::nullopt;
+  if (!check(TokKind::Eof)) {
+    Diags.error(peek().Loc, "trailing input after the program block");
+    return std::nullopt;
+  }
+  M.Body.push_back(std::move(Body));
+  return M;
+}
+
+} // namespace
+
+std::optional<ModuleAST> swp::parseW2(const std::string &Source,
+                                      DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens = lexW2(Source, Diags);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return Parser(std::move(Tokens), Diags).parseModule();
+}

@@ -1,0 +1,213 @@
+//===- MachineDescription.cpp - VLIW cell model ----------------------------===//
+//
+// Part of warp-swp. See MachineDescription.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Machine/MachineDescription.h"
+
+using namespace swp;
+
+unsigned MachineDescription::addResource(std::string ResName, unsigned Units) {
+  assert(Units > 0 && "a resource must have at least one unit");
+  Resources.push_back({std::move(ResName), Units});
+  return Resources.size() - 1;
+}
+
+void MachineDescription::setOpcodeInfo(Opcode Opc, OpcodeInfo Info) {
+  assert(Info.Latency >= 1 && "latency must be at least one cycle");
+  Info.Legal = true;
+  Opcodes[static_cast<unsigned>(Opc)] = std::move(Info);
+}
+
+/// Builds the shared skeleton of the Warp-like cells. \p Factor scales the
+/// number of units of each arithmetic/memory resource.
+static MachineDescription buildWarpLike(unsigned Factor) {
+  MachineDescription MD;
+  unsigned FADD = MD.addResource("fadd", Factor);
+  unsigned FMUL = MD.addResource("fmul", Factor);
+  unsigned ALU = MD.addResource("alu", Factor);
+  unsigned MEM = MD.addResource("mem", Factor);
+  unsigned QIN = MD.addResource("qin", 1);
+  unsigned QOUT = MD.addResource("qout", 1);
+
+  // The adder and multiplier are 5-stage pipelines; with the 2-cycle
+  // register-file delay a result is consumable 7 cycles after issue. Both
+  // accept a new operation every cycle, so the reservation pattern is a
+  // single slot at the issue cycle.
+  auto FpOp = [&](unsigned Res, unsigned NumOps, RegClass RC) {
+    return OpcodeInfo{7, {{Res, 0, 1}}, RC, NumOps, true, true};
+  };
+  MD.setOpcodeInfo(Opcode::FAdd, FpOp(FADD, 2, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::FSub, FpOp(FADD, 2, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::FNeg, FpOp(FADD, 1, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::FAbs, FpOp(FADD, 1, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::FMin, FpOp(FADD, 2, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::FMax, FpOp(FADD, 2, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::FMul, FpOp(FMUL, 2, RegClass::Float));
+  // Floating compares execute on the adder and deliver a 0/1 integer.
+  MD.setOpcodeInfo(Opcode::FCmpLT, FpOp(FADD, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::FCmpLE, FpOp(FADD, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::FCmpEQ, FpOp(FADD, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::FCmpNE, FpOp(FADD, 2, RegClass::Int));
+  // Seed ROM lookups live next to the multiplier (as on Warp).
+  MD.setOpcodeInfo(Opcode::FRecipSeed, FpOp(FMUL, 1, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::FRSqrtSeed, FpOp(FMUL, 1, RegClass::Float));
+
+  auto AluOp = [&](unsigned Lat, unsigned NumOps, RegClass RC,
+                   bool Flop = false) {
+    return OpcodeInfo{Lat, {{ALU, 0, 1}}, RC, NumOps, Flop, true};
+  };
+  MD.setOpcodeInfo(Opcode::IAdd, AluOp(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::ISub, AluOp(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::IMul, AluOp(2, 2, RegClass::Int));
+  // Integer divide/mod are slow multi-cycle ALU sequences; they appear only
+  // in loop-setup code (trip-count arithmetic), never in kernels.
+  MD.setOpcodeInfo(Opcode::IDiv, AluOp(8, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::IMod, AluOp(8, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::IConst, AluOp(1, 0, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::IMov, AluOp(1, 1, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::ICmpLT, AluOp(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::ICmpLE, AluOp(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::ICmpEQ, AluOp(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::ICmpNE, AluOp(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::IAnd, AluOp(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::IOr, AluOp(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::INot, AluOp(1, 1, RegClass::Int));
+  // Constants, moves, selects and conversions travel the crossbar/ALU path.
+  MD.setOpcodeInfo(Opcode::FConst, AluOp(1, 0, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::FMov, AluOp(1, 1, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::FSel, AluOp(1, 3, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::ISel, AluOp(1, 3, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::I2F, AluOp(2, 1, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::F2I, AluOp(2, 1, RegClass::Int));
+
+  // One data-memory port; the dedicated address generation unit supplies
+  // addresses, so loads and stores reserve only the port itself.
+  MD.setOpcodeInfo(Opcode::FLoad,
+                   OpcodeInfo{3, {{MEM, 0, 1}}, RegClass::Float, 0, false,
+                              true});
+  MD.setOpcodeInfo(Opcode::ILoad,
+                   OpcodeInfo{3, {{MEM, 0, 1}}, RegClass::Int, 0, false,
+                              true});
+  MD.setOpcodeInfo(Opcode::FStore,
+                   OpcodeInfo{1, {{MEM, 0, 1}}, RegClass::None, 1, false,
+                              true});
+  MD.setOpcodeInfo(Opcode::IStore,
+                   OpcodeInfo{1, {{MEM, 0, 1}}, RegClass::None, 1, false,
+                              true});
+
+  // Inter-cell queues: one word per cycle each way, 512-word buffers.
+  MD.setOpcodeInfo(Opcode::Recv, OpcodeInfo{1, {{QIN, 0, 1}},
+                                            RegClass::Float, 0, false, true});
+  MD.setOpcodeInfo(Opcode::Send, OpcodeInfo{1, {{QOUT, 0, 1}},
+                                            RegClass::None, 1, false, true});
+
+  MD.setOpcodeInfo(Opcode::Nop,
+                   OpcodeInfo{1, {}, RegClass::None, 0, false, true});
+
+  // The two 31-word floating register files are modeled as one 62-word
+  // file (the crossbar makes either file reachable from either unit); the
+  // ALU file has 64 words.
+  MD.setRegisterFileSizes(62, 64);
+  MD.setClockMHz(5.0);
+  return MD;
+}
+
+MachineDescription MachineDescription::warpCell() {
+  MachineDescription MD = buildWarpLike(1);
+  MD.setName("warp-cell");
+  return MD;
+}
+
+MachineDescription MachineDescription::scaledWarpCell(unsigned Factor) {
+  assert(Factor >= 1 && "scaling factor must be positive");
+  MachineDescription MD = buildWarpLike(Factor);
+  // A scaled data path carries proportionally more register file: deeper
+  // overlap needs more rotating copies, and the section 6 question is
+  // about parallelism, not register starvation.
+  MD.setRegisterFileSizes(62 * Factor, 64 * Factor);
+  MD.setName("warp-cell-x" + std::to_string(Factor));
+  return MD;
+}
+
+MachineDescription MachineDescription::toyCell() {
+  MachineDescription MD;
+  MD.setName("toy-cell");
+  unsigned MEMR = MD.addResource("memr", 1);
+  unsigned ADD = MD.addResource("add", 1);
+  unsigned MEMW = MD.addResource("memw", 1);
+  unsigned MISC = MD.addResource("misc", 1);
+
+  // Section 2 example machine: Read (latency 1), one-stage pipelined Add
+  // (result exactly 2 cycles later), Write; each on its own port.
+  MD.setOpcodeInfo(Opcode::FLoad, OpcodeInfo{1, {{MEMR, 0, 1}},
+                                             RegClass::Float, 0, false, true});
+  MD.setOpcodeInfo(Opcode::FAdd, OpcodeInfo{2, {{ADD, 0, 1}},
+                                            RegClass::Float, 2, true, true});
+  MD.setOpcodeInfo(Opcode::FSub, OpcodeInfo{2, {{ADD, 0, 1}},
+                                            RegClass::Float, 2, true, true});
+  MD.setOpcodeInfo(Opcode::FStore, OpcodeInfo{1, {{MEMW, 0, 1}},
+                                              RegClass::None, 1, false, true});
+
+  // The rest of the operation set is filled in so any program runs on the
+  // toy machine too: float arithmetic shares the adder (latency 2), the
+  // integer/crossbar path lives on MISC, memory on the two ports.
+  auto OnAdd = [&](unsigned NumOps, RegClass RC, bool Flop) {
+    return OpcodeInfo{2, {{ADD, 0, 1}}, RC, NumOps, Flop, true};
+  };
+  MD.setOpcodeInfo(Opcode::FMul, OnAdd(2, RegClass::Float, true));
+  MD.setOpcodeInfo(Opcode::FNeg, OnAdd(1, RegClass::Float, true));
+  MD.setOpcodeInfo(Opcode::FAbs, OnAdd(1, RegClass::Float, true));
+  MD.setOpcodeInfo(Opcode::FMin, OnAdd(2, RegClass::Float, true));
+  MD.setOpcodeInfo(Opcode::FMax, OnAdd(2, RegClass::Float, true));
+  MD.setOpcodeInfo(Opcode::FCmpLT, OnAdd(2, RegClass::Int, true));
+  MD.setOpcodeInfo(Opcode::FCmpLE, OnAdd(2, RegClass::Int, true));
+  MD.setOpcodeInfo(Opcode::FCmpEQ, OnAdd(2, RegClass::Int, true));
+  MD.setOpcodeInfo(Opcode::FCmpNE, OnAdd(2, RegClass::Int, true));
+  MD.setOpcodeInfo(Opcode::FRecipSeed, OnAdd(1, RegClass::Float, true));
+  MD.setOpcodeInfo(Opcode::FRSqrtSeed, OnAdd(1, RegClass::Float, true));
+
+  MD.setOpcodeInfo(Opcode::ILoad, OpcodeInfo{1, {{MEMR, 0, 1}},
+                                             RegClass::Int, 0, false, true});
+  MD.setOpcodeInfo(Opcode::IStore, OpcodeInfo{1, {{MEMW, 0, 1}},
+                                              RegClass::None, 1, false,
+                                              true});
+
+  auto Misc = [&](unsigned Lat, unsigned NumOps, RegClass RC) {
+    return OpcodeInfo{Lat, {{MISC, 0, 1}}, RC, NumOps, false, true};
+  };
+  MD.setOpcodeInfo(Opcode::FConst, Misc(1, 0, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::FMov, Misc(1, 1, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::FSel, Misc(1, 3, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::ISel, Misc(1, 3, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::I2F, Misc(1, 1, RegClass::Float));
+  MD.setOpcodeInfo(Opcode::F2I, Misc(1, 1, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::IAdd, Misc(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::ISub, Misc(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::IMul, Misc(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::IDiv, Misc(4, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::IMod, Misc(4, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::IConst, Misc(1, 0, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::IMov, Misc(1, 1, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::ICmpLT, Misc(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::ICmpLE, Misc(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::ICmpEQ, Misc(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::ICmpNE, Misc(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::IAnd, Misc(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::IOr, Misc(1, 2, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::INot, Misc(1, 1, RegClass::Int));
+  MD.setOpcodeInfo(Opcode::Nop,
+                   OpcodeInfo{1, {}, RegClass::None, 0, false, true});
+
+  unsigned QIN = MD.addResource("qin", 1);
+  unsigned QOUT = MD.addResource("qout", 1);
+  MD.setOpcodeInfo(Opcode::Recv, OpcodeInfo{1, {{QIN, 0, 1}},
+                                            RegClass::Float, 0, false, true});
+  MD.setOpcodeInfo(Opcode::Send, OpcodeInfo{1, {{QOUT, 0, 1}},
+                                            RegClass::None, 1, false, true});
+
+  MD.setRegisterFileSizes(32, 32);
+  MD.setClockMHz(1.0);
+  return MD;
+}

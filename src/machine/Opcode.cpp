@@ -1,0 +1,116 @@
+//===- Opcode.cpp - Target operation set ----------------------------------===//
+//
+// Part of warp-swp. See Opcode.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Machine/Opcode.h"
+
+#include <cassert>
+
+using namespace swp;
+
+const char *swp::opcodeName(Opcode Opc) {
+  switch (Opc) {
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FNeg:
+    return "fneg";
+  case Opcode::FAbs:
+    return "fabs";
+  case Opcode::FMin:
+    return "fmin";
+  case Opcode::FMax:
+    return "fmax";
+  case Opcode::FConst:
+    return "fconst";
+  case Opcode::FMov:
+    return "fmov";
+  case Opcode::FCmpLT:
+    return "fcmplt";
+  case Opcode::FCmpLE:
+    return "fcmple";
+  case Opcode::FCmpEQ:
+    return "fcmpeq";
+  case Opcode::FCmpNE:
+    return "fcmpne";
+  case Opcode::FInv:
+    return "finv";
+  case Opcode::FSqrt:
+    return "fsqrt";
+  case Opcode::FExp:
+    return "fexp";
+  case Opcode::FRecipSeed:
+    return "frecipseed";
+  case Opcode::FRSqrtSeed:
+    return "frsqrtseed";
+  case Opcode::FLoad:
+    return "fload";
+  case Opcode::FStore:
+    return "fstore";
+  case Opcode::ILoad:
+    return "iload";
+  case Opcode::IStore:
+    return "istore";
+  case Opcode::IAdd:
+    return "iadd";
+  case Opcode::ISub:
+    return "isub";
+  case Opcode::IMul:
+    return "imul";
+  case Opcode::IDiv:
+    return "idiv";
+  case Opcode::IMod:
+    return "imod";
+  case Opcode::IConst:
+    return "iconst";
+  case Opcode::IMov:
+    return "imov";
+  case Opcode::ICmpLT:
+    return "icmplt";
+  case Opcode::ICmpLE:
+    return "icmple";
+  case Opcode::ICmpEQ:
+    return "icmpeq";
+  case Opcode::ICmpNE:
+    return "icmpne";
+  case Opcode::IAnd:
+    return "iand";
+  case Opcode::IOr:
+    return "ior";
+  case Opcode::INot:
+    return "inot";
+  case Opcode::FSel:
+    return "fsel";
+  case Opcode::ISel:
+    return "isel";
+  case Opcode::I2F:
+    return "i2f";
+  case Opcode::F2I:
+    return "f2i";
+  case Opcode::Recv:
+    return "recv";
+  case Opcode::Send:
+    return "send";
+  case Opcode::Nop:
+    return "nop";
+  }
+  assert(false && "unknown opcode");
+  return "<bad>";
+}
+
+bool swp::isLibraryPseudo(Opcode Opc) {
+  return Opc == Opcode::FInv || Opc == Opcode::FSqrt || Opc == Opcode::FExp;
+}
+
+bool swp::isLoad(Opcode Opc) {
+  return Opc == Opcode::FLoad || Opc == Opcode::ILoad;
+}
+
+bool swp::isStore(Opcode Opc) {
+  return Opc == Opcode::FStore || Opc == Opcode::IStore;
+}

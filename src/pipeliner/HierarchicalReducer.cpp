@@ -1,0 +1,125 @@
+//===- HierarchicalReducer.cpp - Section 3 ------------------------------------===//
+//
+// Part of warp-swp. See HierarchicalReducer.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Pipeliner/HierarchicalReducer.h"
+
+#include "swp/DDG/DDGBuilder.h"
+#include "swp/Sched/ListScheduler.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace swp;
+
+namespace {
+
+/// Compacts one branch: reduces it recursively, list-schedules the units,
+/// and returns the member ops re-based to their scheduled offsets together
+/// with the branch's per-cycle resource usage.
+struct CompactedBranch {
+  std::vector<UnitOp> Ops;
+  std::map<std::pair<unsigned, unsigned>, unsigned> Usage; ///< (cycle,res).
+  int Length = 0;
+};
+
+CompactedBranch compactBranch(const StmtList &Body,
+                              const MachineDescription &MD,
+                              unsigned CurrentLoopId) {
+  CompactedBranch Out;
+  if (Body.empty())
+    return Out;
+  std::vector<ScheduleUnit> Units =
+      reduceBodyToUnits(Body, MD, CurrentLoopId);
+  DDGBuildOptions Opts;
+  Opts.CurrentLoopId = CurrentLoopId;
+  DepGraph G = buildLoopDepGraph(std::move(Units), MD, Opts);
+  Schedule Sched = listSchedule(G, MD);
+
+  for (unsigned I = 0; I != G.numNodes(); ++I) {
+    int T = Sched.startOf(I);
+    const ScheduleUnit &U = G.unit(I);
+    for (const UnitOp &UO : U.ops()) {
+      UnitOp Shifted = UO;
+      Shifted.Offset += T;
+      Out.Ops.push_back(std::move(Shifted));
+    }
+    for (const ResourceUse &Use : U.reservation())
+      Out.Usage[{static_cast<unsigned>(T) + Use.Cycle, Use.ResId}] +=
+          Use.Units;
+    Out.Length = std::max(Out.Length, T + U.length());
+  }
+  return Out;
+}
+
+/// Prepends the branch predicate to every member op of \p Branch.
+void addPredicate(CompactedBranch &Branch, VReg Cond, bool Negated) {
+  for (UnitOp &UO : Branch.Ops)
+    UO.Preds.insert(UO.Preds.begin(), PredTerm{Cond, Negated});
+}
+
+} // namespace
+
+std::vector<ScheduleUnit> swp::reduceBodyToUnits(const StmtList &Body,
+                                                 const MachineDescription &MD,
+                                                 unsigned CurrentLoopId) {
+  std::vector<const Stmt *> View;
+  View.reserve(Body.size());
+  for (const StmtPtr &S : Body)
+    View.push_back(S.get());
+  return reduceStmtsToUnits(View, MD, CurrentLoopId);
+}
+
+std::vector<ScheduleUnit>
+swp::reduceStmtsToUnits(const std::vector<const Stmt *> &Stmts,
+                        const MachineDescription &MD,
+                        unsigned CurrentLoopId) {
+  std::vector<ScheduleUnit> Units;
+  Units.reserve(Stmts.size());
+  for (const Stmt *S : Stmts) {
+    if (const auto *Op = dyn_cast<OpStmt>(S)) {
+      Units.push_back(ScheduleUnit::makeSimple(Op->Op, MD));
+      continue;
+    }
+    const auto *If = dyn_cast<IfStmt>(S);
+    assert(If && "loop bodies under reduction contain no nested loops");
+    CompactedBranch Then = compactBranch(If->Then, MD, CurrentLoopId);
+    CompactedBranch Else = compactBranch(If->Else, MD, CurrentLoopId);
+    addPredicate(Then, If->Cond, /*Negated=*/false);
+    addPredicate(Else, If->Cond, /*Negated=*/true);
+    if (Then.Ops.empty() && Else.Ops.empty())
+      continue; // Degenerate conditional: nothing to schedule.
+
+    // Union of the scheduling constraints of the two branches: entry-wise
+    // maximum of the reservation tables, maximum of the lengths
+    // (section 3.1).
+    std::map<std::pair<unsigned, unsigned>, unsigned> Merged = Then.Usage;
+    for (const auto &[Key, Units_] : Else.Usage) {
+      unsigned &Slot = Merged[Key];
+      Slot = std::max(Slot, Units_);
+    }
+    std::vector<ResourceUse> Reservation;
+    Reservation.reserve(Merged.size());
+    for (const auto &[Key, Count] : Merged)
+      Reservation.push_back({Key.second, Key.first, Count});
+
+    std::vector<UnitOp> Ops = std::move(Then.Ops);
+    Ops.insert(Ops.end(), std::make_move_iterator(Else.Ops.begin()),
+               std::make_move_iterator(Else.Ops.end()));
+    Units.push_back(ScheduleUnit::makeReduced(
+        std::move(Ops), std::move(Reservation),
+        std::max(Then.Length, Else.Length), MD));
+  }
+  return Units;
+}
+
+bool swp::bodyHasConditionals(const StmtList &Body) {
+  bool Found = false;
+  forEachStmt(Body, [&](const Stmt &S) {
+    if (isa<IfStmt>(&S))
+      Found = true;
+  });
+  return Found;
+}

@@ -1,0 +1,168 @@
+//===- LoopUtils.cpp - Loop preparation helpers --------------------------------===//
+//
+// Part of warp-swp. See LoopUtils.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Pipeliner/LoopUtils.h"
+
+using namespace swp;
+
+namespace {
+
+/// Collects register reads (operands, subscript addends, conditions, loop
+/// bounds) and defs from a statement list.
+void collectAccesses(const StmtList &List, std::set<unsigned> &Reads,
+                     std::set<unsigned> &Defs) {
+  forEachStmt(List, [&](const Stmt &S) {
+    if (const auto *Op = dyn_cast<OpStmt>(&S)) {
+      for (const VReg &R : Op->Op.Operands)
+        Reads.insert(R.Id);
+      if (Op->Op.Mem.isValid() && Op->Op.Mem.Index.hasAddend())
+        Reads.insert(Op->Op.Mem.Index.Addend.Id);
+      if (Op->Op.Def.isValid())
+        Defs.insert(Op->Op.Def.Id);
+      return;
+    }
+    if (const auto *If = dyn_cast<IfStmt>(&S)) {
+      Reads.insert(If->Cond.Id);
+      return;
+    }
+    const auto *For = cast<ForStmt>(&S);
+    if (!For->Lo.IsImm)
+      Reads.insert(For->Lo.Reg.Id);
+    if (!For->Hi.IsImm)
+      Reads.insert(For->Hi.Reg.Id);
+  });
+}
+
+/// Like collectAccesses but skips the subtree rooted at \p Skip.
+void collectAccessesOutside(const StmtList &List, const ForStmt *Skip,
+                            std::set<unsigned> &Reads) {
+  for (const StmtPtr &S : List) {
+    if (S.get() == Skip)
+      continue;
+    if (const auto *Op = dyn_cast<OpStmt>(S.get())) {
+      for (const VReg &R : Op->Op.Operands)
+        Reads.insert(R.Id);
+      if (Op->Op.Mem.isValid() && Op->Op.Mem.Index.hasAddend())
+        Reads.insert(Op->Op.Mem.Index.Addend.Id);
+      continue;
+    }
+    if (const auto *If = dyn_cast<IfStmt>(S.get())) {
+      Reads.insert(If->Cond.Id);
+      collectAccessesOutside(If->Then, Skip, Reads);
+      collectAccessesOutside(If->Else, Skip, Reads);
+      continue;
+    }
+    const auto *For = cast<ForStmt>(S.get());
+    if (!For->Lo.IsImm)
+      Reads.insert(For->Lo.Reg.Id);
+    if (!For->Hi.IsImm)
+      Reads.insert(For->Hi.Reg.Id);
+    collectAccessesOutside(For->Body, Skip, Reads);
+  }
+}
+
+} // namespace
+
+std::set<unsigned> swp::liveOutRegs(const Program &P, const ForStmt &For) {
+  std::set<unsigned> InLoopReads, InLoopDefs;
+  collectAccesses(For.Body, InLoopReads, InLoopDefs);
+  std::set<unsigned> OutsideReads;
+  collectAccessesOutside(P.Body, &For, OutsideReads);
+  std::set<unsigned> LiveOut;
+  for (unsigned Id : InLoopDefs)
+    if (OutsideReads.count(Id))
+      LiveOut.insert(Id);
+  return LiveOut;
+}
+
+bool swp::usesIndVarAsValue(const ForStmt &For) {
+  bool Used = false;
+  forEachStmt(For.Body, [&](const Stmt &S) {
+    if (const auto *Op = dyn_cast<OpStmt>(&S)) {
+      for (const VReg &R : Op->Op.Operands)
+        if (R == For.IndVar)
+          Used = true;
+      if (Op->Op.Mem.isValid() && Op->Op.Mem.Index.hasAddend() &&
+          Op->Op.Mem.Index.Addend == For.IndVar)
+        Used = true;
+    } else if (const auto *If = dyn_cast<IfStmt>(&S)) {
+      if (If->Cond == For.IndVar)
+        Used = true;
+    }
+  });
+  return Used;
+}
+
+LoopPrep swp::prepareLoopForCodegen(Program &P, ForStmt &For) {
+  LoopPrep Prep;
+  if (!usesIndVarAsValue(For))
+    return Prep;
+
+  // Idempotence: a trailing "iv := iadd iv, <x>" means we already ran.
+  if (!For.Body.empty()) {
+    if (const auto *Last = dyn_cast<OpStmt>(For.Body.back().get()))
+      if (Last->Op.Opc == Opcode::IAdd && Last->Op.Def == For.IndVar &&
+          !Last->Op.Operands.empty() && Last->Op.Operands[0] == For.IndVar) {
+        Prep.IndVarMaterialized = true;
+        return Prep;
+      }
+  }
+
+  VReg One = P.createVReg(RegClass::Int, "one");
+  Operation MakeOne;
+  MakeOne.Opc = Opcode::IConst;
+  MakeOne.IImm = 1;
+  MakeOne.Def = One;
+  Prep.Preheader.push_back(std::move(MakeOne));
+
+  Operation InitIV;
+  if (For.Lo.IsImm) {
+    InitIV.Opc = Opcode::IConst;
+    InitIV.IImm = For.Lo.Imm;
+  } else {
+    InitIV.Opc = Opcode::IMov;
+    InitIV.Operands = {For.Lo.Reg};
+  }
+  InitIV.Def = For.IndVar;
+  Prep.Preheader.push_back(std::move(InitIV));
+
+  Operation Inc;
+  Inc.Opc = Opcode::IAdd;
+  Inc.Operands = {For.IndVar, One};
+  Inc.Def = For.IndVar;
+  For.Body.push_back(std::make_unique<OpStmt>(std::move(Inc)));
+  Prep.IndVarMaterialized = true;
+  return Prep;
+}
+
+bool swp::isInnermost(const ForStmt &For) {
+  bool HasLoop = false;
+  forEachStmt(For.Body, [&](const Stmt &S) {
+    if (isa<ForStmt>(&S))
+      HasLoop = true;
+  });
+  return !HasLoop;
+}
+
+std::vector<ForStmt *> swp::innermostLoops(StmtList &List) {
+  std::vector<ForStmt *> Result;
+  for (StmtPtr &S : List) {
+    if (auto *For = dyn_cast<ForStmt>(S.get())) {
+      if (isInnermost(*For))
+        Result.push_back(For);
+      else {
+        auto Nested = innermostLoops(For->Body);
+        Result.insert(Result.end(), Nested.begin(), Nested.end());
+      }
+    } else if (auto *If = dyn_cast<IfStmt>(S.get())) {
+      auto T = innermostLoops(If->Then);
+      Result.insert(Result.end(), T.begin(), T.end());
+      auto E = innermostLoops(If->Else);
+      Result.insert(Result.end(), E.begin(), E.end());
+    }
+  }
+  return Result;
+}

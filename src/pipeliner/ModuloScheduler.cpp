@@ -1,0 +1,351 @@
+//===- ModuloScheduler.cpp - Iterative modulo scheduling ---------------------===//
+//
+// Part of warp-swp. See ModuloScheduler.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Pipeliner/ModuloScheduler.h"
+
+#include "swp/Sched/ListScheduler.h"
+#include "swp/Sched/ReservationTables.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace swp;
+
+namespace {
+
+constexpr int64_t NegInf = std::numeric_limits<int64_t>::min() / 4;
+constexpr int64_t PosInf = std::numeric_limits<int64_t>::max() / 4;
+
+/// Shared preprocessing (SCCs, symbolic closures, priorities) plus the
+/// per-interval scheduling attempt.
+class SchedulerImpl {
+public:
+  SchedulerImpl(const DepGraph &G, const MachineDescription &MD,
+                const ModuloScheduleOptions &Opts)
+      : G(G), MD(MD), Opts(Opts), Comps(G.stronglyConnectedComponents()),
+        Heights(computeHeights(G)) {
+    RecBound = recMII(G);
+    CompOf.assign(G.numNodes(), 0);
+    for (unsigned C = 0; C != Comps.size(); ++C)
+      for (unsigned N : Comps[C])
+        CompOf[N] = C;
+    // The closure is computed once, with the symbolic interval; only
+    // nontrivial components need it.
+    for (unsigned C = 0; C != Comps.size(); ++C)
+      if (Comps[C].size() > 1)
+        Closures.emplace(C, SCCClosure(G, Comps[C], RecBound));
+  }
+
+  unsigned recBound() const { return RecBound; }
+
+  std::optional<Schedule> tryInterval(unsigned S);
+
+private:
+  /// Slot-picking direction inside a component's precedence-constrained
+  /// range. Earliest-first is the paper's heuristic; latest-first is the
+  /// retry that rescues ranges pinched to a single occupied row (an
+  /// induction increment whose every consumer was greedily pushed to the
+  /// range's bottom leaves the increment exactly one -- taken -- slot,
+  /// at every interval).
+  enum class SlotOrder { EarliestFirst, LatestFirst };
+
+  bool scheduleComponent(unsigned C, unsigned S, SlotOrder Order,
+                         std::vector<int> &Internal) const;
+
+  const DepGraph &G;
+  const MachineDescription &MD;
+  const ModuloScheduleOptions &Opts;
+  std::vector<std::vector<unsigned>> Comps;
+  std::vector<int64_t> Heights;
+  std::vector<unsigned> CompOf;
+  std::map<unsigned, SCCClosure> Closures;
+  unsigned RecBound = 1;
+};
+
+bool SchedulerImpl::scheduleComponent(unsigned C, unsigned S,
+                                      SlotOrder Order,
+                                      std::vector<int> &Internal) const {
+  const std::vector<unsigned> &Members = Comps[C];
+  const SCCClosure &Cl = Closures.at(C);
+
+  // Topological order of the intra-component omega-0 edges, higher global
+  // height first among ready nodes (section 2.2.2).
+  std::map<unsigned, unsigned> PredsLeft;
+  for (unsigned N : Members)
+    PredsLeft[N] = 0;
+  for (const DepEdge &E : G.edges())
+    if (E.Omega == 0 && CompOf[E.Src] == C && CompOf[E.Dst] == C)
+      ++PredsLeft[E.Dst];
+  std::vector<unsigned> Ready;
+  for (unsigned N : Members)
+    if (PredsLeft[N] == 0)
+      Ready.push_back(N);
+
+  std::map<unsigned, int64_t> Earliest, Latest;
+  for (unsigned N : Members) {
+    Earliest[N] = NegInf;
+    Latest[N] = PosInf;
+  }
+
+  ModuloReservationTable LocalMRT(MD, S);
+  std::map<unsigned, int64_t> Placed;
+  while (!Ready.empty()) {
+    auto Best = std::max_element(Ready.begin(), Ready.end(),
+                                 [&](unsigned A, unsigned B) {
+                                   return Heights[A] < Heights[B] ||
+                                          (Heights[A] == Heights[B] && A > B);
+                                 });
+    unsigned N = *Best;
+    Ready.erase(Best);
+
+    int64_t Lo = Earliest[N] == NegInf ? 0 : Earliest[N];
+    int64_t Hi = std::min<int64_t>(Latest[N], Lo + S - 1);
+    bool Found = false;
+    for (int64_t I = Lo; I <= Hi; ++I) {
+      int64_t T = Order == SlotOrder::EarliestFirst ? I : Hi - (I - Lo);
+      if (!LocalMRT.canPlace(G.unit(N), static_cast<int>(T)))
+        continue;
+      LocalMRT.place(G.unit(N), static_cast<int>(T));
+      Placed[N] = T;
+      Found = true;
+      break;
+    }
+    if (!Found)
+      return false;
+
+    // Tighten the precedence-constrained range of every unscheduled
+    // member, substituting the concrete interval into the closure.
+    for (unsigned M : Members) {
+      if (Placed.count(M))
+        continue;
+      int64_t Fwd = Cl.distance(N, M, S);
+      if (Fwd != std::numeric_limits<int64_t>::min())
+        Earliest[M] = std::max(Earliest[M], Placed[N] + Fwd);
+      int64_t Bwd = Cl.distance(M, N, S);
+      if (Bwd != std::numeric_limits<int64_t>::min())
+        Latest[M] = std::min(Latest[M], Placed[N] - Bwd);
+    }
+
+    for (unsigned EIdx : G.succs(N)) {
+      const DepEdge &E = G.edges()[EIdx];
+      if (E.Omega != 0 || CompOf[E.Dst] != C)
+        continue;
+      if (--PredsLeft[E.Dst] == 0)
+        Ready.push_back(E.Dst);
+    }
+  }
+  if (Placed.size() != Members.size())
+    return false;
+
+  // Normalize internal offsets to start at zero.
+  int64_t Min = PosInf;
+  for (unsigned N : Members)
+    Min = std::min(Min, Placed[N]);
+  for (unsigned N : Members)
+    Internal[N] = static_cast<int>(Placed[N] - Min);
+  return true;
+}
+
+std::optional<Schedule> SchedulerImpl::tryInterval(unsigned S) {
+  unsigned NumComps = Comps.size();
+  std::vector<int> Internal(G.numNodes(), 0);
+
+  // Phase 1: schedule every nontrivial component individually; when the
+  // earliest-first heuristic wedges, retry the component latest-first.
+  for (unsigned C = 0; C != NumComps; ++C) {
+    if (Comps[C].size() <= 1)
+      continue;
+    if (!scheduleComponent(C, S, SlotOrder::EarliestFirst, Internal) &&
+        !scheduleComponent(C, S, SlotOrder::LatestFirst, Internal))
+      return std::nullopt;
+  }
+
+  // Phase 2: reduce components to super-nodes and list-schedule the
+  // acyclic condensation against the global modulo reservation table.
+  // Build per-component aggregate reservations and condensation edges.
+  std::vector<ScheduleUnit> Aggregates;
+  Aggregates.reserve(NumComps);
+  for (unsigned C = 0; C != NumComps; ++C) {
+    std::vector<ResourceUse> Res;
+    int Len = 1;
+    for (unsigned N : Comps[C]) {
+      for (const ResourceUse &Use : G.unit(N).reservation())
+        Res.push_back({Use.ResId,
+                       Use.Cycle + static_cast<unsigned>(Internal[N]),
+                       Use.Units});
+      Len = std::max(Len, Internal[N] + G.unit(N).length());
+    }
+    Aggregates.push_back(ScheduleUnit::makeReduced({}, std::move(Res), Len,
+                                                   MD));
+  }
+
+  struct CondEdge {
+    unsigned Src, Dst;
+    int64_t Delay;
+    unsigned Omega;
+  };
+  std::vector<CondEdge> CondEdges;
+  std::vector<std::vector<unsigned>> CondSuccs(NumComps), CondPreds(NumComps);
+  for (const DepEdge &E : G.edges()) {
+    unsigned CS = CompOf[E.Src], CD = CompOf[E.Dst];
+    if (CS == CD)
+      continue;
+    CondSuccs[CS].push_back(CondEdges.size());
+    CondPreds[CD].push_back(CondEdges.size());
+    CondEdges.push_back(
+        {CS, CD, E.Delay + Internal[E.Src] - Internal[E.Dst], E.Omega});
+  }
+
+  // Heights over the condensation's omega-0 edges.
+  std::vector<int64_t> CompHeight(NumComps, 0);
+  for (unsigned C = NumComps; C-- != 0;) {
+    int64_t H = Aggregates[C].length();
+    for (unsigned EIdx : CondSuccs[C]) {
+      const CondEdge &E = CondEdges[EIdx];
+      if (E.Omega == 0)
+        H = std::max(H, CompHeight[E.Dst] + E.Delay);
+    }
+    CompHeight[C] = H;
+  }
+
+  // Components are already in topological order (all condensation edges go
+  // forward); schedule ready components by height.
+  std::vector<unsigned> PredsLeft(NumComps, 0);
+  for (const CondEdge &E : CondEdges)
+    ++PredsLeft[E.Dst];
+  std::vector<unsigned> Ready;
+  for (unsigned C = 0; C != NumComps; ++C)
+    if (PredsLeft[C] == 0)
+      Ready.push_back(C);
+
+  ModuloReservationTable MRT(MD, S);
+  std::vector<int64_t> CompStart(NumComps, NegInf);
+  unsigned NumPlaced = 0;
+  while (!Ready.empty()) {
+    auto Best = std::max_element(
+        Ready.begin(), Ready.end(), [&](unsigned A, unsigned B) {
+          return CompHeight[A] < CompHeight[B] ||
+                 (CompHeight[A] == CompHeight[B] && A > B);
+        });
+    unsigned C = *Best;
+    Ready.erase(Best);
+
+    int64_t Lo = 0;
+    for (unsigned EIdx : CondPreds[C]) {
+      const CondEdge &E = CondEdges[EIdx];
+      assert(CompStart[E.Src] != NegInf &&
+             "condensation edges all go forward");
+      Lo = std::max(Lo, CompStart[E.Src] + E.Delay -
+                            static_cast<int64_t>(S) * E.Omega);
+    }
+    bool Found = false;
+    for (int64_t T = Lo; T != Lo + S; ++T) {
+      if (!MRT.canPlace(Aggregates[C], static_cast<int>(T)))
+        continue;
+      MRT.place(Aggregates[C], static_cast<int>(T));
+      CompStart[C] = T;
+      Found = true;
+      break;
+    }
+    if (!Found)
+      return std::nullopt;
+    ++NumPlaced;
+
+    for (unsigned EIdx : CondSuccs[C]) {
+      const CondEdge &E = CondEdges[EIdx];
+      if (--PredsLeft[E.Dst] == 0)
+        Ready.push_back(E.Dst);
+    }
+  }
+  if (NumPlaced != NumComps)
+    return std::nullopt;
+
+  Schedule Sched(G.numNodes());
+  for (unsigned N = 0; N != G.numNodes(); ++N)
+    Sched.setStart(N, static_cast<int>(CompStart[CompOf[N]]) + Internal[N]);
+  assert(Sched.satisfiesPrecedence(G, static_cast<int>(S)) &&
+         "modulo schedule violates a precedence constraint");
+
+  if (Opts.MaxStages != 0) {
+    unsigned Stages = (Sched.issueLength() + S - 1) / S;
+    if (Stages > Opts.MaxStages)
+      return std::nullopt;
+  }
+  return Sched;
+}
+
+} // namespace
+
+std::optional<Schedule>
+swp::scheduleAtInterval(const DepGraph &G, const MachineDescription &MD,
+                        unsigned S, unsigned RecBound,
+                        const ModuloScheduleOptions &Opts) {
+  SchedulerImpl Impl(G, MD, Opts);
+  if (S < std::max(RecBound, Impl.recBound()))
+    return std::nullopt;
+  return Impl.tryInterval(S);
+}
+
+ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
+                                         const MachineDescription &MD,
+                                         const ModuloScheduleOptions &Opts) {
+  ModuloScheduleResult Result;
+  Result.ResMII = resMII(G, MD);
+
+  SchedulerImpl Impl(G, MD, Opts);
+  Result.RecMII = Impl.recBound();
+  Result.MII = std::max(Result.ResMII, Result.RecMII);
+
+  unsigned MaxII = Opts.MaxII;
+  if (MaxII == 0) {
+    // The paper's upper bound: the locally compacted iteration, executed
+    // without overlap, always "schedules" at its own period.
+    Schedule Local = listSchedule(G, MD);
+    MaxII = std::max<unsigned>(unpipelinedPeriod(G, Local), Result.MII);
+  }
+
+  if (!Opts.BinarySearch) {
+    // Linear search: schedulability is not monotonic in s, and on Warp the
+    // lower bound is usually achievable (section 2.2).
+    for (unsigned S = Result.MII; S <= MaxII; ++S) {
+      ++Result.TriedIntervals;
+      if (std::optional<Schedule> Sched = Impl.tryInterval(S)) {
+        Result.Success = true;
+        Result.Sched = std::move(*Sched);
+        Result.II = S;
+        break;
+      }
+    }
+  } else {
+    // Ablation: binary search as in the FPS-164 compiler. Assumes
+    // (incorrectly, in general) that schedulability is monotonic.
+    unsigned Lo = Result.MII, Hi = MaxII;
+    std::optional<Schedule> BestSched;
+    unsigned BestS = 0;
+    while (Lo <= Hi) {
+      unsigned Mid = Lo + (Hi - Lo) / 2;
+      ++Result.TriedIntervals;
+      if (std::optional<Schedule> Sched = Impl.tryInterval(Mid)) {
+        BestSched = std::move(Sched);
+        BestS = Mid;
+        if (Mid == 0 || Mid == Lo)
+          break;
+        Hi = Mid - 1;
+      } else {
+        Lo = Mid + 1;
+      }
+    }
+    if (BestSched) {
+      Result.Success = true;
+      Result.Sched = std::move(*BestSched);
+      Result.II = BestS;
+    }
+  }
+
+  if (Result.Success)
+    Result.Stages = (Result.Sched.issueLength() + Result.II - 1) / Result.II;
+  return Result;
+}

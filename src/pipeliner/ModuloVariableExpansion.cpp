@@ -1,0 +1,116 @@
+//===- ModuloVariableExpansion.cpp - MVE --------------------------------------===//
+//
+// Part of warp-swp. See ModuloVariableExpansion.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Pipeliner/ModuloVariableExpansion.h"
+
+#include "swp/IR/Program.h"
+#include "swp/Support/MathUtils.h"
+
+#include <algorithm>
+
+using namespace swp;
+
+std::set<unsigned>
+swp::mveEligibleRegs(const std::vector<ScheduleUnit> &Units,
+                     const std::set<unsigned> &LiveOut, const Program &P) {
+  // First access per register in program order; writes must win and be
+  // unpredicated for eligibility.
+  std::set<unsigned> SeenRead, FirstWriteUnpred, FirstWritePred;
+  for (const ScheduleUnit &U : Units) {
+    // Within a unit, reads happen logically before the unit's writes for
+    // accumulator-style single-op recurrences, so visit reads first.
+    for (const ScheduleUnit::RegRead &R : U.reads())
+      if (!FirstWriteUnpred.count(R.R.Id) && !FirstWritePred.count(R.R.Id))
+        SeenRead.insert(R.R.Id);
+    for (const UnitOp &UO : U.ops()) {
+      if (!UO.Op.Def.isValid())
+        continue;
+      unsigned Id = UO.Op.Def.Id;
+      if (SeenRead.count(Id) || FirstWriteUnpred.count(Id) ||
+          FirstWritePred.count(Id))
+        continue;
+      (UO.Preds.empty() ? FirstWriteUnpred : FirstWritePred).insert(Id);
+    }
+  }
+  std::set<unsigned> Eligible;
+  for (unsigned Id : FirstWriteUnpred) {
+    if (LiveOut.count(Id))
+      continue;
+    if (P.vregInfo(VReg(Id)).IsLiveIn)
+      continue;
+    Eligible.insert(Id);
+  }
+  return Eligible;
+}
+
+MVEPlan swp::planModuloVariableExpansion(
+    const std::vector<ScheduleUnit> &Units, const Schedule &Sched,
+    unsigned II, const std::set<unsigned> &Expanded, MVEPolicy Policy) {
+  MVEPlan Plan;
+  if (Policy == MVEPolicy::Disabled || Expanded.empty())
+    return Plan;
+
+  // Lifetime endpoints per expanded register: earliest commit, last read.
+  std::map<unsigned, int64_t> FirstCommit, LastRead;
+  for (unsigned I = 0; I != Units.size(); ++I) {
+    if (!Sched.isScheduled(I))
+      continue;
+    int64_t T = Sched.startOf(I);
+    for (const ScheduleUnit::RegWrite &W : Units[I].writes()) {
+      if (!Expanded.count(W.R.Id))
+        continue;
+      int64_t Commit = T + W.Offset + W.Latency;
+      auto [It, New] = FirstCommit.try_emplace(W.R.Id, Commit);
+      if (!New)
+        It->second = std::min(It->second, Commit);
+    }
+    for (const ScheduleUnit::RegRead &R : Units[I].reads()) {
+      if (!Expanded.count(R.R.Id))
+        continue;
+      int64_t Read = T + R.Offset;
+      auto [It, New] = LastRead.try_emplace(R.R.Id, Read);
+      if (!New)
+        It->second = std::max(It->second, Read);
+    }
+  }
+
+  // q_i = ceil(lifetime / s): values alive concurrently (section 2.3).
+  std::map<unsigned, unsigned> Q;
+  for (const auto &[Id, Commit] : FirstCommit) {
+    auto RIt = LastRead.find(Id);
+    if (RIt == LastRead.end()) {
+      Q[Id] = 1; // Written but never read: one location suffices.
+      continue;
+    }
+    int64_t Life = RIt->second - Commit + 1;
+    Q[Id] = static_cast<unsigned>(std::max<int64_t>(1, ceilDiv(Life, II)));
+  }
+  if (Q.empty())
+    return Plan;
+
+  if (Policy == MVEPolicy::MinRegisters) {
+    // u = lcm(q_i), each register gets exactly q_i locations. The paper
+    // warns the lcm can be intolerable; callers cap it and fall back.
+    int64_t U = 1;
+    for (const auto &[Id, Qi] : Q)
+      U = lcm(U, Qi);
+    Plan.Unroll = static_cast<unsigned>(U);
+    for (const auto &[Id, Qi] : Q)
+      Plan.Copies[Id] = Qi;
+    return Plan;
+  }
+
+  // MinCodeSize: u = max(q_i); copy counts round up to divisors of u so
+  // the renaming pattern repeats exactly once per unrolled steady state.
+  unsigned U = 1;
+  for (const auto &[Id, Qi] : Q)
+    U = std::max(U, Qi);
+  Plan.Unroll = U;
+  for (const auto &[Id, Qi] : Q)
+    Plan.Copies[Id] =
+        static_cast<unsigned>(smallestDivisorAtLeast(U, Qi));
+  return Plan;
+}

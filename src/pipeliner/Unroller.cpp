@@ -1,0 +1,266 @@
+//===- Unroller.cpp - Source-level loop unrolling -------------------------------===//
+//
+// Part of warp-swp. See Unroller.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Pipeliner/Unroller.h"
+
+#include "swp/IR/OpTraits.h"
+#include "swp/Pipeliner/LoopUtils.h"
+
+#include <map>
+#include <set>
+
+using namespace swp;
+
+namespace {
+
+/// Registers the body reads before writing (loop-carried): these keep
+/// their names so copies chain sequentially.
+std::set<unsigned> carriedRegs(const StmtList &Body) {
+  std::set<unsigned> Read, WrittenFirst, Carried;
+  forEachStmt(Body, [&](const Stmt &S) {
+    if (const auto *Op = dyn_cast<OpStmt>(&S)) {
+      for (const VReg &R : Op->Op.Operands)
+        if (!WrittenFirst.count(R.Id))
+          Carried.insert(R.Id);
+      if (Op->Op.Mem.isValid() && Op->Op.Mem.Index.hasAddend() &&
+          !WrittenFirst.count(Op->Op.Mem.Index.Addend.Id))
+        Carried.insert(Op->Op.Mem.Index.Addend.Id);
+      if (Op->Op.Def.isValid())
+        WrittenFirst.insert(Op->Op.Def.Id);
+    } else if (const auto *If = dyn_cast<IfStmt>(&S)) {
+      if (!WrittenFirst.count(If->Cond.Id))
+        Carried.insert(If->Cond.Id);
+      // Conditionally written registers may carry values; treat every
+      // def under the conditional as carried (never renamed).
+      forEachStmt(If->Then, [&](const Stmt &T) {
+        if (const auto *TOp = dyn_cast<OpStmt>(&T))
+          if (TOp->Op.Def.isValid())
+            Carried.insert(TOp->Op.Def.Id);
+      });
+      forEachStmt(If->Else, [&](const Stmt &T) {
+        if (const auto *TOp = dyn_cast<OpStmt>(&T))
+          if (TOp->Op.Def.isValid())
+            Carried.insert(TOp->Op.Def.Id);
+      });
+    }
+  });
+  return Carried;
+}
+
+/// Clones \p Body substituting registers and rewriting subscripts.
+/// Subscript terms over \p OldLoop become Scale * NewLoop + Coef * Shift;
+/// value uses of \p OldIV are replaced by \p NewIVValue.
+class CopyBuilder {
+public:
+  CopyBuilder(Program &P, unsigned OldLoop, unsigned NewLoop, int64_t Scale,
+              int64_t Shift, VReg OldIV, VReg NewIVValue,
+              const std::set<unsigned> &Carried, bool RenameDefs)
+      : P(P), OldLoop(OldLoop), NewLoop(NewLoop), Scale(Scale), Shift(Shift),
+        OldIV(OldIV), NewIVValue(NewIVValue), Carried(Carried),
+        RenameDefs(RenameDefs) {}
+
+  StmtList clone(const StmtList &Body) {
+    StmtList Out;
+    for (const StmtPtr &S : Body) {
+      if (const auto *Op = dyn_cast<OpStmt>(S.get())) {
+        Out.push_back(std::make_unique<OpStmt>(cloneOp(Op->Op)));
+        continue;
+      }
+      const auto *If = cast<IfStmt>(S.get());
+      auto NewIf = std::make_unique<IfStmt>(mapUse(If->Cond));
+      NewIf->Then = clone(If->Then);
+      NewIf->Else = clone(If->Else);
+      Out.push_back(std::move(NewIf));
+    }
+    return Out;
+  }
+
+private:
+  VReg mapUse(VReg R) {
+    if (R == OldIV)
+      return NewIVValue;
+    auto It = Renamed.find(R.Id);
+    return It == Renamed.end() ? R : It->second;
+  }
+
+  VReg mapDef(VReg R) {
+    if (!RenameDefs || Carried.count(R.Id))
+      return R;
+    auto It = Renamed.find(R.Id);
+    if (It != Renamed.end())
+      return It->second;
+    VReg Fresh = P.createVReg(P.vregInfo(R).RC);
+    Renamed.emplace(R.Id, Fresh);
+    return Fresh;
+  }
+
+  AffineExpr mapIndex(const AffineExpr &E) {
+    AffineExpr Out;
+    Out.Const = E.Const;
+    for (const AffineExpr::Term &T : E.Terms) {
+      if (T.LoopId == OldLoop) {
+        Out.addTerm(NewLoop, T.Coef * Scale);
+        Out.Const += T.Coef * Shift;
+      } else {
+        Out.addTerm(T.LoopId, T.Coef);
+      }
+    }
+    if (E.hasAddend())
+      Out.Addend = mapUse(E.Addend);
+    return Out;
+  }
+
+  Operation cloneOp(const Operation &Op) {
+    Operation Out = Op;
+    unsigned NumVals = numValueOperands(Op.Opc);
+    for (unsigned I = 0; I != Out.Operands.size(); ++I)
+      Out.Operands[I] = mapUse(Op.Operands[I]);
+    if (Op.Mem.isValid()) {
+      Out.Mem.Index = mapIndex(Op.Mem.Index);
+      // Keep the trailing addend operand in sync with the subscript.
+      if (Out.Mem.Index.hasAddend() && Out.Operands.size() > NumVals)
+        Out.Operands.back() = Out.Mem.Index.Addend;
+    }
+    if (Op.Def.isValid())
+      Out.Def = mapDef(Op.Def);
+    return Out;
+  }
+
+  Program &P;
+  unsigned OldLoop, NewLoop;
+  int64_t Scale, Shift;
+  VReg OldIV, NewIVValue;
+  const std::set<unsigned> &Carried;
+  bool RenameDefs;
+  std::map<unsigned, VReg> Renamed;
+};
+
+/// Unrolls one loop in place within \p Parent at position \p Pos.
+void unrollOne(Program &P, StmtList &Parent, size_t Pos, unsigned Factor) {
+  auto *For = cast<ForStmt>(Parent[Pos].get());
+  std::optional<int64_t> TripOpt = For->staticTripCount();
+  assert(TripOpt && "caller filters runtime-bound loops");
+  int64_t N = *TripOpt;
+  int64_t Lo = For->Lo.Imm;
+  int64_t Main = N / Factor;
+  int64_t Rem = N % Factor;
+
+  std::set<unsigned> Carried = carriedRegs(For->Body);
+  // Live-out registers must keep their names so the value after the loop
+  // lands where later code reads it.
+  for (unsigned Id : liveOutRegs(P, *For))
+    Carried.insert(Id);
+  bool UsesIV = usesIndVarAsValue(*For);
+
+  StmtList Replacement;
+  // Value uses of the induction variable: maintain an explicit counter.
+  VReg IVCounter, FactorConst;
+  std::vector<VReg> OffsetConst(Factor);
+  if (UsesIV) {
+    Operation MakeLo;
+    MakeLo.Opc = Opcode::IConst;
+    MakeLo.IImm = Lo;
+    IVCounter = P.createVReg(RegClass::Int, "uiv");
+    MakeLo.Def = IVCounter;
+    Replacement.push_back(std::make_unique<OpStmt>(std::move(MakeLo)));
+    Operation MakeF;
+    MakeF.Opc = Opcode::IConst;
+    MakeF.IImm = Factor;
+    FactorConst = P.createVReg(RegClass::Int);
+    MakeF.Def = FactorConst;
+    Replacement.push_back(std::make_unique<OpStmt>(std::move(MakeF)));
+    for (unsigned J = 0; J != Factor; ++J) {
+      Operation MakeJ;
+      MakeJ.Opc = Opcode::IConst;
+      MakeJ.IImm = J;
+      OffsetConst[J] = P.createVReg(RegClass::Int);
+      MakeJ.Def = OffsetConst[J];
+      Replacement.push_back(std::make_unique<OpStmt>(std::move(MakeJ)));
+    }
+  }
+
+  if (Main > 0) {
+    unsigned NewLoopId = P.createLoopId();
+    VReg NewIV = P.createVReg(RegClass::Int, "u" + std::to_string(NewLoopId));
+    auto MainLoop = std::make_unique<ForStmt>(
+        NewLoopId, NewIV, LoopBound::imm(0), LoopBound::imm(Main - 1));
+    for (unsigned J = 0; J != Factor; ++J) {
+      VReg IVValue;
+      if (UsesIV) {
+        Operation Add;
+        Add.Opc = Opcode::IAdd;
+        Add.Operands = {IVCounter, OffsetConst[J]};
+        IVValue = P.createVReg(RegClass::Int);
+        Add.Def = IVValue;
+        MainLoop->Body.push_back(std::make_unique<OpStmt>(std::move(Add)));
+      }
+      // Original i == Lo + Factor*i' + J.
+      CopyBuilder CB(P, For->LoopId, NewLoopId, Factor, Lo + J, For->IndVar,
+                     IVValue, Carried, /*RenameDefs=*/true);
+      StmtList Copy = CB.clone(For->Body);
+      for (StmtPtr &S : Copy)
+        MainLoop->Body.push_back(std::move(S));
+    }
+    if (UsesIV) {
+      Operation Step;
+      Step.Opc = Opcode::IAdd;
+      Step.Operands = {IVCounter, FactorConst};
+      Step.Def = IVCounter;
+      MainLoop->Body.push_back(std::make_unique<OpStmt>(std::move(Step)));
+    }
+    Replacement.push_back(std::move(MainLoop));
+  }
+
+  if (Rem > 0) {
+    unsigned RemLoopId = P.createLoopId();
+    VReg RemIV = P.createVReg(RegClass::Int, "r" + std::to_string(RemLoopId));
+    auto RemLoop = std::make_unique<ForStmt>(
+        RemLoopId, RemIV, LoopBound::imm(Lo + Main * Factor),
+        LoopBound::imm(For->Hi.Imm));
+    CopyBuilder CB(P, For->LoopId, RemLoopId, 1, 0, For->IndVar, RemIV,
+                   Carried, /*RenameDefs=*/false);
+    RemLoop->Body = CB.clone(For->Body);
+    Replacement.push_back(std::move(RemLoop));
+  }
+
+  Parent.erase(Parent.begin() + Pos);
+  Parent.insert(Parent.begin() + Pos,
+                std::make_move_iterator(Replacement.begin()),
+                std::make_move_iterator(Replacement.end()));
+}
+
+unsigned unrollIn(Program &P, StmtList &List, unsigned Factor) {
+  unsigned Count = 0;
+  for (size_t I = 0; I < List.size(); ++I) {
+    Stmt *S = List[I].get();
+    if (auto *For = dyn_cast<ForStmt>(S)) {
+      if (!isInnermost(*For)) {
+        Count += unrollIn(P, For->Body, Factor);
+        continue;
+      }
+      std::optional<int64_t> Trip = For->staticTripCount();
+      if (!Trip || *Trip < Factor)
+        continue;
+      unrollOne(P, List, I, Factor);
+      ++Count;
+      continue;
+    }
+    if (auto *If = dyn_cast<IfStmt>(S)) {
+      Count += unrollIn(P, If->Then, Factor);
+      Count += unrollIn(P, If->Else, Factor);
+    }
+  }
+  return Count;
+}
+
+} // namespace
+
+unsigned swp::unrollInnermostLoops(Program &P, unsigned Factor) {
+  assert(Factor >= 1 && "unroll factor must be positive");
+  if (Factor == 1)
+    return 0;
+  return unrollIn(P, P.Body, Factor);
+}

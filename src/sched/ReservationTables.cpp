@@ -1,0 +1,85 @@
+//===- ReservationTables.cpp - Resource bookkeeping --------------------------===//
+//
+// Part of warp-swp. See ReservationTables.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Sched/ReservationTables.h"
+
+using namespace swp;
+
+bool ReservationTable::canPlace(const ScheduleUnit &U, int T) const {
+  assert(T >= 0 && "straight-line schedules start at cycle 0");
+  for (const ResourceUse &Use : U.reservation()) {
+    size_t Cycle = static_cast<size_t>(T) + Use.Cycle;
+    if (Cycle >= Rows.size())
+      continue; // Untouched cycles are free.
+    if (Rows[Cycle][Use.ResId] + Use.Units > MD.resource(Use.ResId).Units)
+      return false;
+  }
+  return true;
+}
+
+void ReservationTable::place(const ScheduleUnit &U, int T) {
+  assert(canPlace(U, T) && "placing an over-subscribed unit");
+  for (const ResourceUse &Use : U.reservation()) {
+    size_t Cycle = static_cast<size_t>(T) + Use.Cycle;
+    if (Cycle >= Rows.size())
+      Rows.resize(Cycle + 1, std::vector<unsigned>(MD.numResources(), 0));
+    Rows[Cycle][Use.ResId] += Use.Units;
+  }
+}
+
+unsigned ReservationTable::usedAt(int T, unsigned Res) const {
+  if (T < 0 || static_cast<size_t>(T) >= Rows.size())
+    return 0;
+  return Rows[T][Res];
+}
+
+ModuloReservationTable::ModuloReservationTable(const MachineDescription &MD,
+                                               unsigned S)
+    : MD(MD), S(S), Rows(static_cast<size_t>(S) * MD.numResources(), 0) {
+  assert(S >= 1 && "initiation interval must be positive");
+}
+
+bool ModuloReservationTable::canPlace(const ScheduleUnit &U, int T) const {
+  // A unit longer than the interval folds onto itself; accumulate per-row
+  // increments first so self-collisions are counted correctly.
+  for (const ResourceUse &Use : U.reservation()) {
+    unsigned Row = rowOf(T, Use.Cycle);
+    unsigned Already = Rows[static_cast<size_t>(Row) * MD.numResources() +
+                            Use.ResId];
+    unsigned Extra = Use.Units;
+    // Count sibling reservations of this same unit landing on the same row
+    // and resource (possible when unit length exceeds S).
+    for (const ResourceUse &Other : U.reservation())
+      if (&Other != &Use && Other.ResId == Use.ResId &&
+          rowOf(T, Other.Cycle) == Row && Other.Cycle < Use.Cycle)
+        Extra += Other.Units;
+    if (Already + Extra > MD.resource(Use.ResId).Units)
+      return false;
+  }
+  return true;
+}
+
+void ModuloReservationTable::place(const ScheduleUnit &U, int T) {
+  assert(canPlace(U, T) && "placing an over-subscribed unit");
+  for (const ResourceUse &Use : U.reservation())
+    Rows[static_cast<size_t>(rowOf(T, Use.Cycle)) * MD.numResources() +
+         Use.ResId] += Use.Units;
+}
+
+void ModuloReservationTable::remove(const ScheduleUnit &U, int T) {
+  for (const ResourceUse &Use : U.reservation()) {
+    unsigned &Slot = Rows[static_cast<size_t>(rowOf(T, Use.Cycle)) *
+                              MD.numResources() +
+                          Use.ResId];
+    assert(Slot >= Use.Units && "removing a unit that was not placed");
+    Slot -= Use.Units;
+  }
+}
+
+unsigned ModuloReservationTable::usedAt(int Row, unsigned Res) const {
+  assert(Row >= 0 && static_cast<unsigned>(Row) < S && "row out of range");
+  return Rows[static_cast<size_t>(Row) * MD.numResources() + Res];
+}

@@ -1,0 +1,51 @@
+//===- Schedule.cpp - Assignment of units to cycles --------------------------===//
+//
+// Part of warp-swp. See Schedule.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Sched/Schedule.h"
+
+#include "swp/Support/MathUtils.h"
+
+#include <algorithm>
+
+using namespace swp;
+
+int Schedule::issueLength() const {
+  int End = 0;
+  for (int T : Start)
+    if (T != Unscheduled)
+      End = std::max(End, T + 1);
+  return End;
+}
+
+int Schedule::spanLength(const DepGraph &G) const {
+  int End = 0;
+  for (unsigned I = 0; I != Start.size(); ++I)
+    if (Start[I] != Unscheduled)
+      End = std::max(End, Start[I] + G.unit(I).length());
+  return End;
+}
+
+bool Schedule::satisfiesPrecedence(const DepGraph &G, int S) const {
+  for (const DepEdge &E : G.edges()) {
+    if (!isScheduled(E.Src) || !isScheduled(E.Dst))
+      return false;
+    if (Start[E.Dst] - Start[E.Src] <
+        E.Delay - S * static_cast<int>(E.Omega))
+      return false;
+  }
+  return true;
+}
+
+int swp::unpipelinedPeriod(const DepGraph &G, const Schedule &Sched) {
+  int64_t P = Sched.issueLength();
+  for (const DepEdge &E : G.edges()) {
+    if (E.Omega == 0)
+      continue;
+    int64_t Slack = Sched.startOf(E.Src) + E.Delay - Sched.startOf(E.Dst);
+    P = std::max(P, ceilDiv(Slack, E.Omega));
+  }
+  return static_cast<int>(P);
+}

@@ -1,0 +1,89 @@
+//===- ScheduleDump.cpp - ASCII schedule visualization -------------------------===//
+//
+// Part of warp-swp. See ScheduleDump.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Sched/ScheduleDump.h"
+
+#include <map>
+#include <sstream>
+
+using namespace swp;
+
+/// Short label for a unit: its first op's mnemonic, "+n" for reduced
+/// constructs with more members.
+static std::string unitLabel(const ScheduleUnit &U) {
+  if (U.ops().empty())
+    return "<agg>";
+  std::string Label = opcodeName(U.ops().front().Op.Opc);
+  if (U.ops().size() > 1)
+    Label += "+" + std::to_string(U.ops().size() - 1);
+  return Label;
+}
+
+std::string swp::scheduleToString(const DepGraph &G, const Schedule &Sched,
+                                  unsigned II) {
+  std::map<int, std::vector<unsigned>> ByCycle;
+  for (unsigned I = 0; I != G.numNodes(); ++I)
+    if (Sched.isScheduled(I))
+      ByCycle[Sched.startOf(I)].push_back(I);
+
+  std::ostringstream OS;
+  OS << "cycle  row  units\n";
+  for (const auto &[Cycle, Units] : ByCycle) {
+    OS << Cycle;
+    for (size_t Pad = std::to_string(Cycle).size(); Pad < 7; ++Pad)
+      OS << ' ';
+    unsigned Row = II ? static_cast<unsigned>(Cycle % II) : 0;
+    OS << Row;
+    for (size_t Pad = std::to_string(Row).size(); Pad < 5; ++Pad)
+      OS << ' ';
+    for (unsigned U : Units)
+      OS << "#" << U << ":" << unitLabel(G.unit(U))
+         << "(s" << (II ? Cycle / static_cast<int>(II) : 0) << ") ";
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+std::string swp::moduloTableToString(const DepGraph &G,
+                                     const Schedule &Sched, unsigned II,
+                                     const MachineDescription &MD) {
+  assert(II >= 1 && "modulo table needs a positive interval");
+  // Usage[row][resource].
+  std::vector<std::vector<unsigned>> Usage(
+      II, std::vector<unsigned>(MD.numResources(), 0));
+  for (unsigned I = 0; I != G.numNodes(); ++I) {
+    if (!Sched.isScheduled(I))
+      continue;
+    for (const ResourceUse &Use : G.unit(I).reservation()) {
+      unsigned Row =
+          static_cast<unsigned>((Sched.startOf(I) + Use.Cycle) % II);
+      Usage[Row][Use.ResId] += Use.Units;
+    }
+  }
+
+  std::ostringstream OS;
+  OS << "row";
+  for (unsigned R = 0; R != MD.numResources(); ++R)
+    OS << "  " << MD.resource(R).Name;
+  OS << '\n';
+  for (unsigned Row = 0; Row != II; ++Row) {
+    OS << Row;
+    for (size_t Pad = std::to_string(Row).size(); Pad < 3; ++Pad)
+      OS << ' ';
+    for (unsigned R = 0; R != MD.numResources(); ++R) {
+      unsigned Cap = MD.resource(R).Units;
+      std::string Cell = std::to_string(Usage[Row][R]) + "/" +
+                         std::to_string(Cap) +
+                         (Usage[Row][R] >= Cap ? "*" : " ");
+      OS << "  " << Cell;
+      for (size_t Pad = Cell.size() + 2;
+           Pad < MD.resource(R).Name.size() + 2; ++Pad)
+        OS << ' ';
+    }
+    OS << '\n';
+  }
+  return OS.str();
+}

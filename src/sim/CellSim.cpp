@@ -1,0 +1,358 @@
+//===- CellSim.cpp - Steppable single-cell simulator ----------------------------===//
+//
+// Part of warp-swp. See CellSim.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CellSim.h"
+
+#include "swp/IR/OpSemantics.h"
+#include "swp/IR/OpTraits.h"
+
+using namespace swp;
+using namespace swp::simdetail;
+
+CellSim::CellSim(const VLIWProgram &Code, const Program &P,
+                 const MachineDescription &MD, const ProgramInput &Input,
+                 Channel *In, Channel *Out)
+    : Code(Code), P(P), MD(MD), In(In), Out(Out) {
+  FRegs.assign(std::max(1u, MD.registerFileSize(RegClass::Float)), 0.0f);
+  IRegs.assign(std::max(1u, MD.registerFileSize(RegClass::Int)), 0);
+  LoopVars.assign(P.numLoops() + 1, 0);
+
+  Result.State.FloatArrays.resize(P.numArrays());
+  Result.State.IntArrays.resize(P.numArrays());
+  for (unsigned Id = 0; Id != P.numArrays(); ++Id) {
+    const ArrayInfo &A = P.arrayInfo(Id);
+    if (A.Elem == RegClass::Float) {
+      auto &Dst = Result.State.FloatArrays[Id];
+      Dst.assign(A.Size, 0.0f);
+      auto It = Input.FloatArrays.find(Id);
+      if (It != Input.FloatArrays.end())
+        for (size_t I = 0; I != It->second.size() && I != Dst.size(); ++I)
+          Dst[I] = It->second[I];
+    } else {
+      auto &Dst = Result.State.IntArrays[Id];
+      Dst.assign(A.Size, 0);
+      auto It = Input.IntArrays.find(Id);
+      if (It != Input.IntArrays.end())
+        for (size_t I = 0; I != It->second.size() && I != Dst.size(); ++I)
+          Dst[I] = It->second[I];
+    }
+  }
+  for (const auto &[VRegId, Reg] : Code.LiveInRegs) {
+    if (Reg.RC == RegClass::Float) {
+      auto It = Input.FloatScalars.find(VRegId);
+      if (It != Input.FloatScalars.end())
+        FRegs[Reg.Index] = It->second;
+    } else {
+      auto It = Input.IntScalars.find(VRegId);
+      if (It != Input.IntScalars.end())
+        IRegs[Reg.Index] = It->second;
+    }
+  }
+}
+
+void CellSim::fail(const std::string &Msg) {
+  if (Current == Status::Failed)
+    return;
+  Current = Status::Failed;
+  Result.State.Ok = false;
+  Result.State.Error = "cycle " + std::to_string(Cycle) + ": " + Msg;
+}
+
+bool CellSim::predsHold(const MachOp &Op) const {
+  for (const PredPhys &Pr : Op.Preds) {
+    bool True = IRegs[Pr.Reg.Index] != 0;
+    if (True == Pr.Negated)
+      return false;
+  }
+  return true;
+}
+
+void CellSim::scheduleWrite(PhysReg Reg, unsigned Latency, float FV,
+                            int64_t IV) {
+  Pending[Exec + Latency].push_back({Reg, FV, IV});
+}
+
+void CellSim::applyWritebacks(uint64_t At) {
+  auto It = Pending.find(At);
+  if (It == Pending.end())
+    return;
+  std::map<std::pair<int, unsigned>, unsigned> Seen;
+  for (const PendingWrite &W : It->second) {
+    auto Key = std::make_pair(static_cast<int>(W.Reg.RC), W.Reg.Index);
+    if (++Seen[Key] > 1)
+      fail("write-write collision on register index " +
+           std::to_string(W.Reg.Index));
+    if (W.Reg.RC == RegClass::Float)
+      FRegs[W.Reg.Index] = W.FVal;
+    else
+      IRegs[W.Reg.Index] = W.IVal;
+  }
+  Pending.erase(It);
+}
+
+int64_t CellSim::evalIndex(const MachOp &Op) const {
+  int64_t V = Op.Index.Const;
+  for (const AffineExpr::Term &T : Op.Index.Terms)
+    V += T.Coef * LoopVars[T.LoopId];
+  if (Op.AddendReg.isValid())
+    V += IRegs[Op.AddendReg.Index];
+  return V;
+}
+
+void CellSim::auditResources(const MachOp &Op) {
+  const OpcodeInfo &Info = MD.opcodeInfo(Op.Opc);
+  for (const ResourceUse &Use : Info.Uses) {
+    uint64_t At = Exec + Use.Cycle;
+    auto &Row = ResUse[At];
+    if (Row.empty())
+      Row.assign(MD.numResources(), 0);
+    Row[Use.ResId] += Use.Units;
+    if (Row[Use.ResId] > MD.resource(Use.ResId).Units)
+      fail("resource over-subscription on '" + MD.resource(Use.ResId).Name +
+           "'");
+  }
+}
+
+void CellSim::execOp(const MachOp &Op) {
+  if (Op.Opc == Opcode::Nop)
+    return;
+  if (!predsHold(Op))
+    return;
+  auditResources(Op);
+  ++Result.State.DynOps;
+  if (isFlopOpcode(Op.Opc))
+    ++Result.State.Flops;
+  const unsigned Lat = MD.opcodeInfo(Op.Opc).Latency;
+
+  switch (Op.Opc) {
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FMin:
+  case Opcode::FMax:
+    scheduleWrite(Op.Def, Lat,
+                  evalFBin(Op.Opc, FRegs[Op.Uses[0].Index],
+                           FRegs[Op.Uses[1].Index]),
+                  0);
+    return;
+  case Opcode::FNeg:
+  case Opcode::FAbs:
+  case Opcode::FMov:
+  case Opcode::FRecipSeed:
+  case Opcode::FRSqrtSeed:
+    scheduleWrite(Op.Def, Lat, evalFUn(Op.Opc, FRegs[Op.Uses[0].Index]), 0);
+    return;
+  case Opcode::FCmpLT:
+  case Opcode::FCmpLE:
+  case Opcode::FCmpEQ:
+  case Opcode::FCmpNE:
+    scheduleWrite(Op.Def, Lat, 0,
+                  evalFCmp(Op.Opc, FRegs[Op.Uses[0].Index],
+                           FRegs[Op.Uses[1].Index]));
+    return;
+  case Opcode::FConst:
+    scheduleWrite(Op.Def, Lat, static_cast<float>(Op.FImm), 0);
+    return;
+  case Opcode::IConst:
+    scheduleWrite(Op.Def, Lat, 0, Op.IImm);
+    return;
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IDiv:
+  case Opcode::IMod:
+  case Opcode::ICmpLT:
+  case Opcode::ICmpLE:
+  case Opcode::ICmpEQ:
+  case Opcode::ICmpNE:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+    scheduleWrite(Op.Def, Lat, 0,
+                  evalIBin(Op.Opc, IRegs[Op.Uses[0].Index],
+                           IRegs[Op.Uses[1].Index]));
+    return;
+  case Opcode::IMov:
+  case Opcode::INot:
+    scheduleWrite(Op.Def, Lat, 0, evalIUn(Op.Opc, IRegs[Op.Uses[0].Index]));
+    return;
+  case Opcode::FSel:
+    scheduleWrite(Op.Def, Lat,
+                  IRegs[Op.Uses[0].Index] != 0 ? FRegs[Op.Uses[1].Index]
+                                               : FRegs[Op.Uses[2].Index],
+                  0);
+    return;
+  case Opcode::ISel:
+    scheduleWrite(Op.Def, Lat, 0,
+                  IRegs[Op.Uses[0].Index] != 0 ? IRegs[Op.Uses[1].Index]
+                                               : IRegs[Op.Uses[2].Index]);
+    return;
+  case Opcode::I2F:
+    scheduleWrite(Op.Def, Lat, evalI2F(IRegs[Op.Uses[0].Index]), 0);
+    return;
+  case Opcode::F2I:
+    scheduleWrite(Op.Def, Lat, 0, evalF2I(FRegs[Op.Uses[0].Index]));
+    return;
+  case Opcode::FLoad:
+  case Opcode::ILoad: {
+    int64_t Idx = evalIndex(Op);
+    const ArrayInfo &A = P.arrayInfo(Op.ArrayId);
+    if (Idx < 0 || Idx >= A.Size) {
+      fail("load out of bounds: " + A.Name + "[" + std::to_string(Idx) +
+           "]");
+      return;
+    }
+    if (Op.Opc == Opcode::FLoad)
+      scheduleWrite(Op.Def, Lat, Result.State.FloatArrays[Op.ArrayId][Idx],
+                    0);
+    else
+      scheduleWrite(Op.Def, Lat, 0, Result.State.IntArrays[Op.ArrayId][Idx]);
+    return;
+  }
+  case Opcode::FStore:
+  case Opcode::IStore: {
+    int64_t Idx = evalIndex(Op);
+    const ArrayInfo &A = P.arrayInfo(Op.ArrayId);
+    if (Idx < 0 || Idx >= A.Size) {
+      fail("store out of bounds: " + A.Name + "[" + std::to_string(Idx) +
+           "]");
+      return;
+    }
+    if (Op.Opc == Opcode::FStore)
+      StoresThisCycle.push_back({Op.ArrayId, Idx, FRegs[Op.Uses[0].Index],
+                                 0, true});
+    else
+      StoresThisCycle.push_back({Op.ArrayId, Idx, 0.0f,
+                                 IRegs[Op.Uses[0].Index], false});
+    return;
+  }
+  case Opcode::Recv:
+    // Availability was checked by the stall scan.
+    scheduleWrite(Op.Def, Lat, In->Data[In->ReadCursor++], 0);
+    return;
+  case Opcode::Send:
+    SendsThisCycle.push_back(FRegs[Op.Uses[0].Index]);
+    return;
+  case Opcode::FInv:
+  case Opcode::FSqrt:
+  case Opcode::FExp:
+    fail("library pseudo-op reached the simulator");
+    return;
+  case Opcode::Nop:
+    return;
+  }
+  fail("unknown opcode");
+}
+
+CellSim::Status CellSim::step() {
+  if (Current == Status::Halted || Current == Status::Failed)
+    return Current;
+  if (PC >= Code.Insts.size()) {
+    fail("execution fell off the end of the program");
+    return Current;
+  }
+
+  const VLIWInst &Inst = Code.Insts[PC];
+
+  // Results due at this point of the execution clock land first, so the
+  // stall scan and execution read the same register state. (No
+  // double-apply across stalls: the pending list is erased once applied.)
+  applyWritebacks(Exec);
+
+  // Flow control: count the channel words this instruction's active ops
+  // need; stall the whole cell when the queues cannot satisfy them.
+  size_t NeedIn = 0, NeedOut = 0;
+  for (const MachOp &Op : Inst.Ops) {
+    if (!predsHold(Op))
+      continue;
+    if (Op.Opc == Opcode::Recv)
+      ++NeedIn;
+    else if (Op.Opc == Opcode::Send)
+      ++NeedOut;
+  }
+  if (NeedIn > 0 && !In->canPop(NeedIn)) {
+    if (In->Closed) {
+      fail("input channel exhausted");
+      return Current;
+    }
+    ++Stalls;
+    ++Cycle;
+    Current = Status::Stalled;
+    return Current;
+  }
+  if (NeedOut > 0 && !Out->canPush(NeedOut)) {
+    ++Stalls;
+    ++Cycle;
+    Current = Status::Stalled;
+    return Current;
+  }
+  Current = Status::Running;
+  ResUse.erase(ResUse.begin(), ResUse.lower_bound(Exec));
+
+  StoresThisCycle.clear();
+  SendsThisCycle.clear();
+  for (const MachOp &Op : Inst.Ops) {
+    execOp(Op);
+    if (Current == Status::Failed)
+      return Current;
+  }
+
+  std::map<std::pair<unsigned, int64_t>, unsigned> StoreSeen;
+  for (const StoreCommit &SC : StoresThisCycle) {
+    if (++StoreSeen[{SC.ArrayId, SC.Index}] > 1) {
+      fail("two stores to the same address in one cycle");
+      return Current;
+    }
+    if (SC.IsFloat)
+      Result.State.FloatArrays[SC.ArrayId][SC.Index] = SC.FVal;
+    else
+      Result.State.IntArrays[SC.ArrayId][SC.Index] = SC.IVal;
+  }
+  for (float V : SendsThisCycle)
+    Out->Data.push_back(V);
+  for (const AguOp &A : Inst.Agu) {
+    int64_t V = A.Relative ? LoopVars[A.LoopId] : 0;
+    if (A.A.isValid())
+      V += IRegs[A.A.Index];
+    LoopVars[A.LoopId] = V + A.Imm;
+  }
+
+  size_t NextPC = PC + 1;
+  switch (Inst.Ctrl.K) {
+  case ControlOp::Kind::None:
+    break;
+  case ControlOp::Kind::Halt:
+    Current = Status::Halted;
+    break;
+  case ControlOp::Kind::Jump:
+    NextPC = Inst.Ctrl.Target;
+    break;
+  case ControlOp::Kind::JumpIfZero:
+    if (IRegs[Inst.Ctrl.Counter.Index] == 0)
+      NextPC = Inst.Ctrl.Target;
+    break;
+  case ControlOp::Kind::DecJumpPos: {
+    int64_t V = IRegs[Inst.Ctrl.Counter.Index] - 1;
+    IRegs[Inst.Ctrl.Counter.Index] = V;
+    if (V > 0)
+      NextPC = Inst.Ctrl.Target;
+    break;
+  }
+  }
+  PC = NextPC;
+  ++Cycle;
+  ++Exec;
+  return Current;
+}
+
+SimResult CellSim::takeResult() {
+  while (!Pending.empty() && Current != Status::Failed)
+    applyWritebacks(Pending.begin()->first);
+  Result.Cycles = Cycle;
+  if (Cycle > 0)
+    Result.MFLOPS = static_cast<double>(Result.State.Flops) * MD.clockMHz() /
+                    static_cast<double>(Cycle);
+  return std::move(Result);
+}

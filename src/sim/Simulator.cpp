@@ -1,0 +1,37 @@
+//===- Simulator.cpp - Cycle-accurate VLIW execution ---------------------------===//
+//
+// Part of warp-swp. See Simulator.h. The per-cycle machinery lives in
+// CellSim (shared with the array co-simulator); this entry point runs one
+// cell to completion against a pre-filled input channel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Sim/Simulator.h"
+
+#include "CellSim.h"
+
+using namespace swp;
+using namespace swp::simdetail;
+
+SimResult swp::simulate(const VLIWProgram &Code, const Program &P,
+                        const MachineDescription &MD,
+                        const ProgramInput &Input, const SimOptions &Opts) {
+  Channel In, Out;
+  In.Data = Input.InputQueue;
+  In.Closed = true; // No producer: an over-pop is a hard error.
+
+  CellSim Sim(Code, P, MD, Input, &In, &Out);
+  while (Sim.status() != CellSim::Status::Halted &&
+         Sim.status() != CellSim::Status::Failed) {
+    if (Sim.cycles() >= Opts.MaxCycles) {
+      SimResult R = Sim.takeResult();
+      R.State.Ok = false;
+      R.State.Error = "cycle limit exceeded (runaway loop?)";
+      return R;
+    }
+    Sim.step();
+  }
+  SimResult R = Sim.takeResult();
+  R.State.OutputQueue = std::move(Out.Data);
+  return R;
+}

@@ -1,0 +1,43 @@
+//===- Diagnostics.cpp - Error reporting ----------------------------------===//
+//
+// Part of warp-swp. See Diagnostics.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Support/Diagnostics.h"
+
+using namespace swp;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<no-loc>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  if (Loc.isValid())
+    Out += Loc.str() + ": ";
+  switch (Kind) {
+  case DiagKind::Error:
+    Out += "error: ";
+    break;
+  case DiagKind::Warning:
+    Out += "warning: ";
+    break;
+  case DiagKind::Note:
+    Out += "note: ";
+    break;
+  }
+  Out += Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,34 @@
+//===- MathUtils.cpp - Small integer math helpers -------------------------===//
+//
+// Part of warp-swp. See MathUtils.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Support/MathUtils.h"
+
+#include <algorithm>
+
+using namespace swp;
+
+std::vector<int64_t> swp::divisorsOf(int64_t N) {
+  assert(N > 0 && "divisorsOf requires a positive argument");
+  std::vector<int64_t> Low, High;
+  for (int64_t D = 1; D * D <= N; ++D) {
+    if (N % D != 0)
+      continue;
+    Low.push_back(D);
+    if (D != N / D)
+      High.push_back(N / D);
+  }
+  Low.insert(Low.end(), High.rbegin(), High.rend());
+  return Low;
+}
+
+int64_t swp::smallestDivisorAtLeast(int64_t U, int64_t Q) {
+  assert(U >= 1 && Q >= 1 && Q <= U &&
+         "smallestDivisorAtLeast requires 1 <= Q <= U");
+  for (int64_t D = Q; D <= U; ++D)
+    if (U % D == 0)
+      return D;
+  return U;
+}

@@ -1,0 +1,54 @@
+//===- TablePrinter.cpp - Aligned text tables ------------------------------===//
+//
+// Part of warp-swp. See TablePrinter.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Support/TablePrinter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+using namespace swp;
+
+TablePrinter::TablePrinter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Row) {
+  Row.resize(Header.size());
+  Rows.push_back(std::move(Row));
+}
+
+std::string TablePrinter::num(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  std::vector<size_t> Width(Header.size());
+  for (size_t I = 0; I != Header.size(); ++I)
+    Width[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      Width[I] = std::max(Width[I], Row[I].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I) {
+      OS << Row[I];
+      if (I + 1 == Row.size())
+        break;
+      OS << std::string(Width[I] - Row[I].size() + 2, ' ');
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Header);
+  size_t Total = 0;
+  for (size_t I = 0; I != Width.size(); ++I)
+    Total += Width[I] + (I + 1 == Width.size() ? 0 : 2);
+  OS << std::string(Total, '-') << '\n';
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

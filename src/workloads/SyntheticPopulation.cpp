@@ -1,0 +1,121 @@
+//===- SyntheticPopulation.cpp - the "72 user programs" -------------------------===//
+//
+// Part of warp-swp. See Workloads.h. The paper's Figures 4-1 and 4-2
+// aggregate 72 proprietary Warp applications. This generator produces a
+// deterministic population with the same structural mix the paper
+// reports: 42 of 72 programs contain conditional statements, bodies range
+// from a handful of operations to long expression chains, some loops
+// carry recurrences, and programs are built from 1-3 loop nests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Workloads/Workloads.h"
+
+#include "swp/IR/IRBuilder.h"
+#include "swp/Support/RNG.h"
+
+using namespace swp;
+
+namespace {
+
+/// Builds one random kernel into \p P; returns its input.
+ProgramInput generateProgram(Program &P, RNG &R, bool WithConditionals) {
+  IRBuilder B(P);
+  ProgramInput In;
+
+  unsigned NumArrays = static_cast<unsigned>(R.uniform(2, 4));
+  int64_t Len = R.uniform(48, 160);
+  std::vector<unsigned> Arrays;
+  for (unsigned A = 0; A != NumArrays; ++A) {
+    unsigned Id = P.createArray("a" + std::to_string(A), RegClass::Float,
+                                Len + 4);
+    Arrays.push_back(Id);
+    auto &Data = In.FloatArrays[Id];
+    for (int64_t I = 0; I != Len + 4; ++I)
+      Data.push_back(0.25f + 0.001f * static_cast<float>(R.uniform(0, 999)));
+  }
+
+  unsigned NumLoops = static_cast<unsigned>(R.uniform(1, 3));
+  for (unsigned LoopIdx = 0; LoopIdx != NumLoops; ++LoopIdx) {
+    ForStmt *L = B.beginForImm(1, Len - 2);
+
+    // A pool of live float values the expression DAG grows from.
+    std::vector<VReg> Pool;
+    unsigned NumLoads = static_cast<unsigned>(R.uniform(1, 3));
+    for (unsigned I = 0; I != NumLoads; ++I) {
+      unsigned Src = Arrays[R.uniform(0, Arrays.size() - 1)];
+      int64_t Offset = R.uniform(-1, 1);
+      Pool.push_back(B.fload(Src, B.ix(L, 1, Offset)));
+    }
+    Pool.push_back(B.fconst(0.5 + 0.125 * R.uniform(0, 7)));
+
+    unsigned NumOps = static_cast<unsigned>(R.uniform(3, 18));
+    for (unsigned I = 0; I != NumOps; ++I) {
+      VReg A = Pool[R.uniform(0, Pool.size() - 1)];
+      VReg Bv = Pool[R.uniform(0, Pool.size() - 1)];
+      Opcode Opc = R.chance(0.5)   ? Opcode::FAdd
+                   : R.chance(0.6) ? Opcode::FMul
+                                   : Opcode::FSub;
+      Pool.push_back(B.binop(Opc, A, Bv));
+    }
+
+    VReg Result = Pool.back();
+    if (WithConditionals && R.chance(0.85)) {
+      // Clamp-like conditional: conditionally rescale the result.
+      VReg Limit = B.fconst(0.75 + 0.25 * R.uniform(0, 3));
+      VReg Cond = B.binop(Opcode::FCmpLT, Limit, Result);
+      VReg Clamped = P.createVReg(RegClass::Float);
+      B.assignMov(Clamped, Result);
+      B.beginIf(Cond);
+      if (R.chance(0.5)) {
+        B.assign(Clamped, Opcode::FMul, Result, B.fconst(0.5));
+      } else {
+        B.assign(Clamped, Opcode::FSub, Result, Limit);
+      }
+      if (R.chance(0.5)) {
+        B.beginElse();
+        B.assign(Clamped, Opcode::FAdd, Result, B.fconst(0.0625));
+      }
+      B.endIf();
+      Result = Clamped;
+    }
+
+    unsigned Dst = Arrays[R.uniform(0, Arrays.size() - 1)];
+    if (R.chance(0.25)) {
+      // Loop-carried recurrence: the store feeds the next iteration.
+      VReg Prev = B.fload(Dst, B.ix(L, 1, -1));
+      B.fstore(Dst, B.ix(L), B.fadd(B.fmul(Result, B.fconst(0.25)),
+                                    B.fmul(Prev, B.fconst(0.5))));
+    } else {
+      B.fstore(Dst, B.ix(L), Result);
+    }
+    B.endFor();
+  }
+  return In;
+}
+
+} // namespace
+
+std::vector<WorkloadSpec> swp::syntheticPopulation(unsigned Count,
+                                                   uint64_t Seed,
+                                                   double CondFraction) {
+  std::vector<WorkloadSpec> Specs;
+  Specs.reserve(Count);
+  unsigned NumCond = static_cast<unsigned>(Count * CondFraction + 0.5);
+  for (unsigned I = 0; I != Count; ++I) {
+    bool WithConditionals = I < NumCond;
+    WorkloadSpec S;
+    S.Name = std::string("user-") + (I < 9 ? "0" : "") +
+             std::to_string(I + 1) + (WithConditionals ? "-cond" : "");
+    S.WorkItems = 1.0;
+    S.Make = [Seed, I, WithConditionals] {
+      BuiltWorkload W;
+      W.Prog = std::make_unique<Program>();
+      RNG R(Seed * 1000003 + I);
+      W.Input = generateProgram(*W.Prog, R, WithConditionals);
+      return W;
+    };
+    Specs.push_back(std::move(S));
+  }
+  return Specs;
+}

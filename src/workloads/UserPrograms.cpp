@@ -1,0 +1,346 @@
+//===- UserPrograms.cpp - Table 4-1 application kernels -------------------------===//
+//
+// Part of warp-swp. See Workloads.h. These are the application programs of
+// the paper's Table 4-1, sized for the cycle-level simulator (the paper
+// ran 512x512 images on hardware; EXPERIMENTS.md records the scaling).
+// All are homogeneous cell programs: the array rate is 10x the cell rate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Workloads/Workloads.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace swp;
+
+namespace {
+
+constexpr int IMG = 48;   ///< Image edge for the vision kernels.
+constexpr int MM = 40;    ///< Matrix edge for matrix multiplication.
+constexpr int FFTN = 256; ///< FFT length (8 butterfly passes).
+constexpr int HPTS = 96;  ///< Edge points voting in the Hough transform.
+constexpr int HTH = 32;   ///< Theta resolution of the Hough accumulator.
+constexpr int HRAD = 80;  ///< Radius resolution of the Hough accumulator.
+constexpr int WN = 24;    ///< Vertices in the shortest-path graph.
+
+std::vector<float> image(int Edge) {
+  std::vector<float> V(static_cast<size_t>(Edge) * Edge);
+  for (int Y = 0; Y != Edge; ++Y)
+    for (int X = 0; X != Edge; ++X)
+      V[static_cast<size_t>(Y) * Edge + X] =
+          0.5f + 0.25f * std::sin(0.3f * X) + 0.25f * std::cos(0.2f * Y);
+  return V;
+}
+
+WorkloadSpec make(std::string Name, double WorkItems, std::string Source,
+                  std::function<void(const W2Module &, ProgramInput &)>
+                      Fill) {
+  WorkloadSpec S;
+  S.Name = std::move(Name);
+  S.WorkItems = WorkItems;
+  S.Make = [Src = std::move(Source), Fill = std::move(Fill)] {
+    return buildFromW2(Src, Fill);
+  };
+  return S;
+}
+
+template <typename... ArgsT>
+std::string fmt(const char *Template, ArgsT... Args) {
+  char Buf[8192];
+  std::snprintf(Buf, sizeof(Buf), Template, Args...);
+  return Buf;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &swp::userPrograms() {
+  static const std::vector<WorkloadSpec> Programs = [] {
+    std::vector<WorkloadSpec> P;
+
+    // Matrix multiplication (paper: 100x100 at 79.4 array-MFLOPS).
+    P.push_back(make(
+        "matrix-multiplication", static_cast<double>(MM) * MM * MM,
+        fmt(R"(
+          var a: float[%d];
+          var b: float[%d];
+          var c: float[%d];
+          var s0: float; var s1: float;
+          begin
+            for i := 0 to %d do
+              for j := 0 to %d do begin
+                (* Two partial sums halve the accumulator recurrence, the
+                   way Warp programmers hand-tuned inner products. *)
+                s0 := 0.0;
+                s1 := 0.0;
+                for k := 0 to %d/2 - 1 do begin
+                  s0 := s0 + a[i*%d + 2*k]*b[2*k*%d + j];
+                  s1 := s1 + a[i*%d + 2*k + 1]*(b[2*k*%d + %d + j]);
+                end;
+                c[i*%d + j] := s0 + s1;
+              end
+          end
+        )",
+            MM * MM, MM * MM, MM * MM, MM - 1, MM - 1, MM, MM, MM, MM, MM,
+            MM, MM),
+        [](const W2Module &M, ProgramInput &In) {
+          In.FloatArrays[M.Arrays.at("a")] = image(MM);
+          In.FloatArrays[M.Arrays.at("b")] = image(MM);
+        }));
+
+    // Complex FFT, decimation in time. Butterfly element and twiddle
+    // indices are precomputed tables; subscripts into re/im are
+    // runtime values, so those arrays carry the paper's disambiguation
+    // directive — each pass touches each element exactly once.
+    {
+      int Passes = 0;
+      while ((1 << Passes) < FFTN)
+        ++Passes;
+      int PerPass = FFTN / 2;
+      int T = Passes * PerPass;
+      P.push_back(make(
+          "complex-fft", static_cast<double>(T),
+          fmt(R"(
+            var re: float[%d] noalias;
+            var im: float[%d] noalias;
+            var sre: float[%d];
+            var sim: float[%d];
+            var brv: int[%d];
+            var i1t: int[%d];
+            var i2t: int[%d];
+            var wre: float[%d];
+            var wim: float[%d];
+            var j1: int; var j2: int;
+            var ur: float; var ui: float;
+            var vr: float; var vi: float;
+            var tr: float; var ti: float;
+            var wr: float; var wi: float;
+            begin
+              (* Bit-reversal gather from the staging arrays. *)
+              for i := 0 to %d - 1 do begin
+                re[i] := sre[brv[i]];
+                im[i] := sim[brv[i]];
+              end;
+              (* log2(n) butterfly passes over precomputed index tables. *)
+              for p := 0 to %d - 1 do
+                for b := 0 to %d - 1 do begin
+                  j1 := i1t[p*%d + b];
+                  j2 := i2t[p*%d + b];
+                  wr := wre[p*%d + b];
+                  wi := wim[p*%d + b];
+                  ur := re[j1]; ui := im[j1];
+                  vr := re[j2]; vi := im[j2];
+                  tr := vr*wr - vi*wi;
+                  ti := vr*wi + vi*wr;
+                  re[j1] := ur + tr;
+                  im[j1] := ui + ti;
+                  re[j2] := ur - tr;
+                  im[j2] := ui - ti;
+                end
+            end
+          )",
+              FFTN, FFTN, FFTN, FFTN, FFTN, T, T, T, T, FFTN, Passes,
+              PerPass, PerPass, PerPass, PerPass, PerPass),
+          [Passes, PerPass](const W2Module &M, ProgramInput &In) {
+            // Staging signal.
+            std::vector<float> SRe(FFTN), SIm(FFTN, 0.0f);
+            for (int I = 0; I != FFTN; ++I)
+              SRe[I] = std::sin(2.0 * M_PI * 5 * I / FFTN) +
+                       0.5f * std::sin(2.0 * M_PI * 31 * I / FFTN);
+            In.FloatArrays[M.Arrays.at("sre")] = SRe;
+            In.FloatArrays[M.Arrays.at("sim")] = SIm;
+            // Bit-reversal table.
+            std::vector<int64_t> Brv(FFTN);
+            for (int I = 0; I != FFTN; ++I) {
+              int R = 0;
+              for (int Bit = 0; Bit != Passes; ++Bit)
+                if (I & (1 << Bit))
+                  R |= 1 << (Passes - 1 - Bit);
+              Brv[I] = R;
+            }
+            In.IntArrays[M.Arrays.at("brv")] = Brv;
+            // Butterfly tables, pass-major.
+            std::vector<int64_t> I1, I2;
+            std::vector<float> WRe, WIm;
+            for (int Pass = 0; Pass != Passes; ++Pass) {
+              int Len = 1 << (Pass + 1);
+              int Half = Len / 2;
+              for (int Base = 0; Base != FFTN; Base += Len)
+                for (int K = 0; K != Half; ++K) {
+                  I1.push_back(Base + K);
+                  I2.push_back(Base + K + Half);
+                  double Ang = -2.0 * M_PI * K / Len;
+                  WRe.push_back(static_cast<float>(std::cos(Ang)));
+                  WIm.push_back(static_cast<float>(std::sin(Ang)));
+                }
+              (void)PerPass;
+            }
+            In.IntArrays[M.Arrays.at("i1t")] = I1;
+            In.IntArrays[M.Arrays.at("i2t")] = I2;
+            In.FloatArrays[M.Arrays.at("wre")] = WRe;
+            In.FloatArrays[M.Arrays.at("wim")] = WIm;
+          }));
+    }
+
+    // 3x3 convolution (paper: 71.9 array-MFLOPS on 512x512).
+    P.push_back(make(
+        "convolution-3x3",
+        static_cast<double>(IMG - 2) * (IMG - 2),
+        fmt(R"(
+          var src: float[%d];
+          var dst: float[%d];
+          var kw: float[9];
+          begin
+            for y := 1 to %d - 2 do
+              for x := 1 to %d - 2 do
+                dst[y*%d + x] :=
+                    kw[0]*src[(y-1)*%d + x - 1] + kw[1]*src[(y-1)*%d + x]
+                  + kw[2]*src[(y-1)*%d + x + 1] + kw[3]*src[y*%d + x - 1]
+                  + kw[4]*src[y*%d + x]         + kw[5]*src[y*%d + x + 1]
+                  + kw[6]*src[(y+1)*%d + x - 1] + kw[7]*src[(y+1)*%d + x]
+                  + kw[8]*src[(y+1)*%d + x + 1];
+          end
+        )",
+            IMG * IMG, IMG * IMG, IMG, IMG, IMG, IMG, IMG, IMG, IMG, IMG,
+            IMG, IMG, IMG, IMG),
+        [](const W2Module &M, ProgramInput &In) {
+          In.FloatArrays[M.Arrays.at("src")] = image(IMG);
+          In.FloatArrays[M.Arrays.at("kw")] = {0.0625f, 0.125f, 0.0625f,
+                                               0.125f,  0.25f,  0.125f,
+                                               0.0625f, 0.125f, 0.0625f};
+        }));
+
+    // Hough transform: every edge point votes along the theta axis. The
+    // radius is data dependent; within the theta loop each vote lands in
+    // a different accumulator row, hence the directive on acc.
+    P.push_back(make(
+        "hough-transform", static_cast<double>(HPTS) * HTH,
+        fmt(R"(
+          var px: float[%d];
+          var py: float[%d];
+          var cs: float[%d];
+          var sn: float[%d];
+          var acc: float[%d] noalias;
+          var r: int;
+          begin
+            for p := 0 to %d - 1 do
+              for t := 0 to %d - 1 do begin
+                r := int(px[p]*cs[t] + py[p]*sn[t] + %d.0);
+                acc[t*%d + r] := acc[t*%d + r] + 1.0;
+              end
+          end
+        )",
+            HPTS, HPTS, HTH, HTH, HTH * HRAD, HPTS, HTH, HRAD / 2, HRAD,
+            HRAD),
+        [](const W2Module &M, ProgramInput &In) {
+          std::vector<float> PX(HPTS), PY(HPTS);
+          for (int I = 0; I != HPTS; ++I) {
+            PX[I] = 0.3f * (I % 37) - 5.0f;
+            PY[I] = 0.27f * (I % 31) - 4.0f;
+          }
+          In.FloatArrays[M.Arrays.at("px")] = PX;
+          In.FloatArrays[M.Arrays.at("py")] = PY;
+          std::vector<float> CS(HTH), SN(HTH);
+          for (int T = 0; T != HTH; ++T) {
+            double Ang = M_PI * T / HTH;
+            CS[T] = static_cast<float>(std::cos(Ang));
+            SN[T] = static_cast<float>(std::sin(Ang));
+          }
+          In.FloatArrays[M.Arrays.at("cs")] = CS;
+          In.FloatArrays[M.Arrays.at("sn")] = SN;
+        }));
+
+    // Local selective averaging: average only the neighbors close in
+    // intensity to the center pixel (conditionals in the inner loop;
+    // paper: 42.2 array-MFLOPS).
+    P.push_back(make(
+        "local-selective-averaging",
+        static_cast<double>(IMG - 2) * (IMG - 2),
+        fmt(R"(
+          var src: float[%d];
+          var dst: float[%d];
+          param thresh: float;
+          var sum: float;
+          var cnt: float;
+          var c: float;
+          begin
+            for y := 1 to %d - 2 do
+              for x := 1 to %d - 2 do begin
+                c := src[y*%d + x];
+                sum := c;
+                cnt := 1.0;
+                if abs(src[y*%d + x - 1] - c) < thresh then begin
+                  sum := sum + src[y*%d + x - 1];
+                  cnt := cnt + 1.0;
+                end;
+                if abs(src[y*%d + x + 1] - c) < thresh then begin
+                  sum := sum + src[y*%d + x + 1];
+                  cnt := cnt + 1.0;
+                end;
+                if abs(src[(y-1)*%d + x] - c) < thresh then begin
+                  sum := sum + src[(y-1)*%d + x];
+                  cnt := cnt + 1.0;
+                end;
+                if abs(src[(y+1)*%d + x] - c) < thresh then begin
+                  sum := sum + src[(y+1)*%d + x];
+                  cnt := cnt + 1.0;
+                end;
+                dst[y*%d + x] := sum / cnt;
+              end
+          end
+        )",
+            IMG * IMG, IMG * IMG, IMG, IMG, IMG, IMG, IMG, IMG, IMG, IMG,
+            IMG, IMG, IMG, IMG),
+        [](const W2Module &M, ProgramInput &In) {
+          In.FloatArrays[M.Arrays.at("src")] = image(IMG);
+          In.FloatScalars[M.Params.at("thresh").Id] = 0.1f;
+        }));
+
+    // Shortest path, Warshall's algorithm (paper: 350 nodes, 10
+    // iterations, 24.3 array-MFLOPS). min() keeps the update branch-free,
+    // as a relaxation over the distance matrix.
+    P.push_back(make(
+        "shortest-path-warshall",
+        static_cast<double>(WN) * WN * WN,
+        fmt(R"(
+          var d: float[%d];
+          begin
+            for k := 0 to %d do
+              for i := 0 to %d do
+                for j := 0 to %d do
+                  d[i*%d + j] := min(d[i*%d + j], d[i*%d + k] + d[k*%d + j]);
+          end
+        )",
+            WN * WN, WN - 1, WN - 1, WN - 1, WN, WN, WN, WN),
+        [](const W2Module &M, ProgramInput &In) {
+          std::vector<float> D(static_cast<size_t>(WN) * WN);
+          for (int I = 0; I != WN; ++I)
+            for (int J = 0; J != WN; ++J)
+              D[static_cast<size_t>(I) * WN + J] =
+                  I == J ? 0.0f : 1.0f + ((I * 7 + J * 13) % 19);
+          In.FloatArrays[M.Arrays.at("d")] = D;
+        }));
+
+    // Roberts operator (paper: 15.2 array-MFLOPS).
+    P.push_back(make(
+        "roberts-operator",
+        static_cast<double>(IMG - 1) * (IMG - 1),
+        fmt(R"(
+          var src: float[%d];
+          var dst: float[%d];
+          begin
+            for y := 0 to %d - 2 do
+              for x := 0 to %d - 2 do
+                dst[y*%d + x] := abs(src[y*%d + x] - src[(y+1)*%d + x + 1])
+                               + abs(src[(y+1)*%d + x] - src[y*%d + x + 1]);
+          end
+        )",
+            IMG * IMG, IMG * IMG, IMG, IMG, IMG, IMG, IMG, IMG, IMG),
+        [](const W2Module &M, ProgramInput &In) {
+          In.FloatArrays[M.Arrays.at("src")] = image(IMG);
+        }));
+
+    return P;
+  }();
+  return Programs;
+}

@@ -1,0 +1,505 @@
+//===- EndToEndTests.cpp - compile -> simulate vs. interpret ------------------===//
+//
+// Part of warp-swp.
+//
+// The correctness oracle of the whole system: every program is compiled
+// (pipelined and baseline, several policies), executed on the cycle-level
+// simulator, and the final state must match the scalar interpreter
+// bit-for-bit — for every trip count, including the short-loop dual-version
+// paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Codegen/Compiler.h"
+#include "swp/Interp/Interpreter.h"
+#include "swp/Sim/Simulator.h"
+
+#include "swp/IR/IRBuilder.h"
+#include "swp/IR/Printer.h"
+#include "swp/IR/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+
+using namespace swp;
+
+namespace {
+
+struct Scenario {
+  std::string Name;
+  /// Builds the program; returns the input. Receives the trip count.
+  std::function<ProgramInput(Program &, int64_t)> Build;
+};
+
+struct Config {
+  std::string Name;
+  MachineDescription MD;
+  CompilerOptions Opts;
+};
+
+std::vector<Config> allConfigs() {
+  std::vector<Config> Cs;
+  {
+    Config C{"warp-pipelined", MachineDescription::warpCell(), {}};
+    Cs.push_back(C);
+  }
+  {
+    Config C{"warp-baseline", MachineDescription::warpCell(), {}};
+    C.Opts.EnablePipelining = false;
+    Cs.push_back(C);
+  }
+  {
+    Config C{"warp-nomve", MachineDescription::warpCell(), {}};
+    C.Opts.MVE = MVEPolicy::Disabled;
+    Cs.push_back(C);
+  }
+  {
+    Config C{"warp-lcm", MachineDescription::warpCell(), {}};
+    C.Opts.MVE = MVEPolicy::MinRegisters;
+    Cs.push_back(C);
+  }
+  {
+    Config C{"warp-2stage", MachineDescription::warpCell(), {}};
+    C.Opts.Sched.MaxStages = 2;
+    Cs.push_back(C);
+  }
+  {
+    Config C{"warp-binsearch", MachineDescription::warpCell(), {}};
+    C.Opts.Sched.BinarySearch = true;
+    Cs.push_back(C);
+  }
+  {
+    Config C{"toy-pipelined", MachineDescription::toyCell(), {}};
+    Cs.push_back(C);
+  }
+  return Cs;
+}
+
+/// Compiles and runs one (scenario, config, trip count) and compares
+/// against the interpreter.
+void checkEquivalence(const Scenario &Sc, const Config &Cf, int64_t N) {
+  Program P;
+  ProgramInput Input = Sc.Build(P, N);
+  DiagnosticEngine DE;
+  ASSERT_TRUE(verifyProgram(P, DE)) << DE.str();
+
+  CompileResult CR = compileProgram(P, Cf.MD, Cf.Opts);
+  ASSERT_TRUE(CR.Ok) << Sc.Name << "/" << Cf.Name << " n=" << N << ": "
+                     << CR.Error;
+
+  // Interpret the post-compilation program (library calls expanded, the
+  // induction increment added) so semantics line up exactly.
+  ProgramState Golden = interpret(P, Input);
+  ASSERT_TRUE(Golden.Ok) << Golden.Error;
+
+  SimResult Sim = simulate(CR.Code, P, Cf.MD, Input);
+  ASSERT_TRUE(Sim.State.Ok)
+      << Sc.Name << "/" << Cf.Name << " n=" << N << ": " << Sim.State.Error;
+
+  std::string Mismatch = compareStates(P, Golden, Sim.State);
+  EXPECT_EQ(Mismatch, "") << Sc.Name << "/" << Cf.Name << " n=" << N;
+  EXPECT_EQ(Golden.Flops, Sim.State.Flops)
+      << "the pipelined code must execute exactly the sequential flops";
+}
+
+//===----------------------------------------------------------------------===//
+// Scenarios.
+//===----------------------------------------------------------------------===//
+
+std::vector<Scenario> allScenarios() {
+  std::vector<Scenario> S;
+
+  S.push_back({"vector-add", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned A = P.createArray("a", RegClass::Float, 128);
+                 VReg K = B.fconst(2.5);
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 B.fstore(A, B.ix(L), B.fadd(B.fload(A, B.ix(L)), K));
+                 B.endFor();
+                 ProgramInput In;
+                 for (int I = 0; I != 128; ++I)
+                   In.FloatArrays[A].push_back(0.5f * I);
+                 return In;
+               }});
+
+  S.push_back({"vector-add-runtime-n", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned A = P.createArray("a", RegClass::Float, 128);
+                 VReg Hi = P.createVReg(RegClass::Int, "hi", true);
+                 VReg K = B.fconst(1.25);
+                 ForStmt *L = B.beginForReg(0, Hi);
+                 B.fstore(A, B.ix(L), B.fmul(B.fload(A, B.ix(L)), K));
+                 B.endFor();
+                 ProgramInput In;
+                 In.IntScalars[Hi.Id] = N - 1;
+                 for (int I = 0; I != 128; ++I)
+                   In.FloatArrays[A].push_back(1.0f + I);
+                 return In;
+               }});
+
+  S.push_back({"dot-product", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned X = P.createArray("x", RegClass::Float, 128);
+                 unsigned Y = P.createArray("y", RegClass::Float, 128);
+                 unsigned Out = P.createArray("out", RegClass::Float, 1);
+                 VReg Acc = P.createVReg(RegClass::Float, "acc");
+                 B.assignUn(Acc, Opcode::FMov, B.fconst(0.0));
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 VReg Prod = B.fmul(B.fload(X, B.ix(L)), B.fload(Y, B.ix(L)));
+                 B.assign(Acc, Opcode::FAdd, Acc, Prod);
+                 B.endFor();
+                 B.fstore(Out, B.cx(0), Acc);
+                 ProgramInput In;
+                 for (int I = 0; I != 128; ++I) {
+                   In.FloatArrays[X].push_back(0.25f * I);
+                   In.FloatArrays[Y].push_back(2.0f - 0.125f * I);
+                 }
+                 return In;
+               }});
+
+  S.push_back({"first-order-recurrence", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned A = P.createArray("a", RegClass::Float, 130);
+                 VReg Cb = B.fconst(0.5);
+                 VReg Cc = B.fconst(1.0);
+                 ForStmt *L = B.beginForImm(1, N);
+                 VReg Prev = B.fload(A, B.ix(L, 1, -1));
+                 B.fstore(A, B.ix(L), B.fadd(B.fmul(Prev, Cb), Cc));
+                 B.endFor();
+                 ProgramInput In;
+                 In.FloatArrays[A] = {3.0f};
+                 return In;
+               }});
+
+  S.push_back({"stencil", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned A = P.createArray("a", RegClass::Float, 130);
+                 unsigned Bb = P.createArray("b", RegClass::Float, 130);
+                 ForStmt *L = B.beginForImm(1, N);
+                 VReg Sum = B.fadd(B.fadd(B.fload(A, B.ix(L, 1, -1)),
+                                          B.fload(A, B.ix(L))),
+                                   B.fload(A, B.ix(L, 1, 1)));
+                 B.fstore(Bb, B.ix(L), Sum);
+                 B.endFor();
+                 ProgramInput In;
+                 for (int I = 0; I != 130; ++I)
+                   In.FloatArrays[A].push_back(0.1f * I * I - 3.0f);
+                 return In;
+               }});
+
+  S.push_back({"conditional-abs", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned X = P.createArray("x", RegClass::Float, 128);
+                 unsigned Y = P.createArray("y", RegClass::Float, 128);
+                 VReg Zero = B.fconst(0.0);
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 VReg V = B.fload(X, B.ix(L));
+                 VReg Neg = B.binop(Opcode::FCmpLT, V, Zero);
+                 VReg R = P.createVReg(RegClass::Float);
+                 B.beginIf(Neg);
+                 B.assignUn(R, Opcode::FNeg, V);
+                 B.beginElse();
+                 B.assignUn(R, Opcode::FMov, V);
+                 B.endIf();
+                 B.fstore(Y, B.ix(L), R);
+                 B.endFor();
+                 ProgramInput In;
+                 for (int I = 0; I != 128; ++I)
+                   In.FloatArrays[X].push_back((I % 3 == 0 ? -1.0f : 1.0f) *
+                                               (0.5f + I));
+                 return In;
+               }});
+
+  S.push_back({"conditional-accumulate", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned X = P.createArray("x", RegClass::Float, 128);
+                 unsigned Out = P.createArray("out", RegClass::Float, 2);
+                 VReg Zero = B.fconst(0.0);
+                 VReg PosSum = P.createVReg(RegClass::Float, "possum");
+                 VReg NegSum = P.createVReg(RegClass::Float, "negsum");
+                 B.assignMov(PosSum, Zero);
+                 B.assignMov(NegSum, Zero);
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 VReg V = B.fload(X, B.ix(L));
+                 VReg Neg = B.binop(Opcode::FCmpLT, V, Zero);
+                 B.beginIf(Neg);
+                 B.assign(NegSum, Opcode::FAdd, NegSum, V);
+                 B.beginElse();
+                 B.assign(PosSum, Opcode::FAdd, PosSum, V);
+                 B.endIf();
+                 B.endFor();
+                 B.fstore(Out, B.cx(0), PosSum);
+                 B.fstore(Out, B.cx(1), NegSum);
+                 ProgramInput In;
+                 for (int I = 0; I != 128; ++I)
+                   In.FloatArrays[X].push_back((I % 2 ? -1.0f : 1.0f) *
+                                               0.25f * I);
+                 return In;
+               }});
+
+  S.push_back({"matmul-nested", [](Program &P, int64_t N) {
+                 // N x N matrix product with inner dot-product loops.
+                 IRBuilder B(P);
+                 int64_t Dim = std::max<int64_t>(1, std::min<int64_t>(N, 6));
+                 unsigned A = P.createArray("a", RegClass::Float, Dim * Dim);
+                 unsigned Bm = P.createArray("b", RegClass::Float, Dim * Dim);
+                 unsigned C = P.createArray("c", RegClass::Float, Dim * Dim);
+                 ForStmt *I = B.beginForImm(0, Dim - 1);
+                 ForStmt *J = B.beginForImm(0, Dim - 1);
+                 VReg Acc = P.createVReg(RegClass::Float, "acc");
+                 B.assignUn(Acc, Opcode::FMov, B.fconst(0.0));
+                 ForStmt *K = B.beginForImm(0, Dim - 1);
+                 VReg Av = B.fload(A, B.ix(I, Dim) + B.ix(K));
+                 VReg Bv = B.fload(Bm, B.ix(K, Dim) + B.ix(J));
+                 B.assign(Acc, Opcode::FAdd, Acc, B.fmul(Av, Bv));
+                 B.endFor();
+                 B.fstore(C, B.ix(I, Dim) + B.ix(J), Acc);
+                 B.endFor();
+                 B.endFor();
+                 ProgramInput In;
+                 for (int64_t V = 0; V != Dim * Dim; ++V) {
+                   In.FloatArrays[A].push_back(0.5f + 0.25f * V);
+                   In.FloatArrays[Bm].push_back(1.5f - 0.125f * V);
+                 }
+                 return In;
+               }});
+
+  S.push_back({"queue-roundtrip", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 (void)L;
+                 VReg V = B.recv(0);
+                 B.send(0, B.fmul(V, V));
+                 B.endFor();
+                 ProgramInput In;
+                 for (int64_t I = 0; I != N; ++I)
+                   In.InputQueue.push_back(0.5f * I - 3.0f);
+                 return In;
+               }});
+
+  S.push_back({"indvar-as-value", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned A = P.createArray("a", RegClass::Float, 128);
+                 VReg Two = B.fconst(2.0);
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 B.fstore(A, B.ix(L), B.fmul(B.i2f(L->IndVar), Two));
+                 B.endFor();
+                 return ProgramInput{};
+               }});
+
+  S.push_back({"histogram-dynamic-subscript", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned Idx = P.createArray("idx", RegClass::Int, 128);
+                 unsigned Hist = P.createArray("hist", RegClass::Float, 8);
+                 VReg One = B.fconst(1.0);
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 VReg Bin = B.iload(Idx, B.ix(L));
+                 AffineExpr HIx;
+                 HIx.Addend = Bin;
+                 B.fstore(Hist, HIx, B.fadd(B.fload(Hist, HIx), One));
+                 B.endFor();
+                 ProgramInput In;
+                 for (int I = 0; I != 128; ++I)
+                   In.IntArrays[Idx].push_back((I * 5) % 8);
+                 return In;
+               }});
+
+  S.push_back({"division-newton", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned X = P.createArray("x", RegClass::Float, 128);
+                 unsigned Y = P.createArray("y", RegClass::Float, 128);
+                 unsigned Q = P.createArray("q", RegClass::Float, 128);
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 B.fstore(Q, B.ix(L),
+                          B.fdiv(B.fload(X, B.ix(L)), B.fload(Y, B.ix(L))));
+                 B.endFor();
+                 ProgramInput In;
+                 for (int I = 0; I != 128; ++I) {
+                   In.FloatArrays[X].push_back(1.0f + 0.5f * I);
+                   In.FloatArrays[Y].push_back(0.25f + 0.125f * I);
+                 }
+                 return In;
+               }});
+
+  S.push_back({"sqrt-loop", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned X = P.createArray("x", RegClass::Float, 128);
+                 unsigned Y = P.createArray("y", RegClass::Float, 128);
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 B.fstore(Y, B.ix(L), B.fsqrt(B.fload(X, B.ix(L))));
+                 B.endFor();
+                 ProgramInput In;
+                 for (int I = 0; I != 128; ++I)
+                   In.FloatArrays[X].push_back(0.5f + 2.0f * I);
+                 return In;
+               }});
+
+  S.push_back({"exp-loop", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned X = P.createArray("x", RegClass::Float, 128);
+                 unsigned Y = P.createArray("y", RegClass::Float, 128);
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 B.fstore(Y, B.ix(L), B.fexp(B.fload(X, B.ix(L))));
+                 B.endFor();
+                 ProgramInput In;
+                 for (int I = 0; I != 128; ++I)
+                   In.FloatArrays[X].push_back(-4.0f + 0.0625f * I);
+                 return In;
+               }});
+
+  S.push_back({"scalar-prelude-and-tail", [](Program &P, int64_t N) {
+                 // Straight-line code around the loop exercises region
+                 // stitching and global registers.
+                 IRBuilder B(P);
+                 unsigned A = P.createArray("a", RegClass::Float, 128);
+                 unsigned Out = P.createArray("out", RegClass::Float, 1);
+                 VReg Scale = B.fmul(B.fconst(3.0), B.fconst(0.5));
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 B.fstore(A, B.ix(L), B.fmul(B.fload(A, B.ix(L)), Scale));
+                 B.endFor();
+                 B.fstore(Out, B.cx(0), B.fadd(Scale, Scale));
+                 ProgramInput In;
+                 for (int I = 0; I != 128; ++I)
+                   In.FloatArrays[A].push_back(1.0f + I);
+                 return In;
+               }});
+
+  return S;
+}
+
+class EndToEnd
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, int64_t>> {
+};
+
+TEST_P(EndToEnd, SimMatchesInterp) {
+  auto [ScIdx, CfIdx, N] = GetParam();
+  static const std::vector<Scenario> Scenarios = allScenarios();
+  static const std::vector<Config> Configs = allConfigs();
+  checkEquivalence(Scenarios[ScIdx], Configs[CfIdx], N);
+}
+
+static std::string
+endToEndName(const ::testing::TestParamInfo<std::tuple<size_t, size_t, int64_t>>
+                 &Info) {
+  static const std::vector<Scenario> Scenarios = allScenarios();
+  static const std::vector<Config> Configs = allConfigs();
+  auto [ScIdx, CfIdx, N] = Info.param;
+  std::string Name = Scenarios[ScIdx].Name + "_" + Configs[CfIdx].Name +
+                     "_n" + std::to_string(N);
+  for (char &C : Name)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+static std::vector<std::tuple<size_t, size_t, int64_t>> allCases() {
+  std::vector<std::tuple<size_t, size_t, int64_t>> Cases;
+  size_t NumSc = allScenarios().size();
+  size_t NumCf = allConfigs().size();
+  // Trip counts straddle every dual-version boundary: empty, shorter than
+  // the pipeline fill, around the unroll remainder, and long.
+  const int64_t Trips[] = {1, 2, 3, 5, 8, 13, 27, 64};
+  for (size_t Sc = 0; Sc != NumSc; ++Sc)
+    for (size_t Cf = 0; Cf != NumCf; ++Cf)
+      for (int64_t N : Trips)
+        Cases.emplace_back(Sc, Cf, N);
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, EndToEnd, ::testing::ValuesIn(allCases()),
+                         endToEndName);
+
+TEST(EndToEnd, PipeliningActuallySpeedsUp) {
+  // The point of the whole exercise: same program, fewer cycles.
+  auto Build = [](Program &P) {
+    IRBuilder B(P);
+    unsigned A = P.createArray("a", RegClass::Float, 600);
+    VReg K = B.fconst(2.0);
+    ForStmt *L = B.beginForImm(0, 499);
+    B.fstore(A, B.ix(L), B.fmul(B.fadd(B.fload(A, B.ix(L)), K), K));
+    B.endFor();
+  };
+  MachineDescription MD = MachineDescription::warpCell();
+
+  Program P1;
+  Build(P1);
+  CompilerOptions Fast;
+  CompileResult R1 = compileProgram(P1, MD, Fast);
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  SimResult S1 = simulate(R1.Code, P1, MD, {});
+  ASSERT_TRUE(S1.State.Ok) << S1.State.Error;
+
+  Program P2;
+  Build(P2);
+  CompilerOptions Slow;
+  Slow.EnablePipelining = false;
+  CompileResult R2 = compileProgram(P2, MD, Slow);
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  SimResult S2 = simulate(R2.Code, P2, MD, {});
+  ASSERT_TRUE(S2.State.Ok) << S2.State.Error;
+
+  EXPECT_LT(S1.Cycles * 2, S2.Cycles)
+      << "pipelined code should be at least 2x faster on this kernel";
+  ASSERT_EQ(R1.Loops.size(), 1u);
+  EXPECT_TRUE(R1.Loops[0].Pipelined);
+  EXPECT_EQ(R1.Loops[0].II, R1.Loops[0].MII) << "this loop meets its bound";
+}
+
+TEST(EndToEnd, Section2ExampleFourTimesFaster) {
+  // The paper's introductory example: II=1 on the toy machine makes the
+  // loop approach 4x the unpipelined speed (iteration length 4).
+  auto Build = [](Program &P) {
+    IRBuilder B(P);
+    unsigned A = P.createArray("a", RegClass::Float, 1100);
+    VReg K = B.fconst(1.0);
+    ForStmt *L = B.beginForImm(0, 999);
+    B.fstore(A, B.ix(L), B.fadd(B.fload(A, B.ix(L)), K));
+    B.endFor();
+  };
+  MachineDescription MD = MachineDescription::toyCell();
+
+  Program P1;
+  Build(P1);
+  CompileResult R1 = compileProgram(P1, MD, {});
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  SimResult S1 = simulate(R1.Code, P1, MD, {});
+  ASSERT_TRUE(S1.State.Ok) << S1.State.Error;
+
+  Program P2;
+  Build(P2);
+  CompilerOptions Off;
+  Off.EnablePipelining = false;
+  CompileResult R2 = compileProgram(P2, MD, Off);
+  SimResult S2 = simulate(R2.Code, P2, MD, {});
+
+  double Speedup = static_cast<double>(S2.Cycles) / S1.Cycles;
+  EXPECT_GT(Speedup, 3.5) << "paper reports 4x for this example";
+  EXPECT_LE(Speedup, 4.5);
+}
+
+TEST(EndToEnd, ReportsCarryScheduleQuality) {
+  Program P;
+  IRBuilder B(P);
+  unsigned A = P.createArray("a", RegClass::Float, 128);
+  VReg K = B.fconst(2.0);
+  ForStmt *L = B.beginForImm(0, 99);
+  (void)L;
+  B.fstore(A, B.ix(L), B.fadd(B.fload(A, B.ix(L)), K));
+  B.endFor();
+  MachineDescription MD = MachineDescription::warpCell();
+  CompileResult R = compileProgram(P, MD, {});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Loops.size(), 1u);
+  const LoopReport &Rep = R.Loops[0];
+  EXPECT_TRUE(Rep.Attempted);
+  EXPECT_TRUE(Rep.Pipelined);
+  EXPECT_GE(Rep.II, Rep.MII);
+  EXPECT_GT(Rep.UnpipelinedLen, Rep.II);
+  EXPECT_GE(Rep.Stages, 2u);
+  EXPECT_GT(Rep.KernelInsts, 0u);
+  EXPECT_FALSE(Rep.HasConditionals);
+}
+
+} // namespace

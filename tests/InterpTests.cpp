@@ -1,0 +1,271 @@
+//===- InterpTests.cpp - Unit tests for the scalar interpreter ---------------===//
+//
+// Part of warp-swp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Interp/Interpreter.h"
+
+#include "swp/IR/Expansion.h"
+#include "swp/IR/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace swp;
+
+TEST(Interp, VectorAdd) {
+  Program P;
+  IRBuilder B(P);
+  unsigned A = P.createArray("a", RegClass::Float, 8);
+  VReg K = B.fconst(2.5);
+  ForStmt *L = B.beginForImm(0, 7);
+  B.fstore(A, B.ix(L), B.fadd(B.fload(A, B.ix(L)), K));
+  B.endFor();
+
+  ProgramInput In;
+  In.FloatArrays[A] = {0, 1, 2, 3, 4, 5, 6, 7};
+  ProgramState S = interpret(P, In);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  for (int I = 0; I != 8; ++I)
+    EXPECT_FLOAT_EQ(S.FloatArrays[A][I], I + 2.5f);
+  EXPECT_EQ(S.Flops, 8u);
+}
+
+TEST(Interp, DotProductAccumulator) {
+  Program P;
+  IRBuilder B(P);
+  unsigned X = P.createArray("x", RegClass::Float, 4);
+  unsigned Y = P.createArray("y", RegClass::Float, 4);
+  unsigned Out = P.createArray("out", RegClass::Float, 1);
+  VReg Acc = P.createVReg(RegClass::Float, "acc");
+  B.assignUn(Acc, Opcode::FMov, B.fconst(0.0));
+  ForStmt *L = B.beginForImm(0, 3);
+  VReg Prod = B.fmul(B.fload(X, B.ix(L)), B.fload(Y, B.ix(L)));
+  B.assign(Acc, Opcode::FAdd, Acc, Prod);
+  B.endFor();
+  B.fstore(Out, B.cx(0), Acc);
+
+  ProgramInput In;
+  In.FloatArrays[X] = {1, 2, 3, 4};
+  In.FloatArrays[Y] = {10, 20, 30, 40};
+  ProgramState S = interpret(P, In);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_FLOAT_EQ(S.FloatArrays[Out][0], 300.0f);
+}
+
+TEST(Interp, FirstOrderRecurrence) {
+  // a[i] = a[i-1]*b + c  (the paper's section 4.2 data-dependency example).
+  Program P;
+  IRBuilder B(P);
+  unsigned A = P.createArray("a", RegClass::Float, 6);
+  VReg Coef = B.fconst(2.0);
+  VReg C = B.fconst(1.0);
+  ForStmt *L = B.beginForImm(1, 5);
+  VReg Prev = B.fload(A, B.ix(L, 1, -1));
+  B.fstore(A, B.ix(L), B.fadd(B.fmul(Prev, Coef), C));
+  B.endFor();
+
+  ProgramInput In;
+  In.FloatArrays[A] = {1, 0, 0, 0, 0, 0};
+  ProgramState S = interpret(P, In);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  float Expect = 1.0f;
+  for (int I = 1; I != 6; ++I) {
+    Expect = Expect * 2.0f + 1.0f;
+    EXPECT_FLOAT_EQ(S.FloatArrays[A][I], Expect);
+  }
+}
+
+TEST(Interp, ConditionalTakesRightBranch) {
+  // out[i] = |in[i]| via IF.
+  Program P;
+  IRBuilder B(P);
+  unsigned In_ = P.createArray("in", RegClass::Float, 4);
+  unsigned Out = P.createArray("out", RegClass::Float, 4);
+  VReg Zero = B.fconst(0.0);
+  ForStmt *L = B.beginForImm(0, 3);
+  VReg V = B.fload(In_, B.ix(L));
+  VReg Neg = B.binop(Opcode::FCmpLT, V, Zero);
+  VReg R = P.createVReg(RegClass::Float);
+  B.beginIf(Neg);
+  B.assignUn(R, Opcode::FNeg, V);
+  B.beginElse();
+  B.assignUn(R, Opcode::FMov, V);
+  B.endIf();
+  B.fstore(Out, B.ix(L), R);
+  B.endFor();
+
+  ProgramInput In;
+  In.FloatArrays[In_] = {-1.5f, 2.0f, -3.0f, 0.0f};
+  ProgramState S = interpret(P, In);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_FLOAT_EQ(S.FloatArrays[Out][0], 1.5f);
+  EXPECT_FLOAT_EQ(S.FloatArrays[Out][1], 2.0f);
+  EXPECT_FLOAT_EQ(S.FloatArrays[Out][2], 3.0f);
+  EXPECT_FLOAT_EQ(S.FloatArrays[Out][3], 0.0f);
+}
+
+TEST(Interp, NestedLoopsMatrixScale) {
+  Program P;
+  IRBuilder B(P);
+  unsigned M = P.createArray("m", RegClass::Float, 12);
+  VReg K = B.fconst(3.0);
+  ForStmt *I = B.beginForImm(0, 2);
+  ForStmt *J = B.beginForImm(0, 3);
+  AffineExpr Idx = B.ix(I, 4) + B.ix(J);
+  B.fstore(M, Idx, B.fmul(B.fload(M, Idx), K));
+  B.endFor();
+  B.endFor();
+
+  ProgramInput In;
+  for (int V = 0; V != 12; ++V)
+    In.FloatArrays[M].push_back(static_cast<float>(V));
+  ProgramState S = interpret(P, In);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  for (int V = 0; V != 12; ++V)
+    EXPECT_FLOAT_EQ(S.FloatArrays[M][V], 3.0f * V);
+}
+
+TEST(Interp, QueuesRoundTrip) {
+  Program P;
+  IRBuilder B(P);
+  ForStmt *L = B.beginForImm(0, 3);
+  (void)L;
+  VReg V = B.recv(0);
+  B.send(0, B.fmul(V, V));
+  B.endFor();
+
+  ProgramInput In;
+  In.InputQueue = {1, 2, 3, 4};
+  ProgramState S = interpret(P, In);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  ASSERT_EQ(S.OutputQueue.size(), 4u);
+  EXPECT_FLOAT_EQ(S.OutputQueue[3], 16.0f);
+}
+
+TEST(Interp, QueueUnderflowFails) {
+  Program P;
+  IRBuilder B(P);
+  B.recv(0);
+  ProgramState S = interpret(P, {});
+  EXPECT_FALSE(S.Ok);
+  EXPECT_NE(S.Error.find("underflow"), std::string::npos);
+}
+
+TEST(Interp, OutOfBoundsFails) {
+  Program P;
+  IRBuilder B(P);
+  unsigned A = P.createArray("a", RegClass::Float, 4);
+  ForStmt *L = B.beginForImm(0, 4); // one too far
+  B.fload(A, B.ix(L));
+  B.endFor();
+  ProgramState S = interpret(P, {});
+  EXPECT_FALSE(S.Ok);
+  EXPECT_NE(S.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interp, ZeroTripLoopRunsNothing) {
+  Program P;
+  IRBuilder B(P);
+  unsigned A = P.createArray("a", RegClass::Float, 4);
+  ForStmt *L = B.beginForImm(3, 2);
+  B.fstore(A, B.ix(L, 0), B.fconst(9.0));
+  B.endFor();
+  ProgramState S = interpret(P, {});
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_FLOAT_EQ(S.FloatArrays[A][0], 0.0f);
+}
+
+TEST(Interp, LiveInScalars) {
+  Program P;
+  IRBuilder B(P);
+  unsigned A = P.createArray("a", RegClass::Float, 1);
+  VReg X = P.createVReg(RegClass::Float, "x", /*LiveIn=*/true);
+  VReg N = P.createVReg(RegClass::Int, "n", /*LiveIn=*/true);
+  ForStmt *L = B.beginForReg(1, N);
+  (void)L;
+  B.fstore(A, B.cx(0), B.fadd(B.fload(A, B.cx(0)), X));
+  B.endFor();
+  ProgramInput In;
+  In.FloatScalars[X.Id] = 0.5f;
+  In.IntScalars[N.Id] = 6;
+  ProgramState S = interpret(P, In);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_FLOAT_EQ(S.FloatArrays[A][0], 3.0f);
+}
+
+TEST(Interp, IndVarAsValue) {
+  // a[i] = float(i) * 2
+  Program P;
+  IRBuilder B(P);
+  unsigned A = P.createArray("a", RegClass::Float, 5);
+  VReg Two = B.fconst(2.0);
+  ForStmt *L = B.beginForImm(0, 4);
+  B.fstore(A, B.ix(L), B.fmul(B.i2f(L->IndVar), Two));
+  B.endFor();
+  ProgramState S = interpret(P, {});
+  ASSERT_TRUE(S.Ok) << S.Error;
+  for (int I = 0; I != 5; ++I)
+    EXPECT_FLOAT_EQ(S.FloatArrays[A][I], 2.0f * I);
+}
+
+/// Accuracy of the expanded library routines against libm.
+class LibraryExpansionAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(LibraryExpansionAccuracy, InvMatchesLibm) {
+  double X = GetParam();
+  if (X == 0.0)
+    return;
+  Program P;
+  IRBuilder B(P);
+  unsigned Out = P.createArray("out", RegClass::Float, 1);
+  VReg V = P.createVReg(RegClass::Float, "x", /*LiveIn=*/true);
+  B.fstore(Out, B.cx(0), B.finv(V));
+  expandLibraryOps(P);
+  ProgramInput In;
+  In.FloatScalars[V.Id] = static_cast<float>(X);
+  ProgramState S = interpret(P, In);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_NEAR(S.FloatArrays[Out][0], 1.0 / X, std::fabs(1.0 / X) * 1e-5);
+}
+
+TEST_P(LibraryExpansionAccuracy, SqrtMatchesLibm) {
+  double X = std::fabs(GetParam());
+  if (X == 0.0)
+    return;
+  Program P;
+  IRBuilder B(P);
+  unsigned Out = P.createArray("out", RegClass::Float, 1);
+  VReg V = P.createVReg(RegClass::Float, "x", /*LiveIn=*/true);
+  B.fstore(Out, B.cx(0), B.fsqrt(V));
+  expandLibraryOps(P);
+  ProgramInput In;
+  In.FloatScalars[V.Id] = static_cast<float>(X);
+  ProgramState S = interpret(P, In);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_NEAR(S.FloatArrays[Out][0], std::sqrt(X), std::sqrt(X) * 1e-5);
+}
+
+TEST_P(LibraryExpansionAccuracy, ExpMatchesLibm) {
+  double X = GetParam();
+  if (std::fabs(X) > 20.0)
+    return;
+  Program P;
+  IRBuilder B(P);
+  unsigned Out = P.createArray("out", RegClass::Float, 1);
+  VReg V = P.createVReg(RegClass::Float, "x", /*LiveIn=*/true);
+  B.fstore(Out, B.cx(0), B.fexp(V));
+  expandLibraryOps(P);
+  ProgramInput In;
+  In.FloatScalars[V.Id] = static_cast<float>(X);
+  ProgramState S = interpret(P, In);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_NEAR(S.FloatArrays[Out][0], std::exp(X), std::exp(X) * 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, LibraryExpansionAccuracy,
+                         ::testing::Values(-7.25, -2.0, -0.875, -0.1, 0.0,
+                                           0.03125, 0.7, 1.0, 3.14159, 9.5,
+                                           100.0, -55.0));

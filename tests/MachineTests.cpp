@@ -1,0 +1,116 @@
+//===- MachineTests.cpp - Unit tests for swp_machine --------------------------===//
+//
+// Part of warp-swp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Machine/MachineDescription.h"
+
+#include <gtest/gtest.h>
+
+using namespace swp;
+
+TEST(Opcode, NamesAreStable) {
+  EXPECT_STREQ(opcodeName(Opcode::FAdd), "fadd");
+  EXPECT_STREQ(opcodeName(Opcode::FMul), "fmul");
+  EXPECT_STREQ(opcodeName(Opcode::FStore), "fstore");
+  EXPECT_STREQ(opcodeName(Opcode::Recv), "recv");
+  EXPECT_STREQ(opcodeName(Opcode::Nop), "nop");
+}
+
+TEST(Opcode, Classification) {
+  EXPECT_TRUE(isLibraryPseudo(Opcode::FInv));
+  EXPECT_TRUE(isLibraryPseudo(Opcode::FSqrt));
+  EXPECT_TRUE(isLibraryPseudo(Opcode::FExp));
+  EXPECT_FALSE(isLibraryPseudo(Opcode::FAdd));
+  EXPECT_TRUE(isLoad(Opcode::FLoad));
+  EXPECT_TRUE(isLoad(Opcode::ILoad));
+  EXPECT_FALSE(isLoad(Opcode::FStore));
+  EXPECT_TRUE(isStore(Opcode::IStore));
+  EXPECT_TRUE(isMemAccess(Opcode::FLoad));
+  EXPECT_FALSE(isMemAccess(Opcode::IAdd));
+}
+
+TEST(WarpCell, SevenCyclePipelinedFloatingUnits) {
+  MachineDescription MD = MachineDescription::warpCell();
+  // "multiplications and additions take 7 cycles to complete" -- section 1.
+  EXPECT_EQ(MD.opcodeInfo(Opcode::FAdd).Latency, 7u);
+  EXPECT_EQ(MD.opcodeInfo(Opcode::FMul).Latency, 7u);
+  // Fully pipelined: the reservation pattern occupies one slot only.
+  EXPECT_EQ(MD.opcodeInfo(Opcode::FAdd).Uses.size(), 1u);
+  EXPECT_EQ(MD.opcodeInfo(Opcode::FAdd).Uses[0].Cycle, 0u);
+  // Adder and multiplier are distinct resources.
+  EXPECT_NE(MD.opcodeInfo(Opcode::FAdd).Uses[0].ResId,
+            MD.opcodeInfo(Opcode::FMul).Uses[0].ResId);
+}
+
+TEST(WarpCell, RegisterFilesAndClock) {
+  MachineDescription MD = MachineDescription::warpCell();
+  // Two 31-word FP files modeled as one 62-word file; 64-word ALU file.
+  EXPECT_EQ(MD.registerFileSize(RegClass::Float), 62u);
+  EXPECT_EQ(MD.registerFileSize(RegClass::Int), 64u);
+  EXPECT_EQ(MD.registerFileSize(RegClass::None), 0u);
+  // 5 MHz * 2 flops/cycle = the 10 MFLOPS peak of one cell.
+  EXPECT_DOUBLE_EQ(MD.clockMHz(), 5.0);
+}
+
+TEST(WarpCell, PseudosAreIllegal) {
+  MachineDescription MD = MachineDescription::warpCell();
+  EXPECT_FALSE(MD.isLegal(Opcode::FInv));
+  EXPECT_FALSE(MD.isLegal(Opcode::FSqrt));
+  EXPECT_FALSE(MD.isLegal(Opcode::FExp));
+  EXPECT_TRUE(MD.isLegal(Opcode::FRecipSeed));
+  EXPECT_TRUE(MD.isLegal(Opcode::FAdd));
+}
+
+TEST(WarpCell, FlopAccounting) {
+  MachineDescription MD = MachineDescription::warpCell();
+  EXPECT_TRUE(MD.opcodeInfo(Opcode::FAdd).IsFlop);
+  EXPECT_TRUE(MD.opcodeInfo(Opcode::FMul).IsFlop);
+  EXPECT_FALSE(MD.opcodeInfo(Opcode::IAdd).IsFlop);
+  EXPECT_FALSE(MD.opcodeInfo(Opcode::FLoad).IsFlop);
+  EXPECT_FALSE(MD.opcodeInfo(Opcode::FConst).IsFlop);
+}
+
+TEST(ToyCell, Section2ExampleLatencies) {
+  MachineDescription MD = MachineDescription::toyCell();
+  // Read available next cycle; Add result exactly two cycles later.
+  EXPECT_EQ(MD.opcodeInfo(Opcode::FLoad).Latency, 1u);
+  EXPECT_EQ(MD.opcodeInfo(Opcode::FAdd).Latency, 2u);
+  // Read, Add, Write each on their own resource so II=1 is possible.
+  unsigned R = MD.opcodeInfo(Opcode::FLoad).Uses[0].ResId;
+  unsigned A = MD.opcodeInfo(Opcode::FAdd).Uses[0].ResId;
+  unsigned W = MD.opcodeInfo(Opcode::FStore).Uses[0].ResId;
+  EXPECT_NE(R, A);
+  EXPECT_NE(A, W);
+  EXPECT_NE(R, W);
+}
+
+class ScaledWarp : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ScaledWarp, ScalesArithmeticUnits) {
+  unsigned Factor = GetParam();
+  MachineDescription MD = MachineDescription::scaledWarpCell(Factor);
+  unsigned FAddRes = MD.opcodeInfo(Opcode::FAdd).Uses[0].ResId;
+  unsigned FMulRes = MD.opcodeInfo(Opcode::FMul).Uses[0].ResId;
+  unsigned MemRes = MD.opcodeInfo(Opcode::FLoad).Uses[0].ResId;
+  EXPECT_EQ(MD.resource(FAddRes).Units, Factor);
+  EXPECT_EQ(MD.resource(FMulRes).Units, Factor);
+  EXPECT_EQ(MD.resource(MemRes).Units, Factor);
+  EXPECT_EQ(MD.name(), "warp-cell-x" + std::to_string(Factor));
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ScaledWarp, ::testing::Values(1u, 2u, 4u));
+
+TEST(MachineDescription, CustomMachine) {
+  MachineDescription MD;
+  unsigned R0 = MD.addResource("xu", 3);
+  MD.setOpcodeInfo(Opcode::FAdd,
+                   OpcodeInfo{4, {{R0, 0, 2}}, RegClass::Float, 2, true,
+                              true});
+  EXPECT_EQ(MD.numResources(), 1u);
+  EXPECT_EQ(MD.resource(R0).Units, 3u);
+  EXPECT_EQ(MD.opcodeInfo(Opcode::FAdd).Latency, 4u);
+  EXPECT_EQ(MD.opcodeInfo(Opcode::FAdd).Uses[0].Units, 2u);
+  EXPECT_FALSE(MD.isLegal(Opcode::FMul));
+}

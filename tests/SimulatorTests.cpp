@@ -1,0 +1,300 @@
+//===- SimulatorTests.cpp - VLIW simulator unit tests -------------------------===//
+//
+// Part of warp-swp.
+//
+// Exercises the simulator directly on hand-built VLIW programs: timing
+// semantics (read-at-issue, visible-at-latency, store-at-end-of-cycle),
+// predication, AGU loop variables, control flow, and the dynamic audits
+// that turn scheduler bugs into hard failures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace swp;
+
+namespace {
+
+/// A fixture with a tiny program context (one float array) and helpers to
+/// hand-assemble instructions.
+class SimFixture : public ::testing::Test {
+protected:
+  SimFixture() : MD(MachineDescription::warpCell()) {
+    Arr = P.createArray("a", RegClass::Float, 16);
+  }
+
+  static PhysReg f(unsigned I) { return {RegClass::Float, I}; }
+  static PhysReg r(unsigned I) { return {RegClass::Int, I}; }
+
+  MachOp fconst(PhysReg Def, double V) {
+    MachOp M;
+    M.Opc = Opcode::FConst;
+    M.Def = Def;
+    M.FImm = V;
+    return M;
+  }
+  MachOp iconst(PhysReg Def, int64_t V) {
+    MachOp M;
+    M.Opc = Opcode::IConst;
+    M.Def = Def;
+    M.IImm = V;
+    return M;
+  }
+  MachOp fadd(PhysReg Def, PhysReg A, PhysReg B) {
+    MachOp M;
+    M.Opc = Opcode::FAdd;
+    M.Def = Def;
+    M.Uses = {A, B};
+    return M;
+  }
+  MachOp fstore(int64_t Index, PhysReg Val) {
+    MachOp M;
+    M.Opc = Opcode::FStore;
+    M.ArrayId = Arr;
+    M.Index.Const = Index;
+    M.Uses = {Val};
+    return M;
+  }
+  MachOp fload(PhysReg Def, int64_t Index) {
+    MachOp M;
+    M.Opc = Opcode::FLoad;
+    M.Def = Def;
+    M.ArrayId = Arr;
+    M.Index.Const = Index;
+    return M;
+  }
+
+  void halt(VLIWProgram &Prog) {
+    VLIWInst I;
+    I.Ctrl.K = ControlOp::Kind::Halt;
+    Prog.Insts.push_back(I);
+  }
+
+  SimResult run(const VLIWProgram &Prog, ProgramInput In = {}) {
+    return simulate(Prog, P, MD, In);
+  }
+
+  Program P;
+  unsigned Arr = 0;
+  MachineDescription MD;
+};
+
+TEST_F(SimFixture, ResultVisibleExactlyAtLatency) {
+  // fconst r0 (latency 1) at cycle 0; fadd at cycle 1 reads it; the add's
+  // own result (latency 7) is stored at cycle 8 but NOT at cycle 7.
+  VLIWProgram Prog;
+  Prog.Insts.resize(10);
+  Prog.Insts[0].Ops.push_back(fconst(f(0), 2.0));
+  Prog.Insts[1].Ops.push_back(fadd(f(1), f(0), f(0)));
+  Prog.Insts[7].Ops.push_back(fstore(0, f(1))); // Too early: sees 0.
+  Prog.Insts[8].Ops.push_back(fstore(1, f(1))); // Exactly at 1+7: sees 4.
+  halt(Prog);
+  SimResult R = run(Prog);
+  ASSERT_TRUE(R.State.Ok) << R.State.Error;
+  EXPECT_FLOAT_EQ(R.State.FloatArrays[Arr][0], 0.0f);
+  EXPECT_FLOAT_EQ(R.State.FloatArrays[Arr][1], 4.0f);
+}
+
+TEST_F(SimFixture, LoadSamplesBeforeSameCycleStore) {
+  // A load and a store to the same element in one cycle: the load sees
+  // the old value (the dependence model's "store commits at end of
+  // cycle").
+  VLIWProgram Prog;
+  Prog.Insts.resize(12);
+  Prog.Insts[0].Ops.push_back(fconst(f(0), 9.0));
+  // Need two memory ops in one cycle: use the x2 cell.
+  MD = MachineDescription::scaledWarpCell(2);
+  Prog.Insts[1].Ops.push_back(fload(f(1), 3));   // Old value 5.
+  Prog.Insts[1].Ops.push_back(fstore(3, f(0)));  // Writes 9 at end.
+  Prog.Insts[5].Ops.push_back(fstore(4, f(1)));  // Load result: 5.
+  halt(Prog);
+  ProgramInput In;
+  In.FloatArrays[Arr] = {0, 0, 0, 5.0f};
+  SimResult R = run(Prog, In);
+  ASSERT_TRUE(R.State.Ok) << R.State.Error;
+  EXPECT_FLOAT_EQ(R.State.FloatArrays[Arr][3], 9.0f);
+  EXPECT_FLOAT_EQ(R.State.FloatArrays[Arr][4], 5.0f);
+}
+
+TEST_F(SimFixture, PredicationSelectsVersion) {
+  // Two complementary-predicated stores share one instruction (the union
+  // emission of section 3.1): only the true-guard one takes effect.
+  VLIWProgram Prog;
+  Prog.Insts.resize(5);
+  Prog.Insts[0].Ops.push_back(iconst(r(0), 1)); // Condition: true.
+  Prog.Insts[1].Ops.push_back(fconst(f(0), 7.0));
+  Prog.Insts[2].Ops.push_back(fconst(f(1), 8.0));
+  MachOp Then = fstore(0, f(0));
+  Then.Preds = {{r(0), false}};
+  MachOp Else = fstore(0, f(1));
+  Else.Preds = {{r(0), true}};
+  Prog.Insts[4].Ops.push_back(Then);
+  Prog.Insts[4].Ops.push_back(Else);
+  halt(Prog);
+  SimResult R = run(Prog);
+  ASSERT_TRUE(R.State.Ok) << R.State.Error;
+  EXPECT_FLOAT_EQ(R.State.FloatArrays[Arr][0], 7.0f);
+  // Two active stores to one address would have been an error; the
+  // complementary predicates made it legal.
+}
+
+TEST_F(SimFixture, InertOpsConsumeNoResources) {
+  // Two same-resource ops with complementary predicates in one cycle:
+  // legal, because only one is active.
+  VLIWProgram Prog;
+  Prog.Insts.resize(4);
+  Prog.Insts[0].Ops.push_back(iconst(r(0), 0));
+  Prog.Insts[1].Ops.push_back(fconst(f(0), 1.0));
+  MachOp A = fadd(f(1), f(0), f(0));
+  A.Preds = {{r(0), false}};
+  MachOp B = fadd(f(2), f(0), f(0));
+  B.Preds = {{r(0), true}};
+  Prog.Insts[3].Ops.push_back(A);
+  Prog.Insts[3].Ops.push_back(B);
+  // Give the B-add time to land, then store its result.
+  Prog.Insts.resize(11);
+  Prog.Insts[10].Ops.push_back(fstore(0, f(2)));
+  halt(Prog);
+  SimResult R = run(Prog);
+  ASSERT_TRUE(R.State.Ok) << R.State.Error;
+  EXPECT_FLOAT_EQ(R.State.FloatArrays[Arr][0], 2.0f);
+}
+
+TEST_F(SimFixture, ResourceOverSubscriptionIsCaught) {
+  // Two unpredicated adds in one cycle on the single adder: hard error.
+  VLIWProgram Prog;
+  Prog.Insts.resize(2);
+  Prog.Insts[0].Ops.push_back(fconst(f(0), 1.0));
+  Prog.Insts[1].Ops.push_back(fadd(f(1), f(0), f(0)));
+  Prog.Insts[1].Ops.push_back(fadd(f(2), f(0), f(0)));
+  halt(Prog);
+  SimResult R = run(Prog);
+  EXPECT_FALSE(R.State.Ok);
+  EXPECT_NE(R.State.Error.find("over-subscription"), std::string::npos);
+}
+
+TEST_F(SimFixture, WriteWriteCollisionIsCaught) {
+  // Two results landing on one register in the same cycle.
+  VLIWProgram Prog;
+  Prog.Insts.resize(2);
+  Prog.Insts[0].Ops.push_back(fconst(f(0), 1.0));
+  Prog.Insts[1].Ops.push_back(fconst(f(0), 2.0));
+  // fconst latency 1: first lands at cycle 1... second at cycle 2: no
+  // collision. Force one: two different-unit ops with latencies meeting.
+  Prog.Insts.resize(10);
+  MachOp Mul;
+  Mul.Opc = Opcode::FMul;
+  Mul.Def = f(5);
+  Mul.Uses = {f(0), f(0)};
+  Prog.Insts[2].Ops.push_back(Mul); // Lands at 9.
+  Prog.Insts[8].Ops.push_back(fconst(f(5), 3.0)); // Also lands at 9.
+  halt(Prog);
+  SimResult R = run(Prog);
+  EXPECT_FALSE(R.State.Ok);
+  EXPECT_NE(R.State.Error.find("collision"), std::string::npos);
+}
+
+TEST_F(SimFixture, SameCycleStoresToOneAddressAreCaught) {
+  MD = MachineDescription::scaledWarpCell(2); // Two memory ports.
+  VLIWProgram Prog;
+  Prog.Insts.resize(3);
+  Prog.Insts[0].Ops.push_back(fconst(f(0), 1.0));
+  Prog.Insts[1].Ops.push_back(fstore(2, f(0)));
+  Prog.Insts[1].Ops.push_back(fstore(2, f(0)));
+  halt(Prog);
+  SimResult R = run(Prog);
+  EXPECT_FALSE(R.State.Ok);
+  EXPECT_NE(R.State.Error.find("two stores"), std::string::npos);
+}
+
+TEST_F(SimFixture, AguLoopVariableDrivesSubscripts) {
+  // A two-iteration loop writing a[LV]: SetLoopVar, then a store whose
+  // subscript is the loop variable, advance + DecJumpPos.
+  VLIWProgram Prog;
+  Prog.Insts.resize(3);
+  Prog.Insts[0].Ops.push_back(fconst(f(0), 6.5));
+  Prog.Insts[1].Ops.push_back(iconst(r(0), 3)); // Counter: 3 iterations.
+  AguOp Init;
+  Init.LoopId = 0;
+  Init.Relative = false;
+  Init.Imm = 4;
+  Prog.Insts[1].Agu.push_back(Init);
+  // Loop body at instruction 2.
+  MachOp St;
+  St.Opc = Opcode::FStore;
+  St.ArrayId = Arr;
+  St.Index.addTerm(0, 1); // a[LV0]
+  St.Uses = {f(0)};
+  Prog.Insts[2].Ops.push_back(St);
+  Prog.Insts[2].Agu.push_back(AguOp{0, /*Relative=*/true, {}, 1});
+  Prog.Insts[2].Ctrl.K = ControlOp::Kind::DecJumpPos;
+  Prog.Insts[2].Ctrl.Counter = r(0);
+  Prog.Insts[2].Ctrl.Target = 2;
+  halt(Prog);
+  // Program needs a loop id: create one so LoopVars is sized.
+  P.createLoopId();
+  SimResult R = run(Prog);
+  ASSERT_TRUE(R.State.Ok) << R.State.Error;
+  EXPECT_FLOAT_EQ(R.State.FloatArrays[Arr][4], 6.5f);
+  EXPECT_FLOAT_EQ(R.State.FloatArrays[Arr][5], 6.5f);
+  EXPECT_FLOAT_EQ(R.State.FloatArrays[Arr][6], 6.5f);
+  EXPECT_FLOAT_EQ(R.State.FloatArrays[Arr][7], 0.0f);
+}
+
+TEST_F(SimFixture, JumpIfZeroAndJump) {
+  VLIWProgram Prog;
+  Prog.Insts.resize(6);
+  Prog.Insts[0].Ops.push_back(iconst(r(0), 0));
+  Prog.Insts[1].Ops.push_back(fconst(f(0), 1.0));
+  Prog.Insts[1].Ctrl.K = ControlOp::Kind::JumpIfZero;
+  Prog.Insts[1].Ctrl.Counter = r(0);
+  Prog.Insts[1].Ctrl.Target = 4;
+  Prog.Insts[2].Ops.push_back(fstore(0, f(0))); // Skipped.
+  Prog.Insts[4].Ops.push_back(fstore(1, f(0))); // Reached.
+  halt(Prog);
+  SimResult R = run(Prog);
+  ASSERT_TRUE(R.State.Ok) << R.State.Error;
+  EXPECT_FLOAT_EQ(R.State.FloatArrays[Arr][0], 0.0f);
+  EXPECT_FLOAT_EQ(R.State.FloatArrays[Arr][1], 1.0f);
+}
+
+TEST_F(SimFixture, FallingOffTheEndIsCaught) {
+  VLIWProgram Prog;
+  Prog.Insts.resize(2); // No halt.
+  SimResult R = run(Prog);
+  EXPECT_FALSE(R.State.Ok);
+  EXPECT_NE(R.State.Error.find("fell off"), std::string::npos);
+}
+
+TEST_F(SimFixture, RunawayLoopHitsCycleLimit) {
+  VLIWProgram Prog;
+  Prog.Insts.resize(1);
+  Prog.Insts[0].Ctrl.K = ControlOp::Kind::Jump;
+  Prog.Insts[0].Ctrl.Target = 0;
+  SimOptions Opts;
+  Opts.MaxCycles = 1000;
+  SimResult R = simulate(Prog, P, MD, {}, Opts);
+  EXPECT_FALSE(R.State.Ok);
+  EXPECT_NE(R.State.Error.find("cycle limit"), std::string::npos);
+}
+
+TEST_F(SimFixture, PendingWritesDrainAfterHalt) {
+  // A multiply issued right before halt still lands in the final state.
+  VLIWProgram Prog;
+  Prog.Insts.resize(2);
+  Prog.Insts[0].Ops.push_back(fconst(f(0), 3.0));
+  MachOp Mul;
+  Mul.Opc = Opcode::FMul;
+  Mul.Def = f(1);
+  Mul.Uses = {f(0), f(0)};
+  Prog.Insts[1].Ops.push_back(Mul);
+  halt(Prog); // Halt at cycle 2; the product lands at cycle 8.
+  SimResult R = run(Prog);
+  ASSERT_TRUE(R.State.Ok) << R.State.Error;
+  EXPECT_EQ(R.Cycles, 3u);
+  EXPECT_EQ(R.State.Flops, 1u);
+}
+
+} // namespace

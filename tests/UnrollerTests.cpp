@@ -1,0 +1,197 @@
+//===- UnrollerTests.cpp - source unrolling semantics -------------------------===//
+//
+// Part of warp-swp.
+//
+// The unroller must preserve sequential semantics exactly: every scenario
+// is built twice, one copy unrolled, and both interpreted to the same
+// final state — across factors, remainders, accumulators, conditionals,
+// and induction-variable value uses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Pipeliner/Unroller.h"
+
+#include "swp/IR/IRBuilder.h"
+#include "swp/IR/Verifier.h"
+#include "swp/Interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace swp;
+
+namespace {
+
+using BuildFn = std::function<ProgramInput(Program &, int64_t)>;
+
+struct UnrollCase {
+  std::string Name;
+  BuildFn Build;
+};
+
+std::vector<UnrollCase> unrollCases() {
+  std::vector<UnrollCase> C;
+  C.push_back({"copy-shift", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned A = P.createArray("a", RegClass::Float, 128);
+                 unsigned Bb = P.createArray("b", RegClass::Float, 128);
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 B.fstore(Bb, B.ix(L), B.fmul(B.fload(A, B.ix(L)),
+                                              B.fconst(2.0)));
+                 B.endFor();
+                 ProgramInput In;
+                 for (int I = 0; I != 128; ++I)
+                   In.FloatArrays[A].push_back(0.5f * I);
+                 return In;
+               }});
+  C.push_back({"accumulator", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned X = P.createArray("x", RegClass::Float, 128);
+                 unsigned Out = P.createArray("o", RegClass::Float, 1);
+                 VReg Acc = P.createVReg(RegClass::Float, "acc");
+                 B.assignUn(Acc, Opcode::FMov, B.fconst(0.0));
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 B.assign(Acc, Opcode::FAdd, Acc, B.fload(X, B.ix(L)));
+                 B.endFor();
+                 B.fstore(Out, B.cx(0), Acc);
+                 ProgramInput In;
+                 for (int I = 0; I != 128; ++I)
+                   In.FloatArrays[X].push_back(0.25f * I - 3.0f);
+                 return In;
+               }});
+  C.push_back({"recurrence", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned A = P.createArray("a", RegClass::Float, 130);
+                 ForStmt *L = B.beginForImm(1, N);
+                 B.fstore(A, B.ix(L),
+                          B.fadd(B.fmul(B.fload(A, B.ix(L, 1, -1)),
+                                        B.fconst(0.5)),
+                                 B.fconst(1.0)));
+                 B.endFor();
+                 ProgramInput In;
+                 In.FloatArrays[A] = {2.0f};
+                 return In;
+               }});
+  C.push_back({"indvar-value", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned A = P.createArray("a", RegClass::Float, 128);
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 B.fstore(A, B.ix(L), B.i2f(L->IndVar));
+                 B.endFor();
+                 return ProgramInput{};
+               }});
+  C.push_back({"conditional", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 unsigned X = P.createArray("x", RegClass::Float, 128);
+                 unsigned Y = P.createArray("y", RegClass::Float, 128);
+                 VReg Zero = B.fconst(0.0);
+                 ForStmt *L = B.beginForImm(0, N - 1);
+                 VReg V = B.fload(X, B.ix(L));
+                 VReg Neg = B.binop(Opcode::FCmpLT, V, Zero);
+                 VReg R = P.createVReg(RegClass::Float);
+                 B.assignMov(R, V);
+                 B.beginIf(Neg);
+                 B.assignUn(R, Opcode::FNeg, V);
+                 B.endIf();
+                 B.fstore(Y, B.ix(L), R);
+                 B.endFor();
+                 ProgramInput In;
+                 for (int I = 0; I != 128; ++I)
+                   In.FloatArrays[X].push_back((I % 3 - 1) * 0.5f * I);
+                 return In;
+               }});
+  C.push_back({"nested", [](Program &P, int64_t N) {
+                 IRBuilder B(P);
+                 int64_t Dim = std::min<int64_t>(N, 10);
+                 unsigned M = P.createArray("m", RegClass::Float, 128);
+                 ForStmt *I = B.beginForImm(0, Dim - 1);
+                 ForStmt *J = B.beginForImm(0, Dim - 1);
+                 AffineExpr Ix = B.ix(I, Dim) + B.ix(J);
+                 B.fstore(M, Ix, B.fadd(B.fload(M, Ix), B.fconst(1.0)));
+                 B.endFor();
+                 B.endFor();
+                 ProgramInput In;
+                 for (int V = 0; V != 128; ++V)
+                   In.FloatArrays[M].push_back(0.125f * V);
+                 return In;
+               }});
+  return C;
+}
+
+class UnrollerSemantics
+    : public ::testing::TestWithParam<std::tuple<size_t, unsigned, int64_t>> {
+};
+
+TEST_P(UnrollerSemantics, PreservesSequentialState) {
+  auto [CaseIdx, Factor, N] = GetParam();
+  static const std::vector<UnrollCase> Cases = unrollCases();
+  const UnrollCase &C = Cases[CaseIdx];
+
+  Program Original;
+  ProgramInput In = C.Build(Original, N);
+  Program Unrolled;
+  (void)C.Build(Unrolled, N);
+  unrollInnermostLoops(Unrolled, Factor);
+
+  DiagnosticEngine DE;
+  ASSERT_TRUE(verifyProgram(Unrolled, DE)) << C.Name << "\n" << DE.str();
+
+  ProgramState A = interpret(Original, In);
+  ProgramState B = interpret(Unrolled, In);
+  ASSERT_TRUE(A.Ok) << A.Error;
+  ASSERT_TRUE(B.Ok) << B.Error;
+  EXPECT_EQ(compareStates(Original, A, B), "")
+      << C.Name << " factor=" << Factor << " n=" << N;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, UnrollerSemantics,
+    ::testing::Combine(::testing::Range<size_t>(0, unrollCases().size()),
+                       ::testing::Values(2u, 3u, 4u, 8u),
+                       ::testing::Values<int64_t>(1, 5, 8, 16, 23)));
+
+TEST(Unroller, FactorOneIsNoop) {
+  Program P;
+  IRBuilder B(P);
+  unsigned A = P.createArray("a", RegClass::Float, 16);
+  ForStmt *L = B.beginForImm(0, 15);
+  B.fstore(A, B.ix(L), B.fconst(1.0));
+  B.endFor();
+  EXPECT_EQ(unrollInnermostLoops(P, 1), 0u);
+  EXPECT_EQ(P.Body.size(), 1u);
+}
+
+TEST(Unroller, RuntimeBoundsAreSkipped) {
+  Program P;
+  IRBuilder B(P);
+  unsigned A = P.createArray("a", RegClass::Float, 64);
+  VReg N = P.createVReg(RegClass::Int, "n", true);
+  ForStmt *L = B.beginForReg(0, N);
+  B.fstore(A, B.ix(L), B.fconst(1.0));
+  B.endFor();
+  EXPECT_EQ(unrollInnermostLoops(P, 4), 0u);
+}
+
+TEST(Unroller, MainAndRemainderStructure) {
+  Program P;
+  IRBuilder B(P);
+  unsigned A = P.createArray("a", RegClass::Float, 64);
+  ForStmt *L = B.beginForImm(0, 13); // 14 iterations, factor 4: 3 + rem 2.
+  B.fstore(A, B.ix(L), B.fconst(1.0));
+  B.endFor();
+  ASSERT_EQ(unrollInnermostLoops(P, 4), 1u);
+  // Body now holds the main loop and the remainder loop.
+  unsigned NumLoops = 0, MainOps = 0, RemTrip = 0;
+  for (const StmtPtr &S : P.Body)
+    if (const auto *For = dyn_cast<ForStmt>(S.get())) {
+      ++NumLoops;
+      if (For->staticTripCount() == 3)
+        MainOps = countOps(For->Body);
+      if (For->staticTripCount() == 2)
+        RemTrip = 2;
+    }
+  EXPECT_EQ(NumLoops, 2u);
+  EXPECT_EQ(MainOps, 8u) << "4 copies of (fconst + fstore)";
+  EXPECT_EQ(RemTrip, 2u);
+}
+
+} // namespace

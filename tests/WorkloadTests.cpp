@@ -1,0 +1,126 @@
+//===- WorkloadTests.cpp - workload correctness over the full stack -----------===//
+//
+// Part of warp-swp.
+//
+// Every evaluation workload (Livermore kernels, Table 4-1 applications,
+// a sample of the synthetic population) must compile, simulate, and match
+// the scalar interpreter bit-for-bit, pipelined and unpipelined.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Workloads/Workloads.h"
+
+#include "swp/Codegen/Compiler.h"
+#include "swp/IR/Verifier.h"
+#include "swp/Interp/Interpreter.h"
+#include "swp/Sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace swp;
+
+namespace {
+
+struct Case {
+  std::string Name;
+  WorkloadSpec Spec;
+  bool Pipelined;
+};
+
+std::vector<Case> allCases() {
+  std::vector<Case> Cases;
+  auto Add = [&](const WorkloadSpec &S) {
+    Cases.push_back({S.Name + "_swp", S, true});
+    Cases.push_back({S.Name + "_base", S, false});
+  };
+  for (const WorkloadSpec &S : livermoreKernels())
+    Add(S);
+  for (const WorkloadSpec &S : userPrograms())
+    Add(S);
+  // A sample of the population; the figure benches run all 72.
+  auto Pop = syntheticPopulation(72, /*Seed=*/1988);
+  for (size_t I = 0; I < Pop.size(); I += 7)
+    Add(Pop[I]);
+  return Cases;
+}
+
+class WorkloadEquivalence : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WorkloadEquivalence, SimMatchesInterp) {
+  static const std::vector<Case> Cases = allCases();
+  const Case &C = Cases[GetParam()];
+
+  BuiltWorkload W = C.Spec.Make();
+  DiagnosticEngine DE;
+  ASSERT_TRUE(verifyProgram(*W.Prog, DE)) << C.Name << "\n" << DE.str();
+
+  MachineDescription MD = MachineDescription::warpCell();
+  CompilerOptions Opts;
+  Opts.EnablePipelining = C.Pipelined;
+  CompileResult CR = compileProgram(*W.Prog, MD, Opts);
+  ASSERT_TRUE(CR.Ok) << C.Name << ": " << CR.Error;
+
+  ProgramState Golden = interpret(*W.Prog, W.Input);
+  ASSERT_TRUE(Golden.Ok) << C.Name << ": " << Golden.Error;
+
+  SimResult Sim = simulate(CR.Code, *W.Prog, MD, W.Input);
+  ASSERT_TRUE(Sim.State.Ok) << C.Name << ": " << Sim.State.Error;
+  EXPECT_EQ(compareStates(*W.Prog, Golden, Sim.State), "") << C.Name;
+  EXPECT_EQ(Golden.Flops, Sim.State.Flops) << C.Name;
+  EXPECT_GT(Sim.Cycles, 0u);
+}
+
+static std::string caseName(const ::testing::TestParamInfo<size_t> &Info) {
+  static const std::vector<Case> Cases = allCases();
+  std::string Name = Cases[Info.param].Name;
+  for (char &C : Name)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadEquivalence,
+    ::testing::Range<size_t>(0, allCases().size()), caseName);
+
+TEST(Workloads, PopulationIsDeterministic) {
+  auto A = syntheticPopulation(8, 42);
+  auto B = syntheticPopulation(8, 42);
+  for (size_t I = 0; I != A.size(); ++I) {
+    BuiltWorkload WA = A[I].Make();
+    BuiltWorkload WB = B[I].Make();
+    ProgramState SA = interpret(*WA.Prog, WA.Input);
+    ProgramState SB = interpret(*WB.Prog, WB.Input);
+    ASSERT_TRUE(SA.Ok && SB.Ok);
+    EXPECT_EQ(compareStates(*WA.Prog, SA, SB), "") << A[I].Name;
+    EXPECT_EQ(SA.DynOps, SB.DynOps);
+  }
+}
+
+TEST(Workloads, PopulationMixMatchesPaper) {
+  auto Pop = syntheticPopulation(72, 1988);
+  ASSERT_EQ(Pop.size(), 72u);
+  unsigned WithCond = 0;
+  for (const WorkloadSpec &S : Pop)
+    if (S.Name.find("-cond") != std::string::npos)
+      ++WithCond;
+  EXPECT_EQ(WithCond, 42u) << "paper: 42 of the 72 programs contain "
+                              "conditionals";
+}
+
+TEST(Workloads, LivermoreCoverage) {
+  const auto &K = livermoreKernels();
+  EXPECT_GE(K.size(), 14u);
+  bool HasExp = false, HasConditional = false, HasRecurrence = false;
+  for (const WorkloadSpec &S : K) {
+    if (S.Number == 22)
+      HasExp = true;
+    if (S.Number == 24)
+      HasConditional = true;
+    if (S.Number == 5 || S.Number == 11)
+      HasRecurrence = true;
+  }
+  EXPECT_TRUE(HasExp && HasConditional && HasRecurrence);
+}
+
+} // namespace
