@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mve.dir/bench/bench_ablation_mve.cpp.o"
+  "CMakeFiles/bench_ablation_mve.dir/bench/bench_ablation_mve.cpp.o.d"
+  "bench/bench_ablation_mve"
+  "bench/bench_ablation_mve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section2_example.dir/bench/bench_section2_example.cpp.o"
+  "CMakeFiles/bench_section2_example.dir/bench/bench_section2_example.cpp.o.d"
+  "bench/bench_section2_example"
+  "bench/bench_section2_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section2_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurrence_explorer.dir/recurrence_explorer.cpp.o"
+  "CMakeFiles/recurrence_explorer.dir/recurrence_explorer.cpp.o.d"
+  "recurrence_explorer"
+  "recurrence_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurrence_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/w2c.cpp" "examples/CMakeFiles/w2c.dir/w2c.cpp.o" "gcc" "examples/CMakeFiles/w2c.dir/w2c.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/swp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/swp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/swp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/swp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeliner/CMakeFiles/swp_pipeliner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/swp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddg/CMakeFiles/swp_ddg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/swp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/swp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/swp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w2c.dir/w2c.cpp.o"
+  "CMakeFiles/w2c.dir/w2c.cpp.o.d"
+  "w2c"
+  "w2c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

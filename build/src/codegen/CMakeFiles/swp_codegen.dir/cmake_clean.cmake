@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_codegen.dir/Compiler.cpp.o"
+  "CMakeFiles/swp_codegen.dir/Compiler.cpp.o.d"
+  "CMakeFiles/swp_codegen.dir/RegAlloc.cpp.o"
+  "CMakeFiles/swp_codegen.dir/RegAlloc.cpp.o.d"
+  "CMakeFiles/swp_codegen.dir/VLIWProgram.cpp.o"
+  "CMakeFiles/swp_codegen.dir/VLIWProgram.cpp.o.d"
+  "libswp_codegen.a"
+  "libswp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddg/Closure.cpp" "src/ddg/CMakeFiles/swp_ddg.dir/Closure.cpp.o" "gcc" "src/ddg/CMakeFiles/swp_ddg.dir/Closure.cpp.o.d"
+  "/root/repo/src/ddg/DDGBuilder.cpp" "src/ddg/CMakeFiles/swp_ddg.dir/DDGBuilder.cpp.o" "gcc" "src/ddg/CMakeFiles/swp_ddg.dir/DDGBuilder.cpp.o.d"
+  "/root/repo/src/ddg/DepGraph.cpp" "src/ddg/CMakeFiles/swp_ddg.dir/DepGraph.cpp.o" "gcc" "src/ddg/CMakeFiles/swp_ddg.dir/DepGraph.cpp.o.d"
+  "/root/repo/src/ddg/MII.cpp" "src/ddg/CMakeFiles/swp_ddg.dir/MII.cpp.o" "gcc" "src/ddg/CMakeFiles/swp_ddg.dir/MII.cpp.o.d"
+  "/root/repo/src/ddg/ScheduleUnit.cpp" "src/ddg/CMakeFiles/swp_ddg.dir/ScheduleUnit.cpp.o" "gcc" "src/ddg/CMakeFiles/swp_ddg.dir/ScheduleUnit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/swp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/swp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/swp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

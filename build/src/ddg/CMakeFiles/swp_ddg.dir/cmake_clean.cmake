@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_ddg.dir/Closure.cpp.o"
+  "CMakeFiles/swp_ddg.dir/Closure.cpp.o.d"
+  "CMakeFiles/swp_ddg.dir/DDGBuilder.cpp.o"
+  "CMakeFiles/swp_ddg.dir/DDGBuilder.cpp.o.d"
+  "CMakeFiles/swp_ddg.dir/DepGraph.cpp.o"
+  "CMakeFiles/swp_ddg.dir/DepGraph.cpp.o.d"
+  "CMakeFiles/swp_ddg.dir/MII.cpp.o"
+  "CMakeFiles/swp_ddg.dir/MII.cpp.o.d"
+  "CMakeFiles/swp_ddg.dir/ScheduleUnit.cpp.o"
+  "CMakeFiles/swp_ddg.dir/ScheduleUnit.cpp.o.d"
+  "libswp_ddg.a"
+  "libswp_ddg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_ddg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

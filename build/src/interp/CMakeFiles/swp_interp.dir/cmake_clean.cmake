@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/swp_interp.dir/Interpreter.cpp.o.d"
+  "libswp_interp.a"
+  "libswp_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

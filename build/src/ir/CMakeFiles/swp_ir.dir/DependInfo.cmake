@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Execution.cpp" "src/ir/CMakeFiles/swp_ir.dir/Execution.cpp.o" "gcc" "src/ir/CMakeFiles/swp_ir.dir/Execution.cpp.o.d"
+  "/root/repo/src/ir/Expansion.cpp" "src/ir/CMakeFiles/swp_ir.dir/Expansion.cpp.o" "gcc" "src/ir/CMakeFiles/swp_ir.dir/Expansion.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/ir/CMakeFiles/swp_ir.dir/IRBuilder.cpp.o" "gcc" "src/ir/CMakeFiles/swp_ir.dir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/OpTraits.cpp" "src/ir/CMakeFiles/swp_ir.dir/OpTraits.cpp.o" "gcc" "src/ir/CMakeFiles/swp_ir.dir/OpTraits.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/swp_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/swp_ir.dir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/ir/CMakeFiles/swp_ir.dir/Program.cpp.o" "gcc" "src/ir/CMakeFiles/swp_ir.dir/Program.cpp.o.d"
+  "/root/repo/src/ir/Transforms.cpp" "src/ir/CMakeFiles/swp_ir.dir/Transforms.cpp.o" "gcc" "src/ir/CMakeFiles/swp_ir.dir/Transforms.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/swp_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/swp_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/swp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/swp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

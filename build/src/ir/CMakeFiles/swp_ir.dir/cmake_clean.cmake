@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_ir.dir/Execution.cpp.o"
+  "CMakeFiles/swp_ir.dir/Execution.cpp.o.d"
+  "CMakeFiles/swp_ir.dir/Expansion.cpp.o"
+  "CMakeFiles/swp_ir.dir/Expansion.cpp.o.d"
+  "CMakeFiles/swp_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/swp_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/swp_ir.dir/OpTraits.cpp.o"
+  "CMakeFiles/swp_ir.dir/OpTraits.cpp.o.d"
+  "CMakeFiles/swp_ir.dir/Printer.cpp.o"
+  "CMakeFiles/swp_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/swp_ir.dir/Program.cpp.o"
+  "CMakeFiles/swp_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/swp_ir.dir/Transforms.cpp.o"
+  "CMakeFiles/swp_ir.dir/Transforms.cpp.o.d"
+  "CMakeFiles/swp_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/swp_ir.dir/Verifier.cpp.o.d"
+  "libswp_ir.a"
+  "libswp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

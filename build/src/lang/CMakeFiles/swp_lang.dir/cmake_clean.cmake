@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/swp_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/swp_lang.dir/Lowering.cpp.o"
+  "CMakeFiles/swp_lang.dir/Lowering.cpp.o.d"
+  "CMakeFiles/swp_lang.dir/Parser.cpp.o"
+  "CMakeFiles/swp_lang.dir/Parser.cpp.o.d"
+  "libswp_lang.a"
+  "libswp_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_machine.dir/MachineDescription.cpp.o"
+  "CMakeFiles/swp_machine.dir/MachineDescription.cpp.o.d"
+  "CMakeFiles/swp_machine.dir/Opcode.cpp.o"
+  "CMakeFiles/swp_machine.dir/Opcode.cpp.o.d"
+  "libswp_machine.a"
+  "libswp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

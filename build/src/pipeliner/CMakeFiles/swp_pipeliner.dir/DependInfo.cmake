@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeliner/HierarchicalReducer.cpp" "src/pipeliner/CMakeFiles/swp_pipeliner.dir/HierarchicalReducer.cpp.o" "gcc" "src/pipeliner/CMakeFiles/swp_pipeliner.dir/HierarchicalReducer.cpp.o.d"
+  "/root/repo/src/pipeliner/LoopUtils.cpp" "src/pipeliner/CMakeFiles/swp_pipeliner.dir/LoopUtils.cpp.o" "gcc" "src/pipeliner/CMakeFiles/swp_pipeliner.dir/LoopUtils.cpp.o.d"
+  "/root/repo/src/pipeliner/ModuloScheduler.cpp" "src/pipeliner/CMakeFiles/swp_pipeliner.dir/ModuloScheduler.cpp.o" "gcc" "src/pipeliner/CMakeFiles/swp_pipeliner.dir/ModuloScheduler.cpp.o.d"
+  "/root/repo/src/pipeliner/ModuloVariableExpansion.cpp" "src/pipeliner/CMakeFiles/swp_pipeliner.dir/ModuloVariableExpansion.cpp.o" "gcc" "src/pipeliner/CMakeFiles/swp_pipeliner.dir/ModuloVariableExpansion.cpp.o.d"
+  "/root/repo/src/pipeliner/Unroller.cpp" "src/pipeliner/CMakeFiles/swp_pipeliner.dir/Unroller.cpp.o" "gcc" "src/pipeliner/CMakeFiles/swp_pipeliner.dir/Unroller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/swp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddg/CMakeFiles/swp_ddg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/swp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/swp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/swp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

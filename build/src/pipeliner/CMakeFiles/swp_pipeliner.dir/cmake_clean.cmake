@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_pipeliner.dir/HierarchicalReducer.cpp.o"
+  "CMakeFiles/swp_pipeliner.dir/HierarchicalReducer.cpp.o.d"
+  "CMakeFiles/swp_pipeliner.dir/LoopUtils.cpp.o"
+  "CMakeFiles/swp_pipeliner.dir/LoopUtils.cpp.o.d"
+  "CMakeFiles/swp_pipeliner.dir/ModuloScheduler.cpp.o"
+  "CMakeFiles/swp_pipeliner.dir/ModuloScheduler.cpp.o.d"
+  "CMakeFiles/swp_pipeliner.dir/ModuloVariableExpansion.cpp.o"
+  "CMakeFiles/swp_pipeliner.dir/ModuloVariableExpansion.cpp.o.d"
+  "CMakeFiles/swp_pipeliner.dir/Unroller.cpp.o"
+  "CMakeFiles/swp_pipeliner.dir/Unroller.cpp.o.d"
+  "libswp_pipeliner.a"
+  "libswp_pipeliner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_pipeliner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

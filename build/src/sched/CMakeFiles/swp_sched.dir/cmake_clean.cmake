@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_sched.dir/ListScheduler.cpp.o"
+  "CMakeFiles/swp_sched.dir/ListScheduler.cpp.o.d"
+  "CMakeFiles/swp_sched.dir/ReservationTables.cpp.o"
+  "CMakeFiles/swp_sched.dir/ReservationTables.cpp.o.d"
+  "CMakeFiles/swp_sched.dir/Schedule.cpp.o"
+  "CMakeFiles/swp_sched.dir/Schedule.cpp.o.d"
+  "CMakeFiles/swp_sched.dir/ScheduleDump.cpp.o"
+  "CMakeFiles/swp_sched.dir/ScheduleDump.cpp.o.d"
+  "libswp_sched.a"
+  "libswp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

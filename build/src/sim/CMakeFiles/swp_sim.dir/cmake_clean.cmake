@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_sim.dir/ArraySimulator.cpp.o"
+  "CMakeFiles/swp_sim.dir/ArraySimulator.cpp.o.d"
+  "CMakeFiles/swp_sim.dir/CellSim.cpp.o"
+  "CMakeFiles/swp_sim.dir/CellSim.cpp.o.d"
+  "CMakeFiles/swp_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/swp_sim.dir/Simulator.cpp.o.d"
+  "libswp_sim.a"
+  "libswp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/swp_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/swp_support.dir/MathUtils.cpp.o"
+  "CMakeFiles/swp_support.dir/MathUtils.cpp.o.d"
+  "CMakeFiles/swp_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/swp_support.dir/TablePrinter.cpp.o.d"
+  "libswp_support.a"
+  "libswp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Livermore.cpp" "src/workloads/CMakeFiles/swp_workloads.dir/Livermore.cpp.o" "gcc" "src/workloads/CMakeFiles/swp_workloads.dir/Livermore.cpp.o.d"
+  "/root/repo/src/workloads/SyntheticPopulation.cpp" "src/workloads/CMakeFiles/swp_workloads.dir/SyntheticPopulation.cpp.o" "gcc" "src/workloads/CMakeFiles/swp_workloads.dir/SyntheticPopulation.cpp.o.d"
+  "/root/repo/src/workloads/UserPrograms.cpp" "src/workloads/CMakeFiles/swp_workloads.dir/UserPrograms.cpp.o" "gcc" "src/workloads/CMakeFiles/swp_workloads.dir/UserPrograms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/swp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/swp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/swp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/swp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_workloads.dir/Livermore.cpp.o"
+  "CMakeFiles/swp_workloads.dir/Livermore.cpp.o.d"
+  "CMakeFiles/swp_workloads.dir/SyntheticPopulation.cpp.o"
+  "CMakeFiles/swp_workloads.dir/SyntheticPopulation.cpp.o.d"
+  "CMakeFiles/swp_workloads.dir/UserPrograms.cpp.o"
+  "CMakeFiles/swp_workloads.dir/UserPrograms.cpp.o.d"
+  "libswp_workloads.a"
+  "libswp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arraysim.dir/ArraySimTests.cpp.o"
+  "CMakeFiles/test_arraysim.dir/ArraySimTests.cpp.o.d"
+  "test_arraysim"
+  "test_arraysim.pdb"
+  "test_arraysim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arraysim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modulo_property.dir/ModuloPropertyTests.cpp.o"
+  "CMakeFiles/test_modulo_property.dir/ModuloPropertyTests.cpp.o.d"
+  "test_modulo_property"
+  "test_modulo_property.pdb"
+  "test_modulo_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modulo_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeliner.dir/PipelinerTests.cpp.o"
+  "CMakeFiles/test_pipeliner.dir/PipelinerTests.cpp.o.d"
+  "test_pipeliner"
+  "test_pipeliner.pdb"
+  "test_pipeliner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeliner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

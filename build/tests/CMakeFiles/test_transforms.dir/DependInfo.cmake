@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/TransformTests.cpp" "tests/CMakeFiles/test_transforms.dir/TransformTests.cpp.o" "gcc" "tests/CMakeFiles/test_transforms.dir/TransformTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/swp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/swp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/swp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/swp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/swp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/swp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
