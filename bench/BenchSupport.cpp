@@ -8,6 +8,7 @@
 
 #include "swp/Interp/Interpreter.h"
 #include "swp/Sim/Simulator.h"
+#include "swp/Support/ThreadPool.h"
 
 using namespace swp;
 using namespace swp::bench;
@@ -46,6 +47,29 @@ RunResult swp::bench::runWorkload(const WorkloadSpec &Spec,
   R.CodeSize = CR.Code.size();
   R.Loops = std::move(CR.Loops);
   return R;
+}
+
+std::vector<RunResult> swp::bench::runJobs(const std::vector<RunJob> &Jobs,
+                                           unsigned Threads) {
+  std::vector<RunResult> Results(Jobs.size());
+  ThreadPool Pool(Threads);
+  Pool.parallelFor(Jobs.size(), [&](size_t I) {
+    const RunJob &J = Jobs[I];
+    Results[I] = runWorkload(*J.Spec, *J.MD, J.Opts, J.Verify);
+  });
+  return Results;
+}
+
+std::vector<RunResult>
+swp::bench::runWorkloads(const std::vector<WorkloadSpec> &Specs,
+                         const MachineDescription &MD,
+                         const CompilerOptions &Opts, bool Verify,
+                         unsigned Threads) {
+  std::vector<RunJob> Jobs;
+  Jobs.reserve(Specs.size());
+  for (const WorkloadSpec &Spec : Specs)
+    Jobs.push_back({&Spec, &MD, Opts, Verify});
+  return runJobs(Jobs, Threads);
 }
 
 std::string swp::bench::bar(unsigned Count, unsigned Scale) {

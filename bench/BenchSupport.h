@@ -39,6 +39,30 @@ struct RunResult {
 RunResult runWorkload(const WorkloadSpec &Spec, const MachineDescription &MD,
                       const CompilerOptions &Opts, bool Verify = true);
 
+/// One entry in a batched run: a workload plus the machine and policy to
+/// compile it under. The pointed-to spec and machine must outlive the
+/// runJobs call.
+struct RunJob {
+  const WorkloadSpec *Spec = nullptr;
+  const MachineDescription *MD = nullptr;
+  CompilerOptions Opts;
+  bool Verify = true;
+};
+
+/// Compiles and simulates a batch of jobs concurrently on a thread pool
+/// (Threads == 0 picks the hardware count). Each job is independent --
+/// the compiler and simulator share no mutable state -- so results are
+/// identical to running the jobs serially, and come back in input order.
+std::vector<RunResult> runJobs(const std::vector<RunJob> &Jobs,
+                               unsigned Threads = 0);
+
+/// Convenience wrapper: one machine and one policy across a whole
+/// population of specs, compiled in parallel, results in input order.
+std::vector<RunResult> runWorkloads(const std::vector<WorkloadSpec> &Specs,
+                                    const MachineDescription &MD,
+                                    const CompilerOptions &Opts,
+                                    bool Verify = true, unsigned Threads = 0);
+
 /// The locally-compacted baseline options.
 inline CompilerOptions baselineOptions() {
   CompilerOptions O;

@@ -26,3 +26,13 @@ swp_add_bench(bench_ablation_search)
 swp_add_bench(bench_ablation_hier)
 swp_add_bench(bench_sched_micro)
 target_link_libraries(bench_sched_micro PRIVATE benchmark::benchmark)
+# --json resolves the checked-in seed baseline relative to the source tree.
+target_compile_definitions(bench_sched_micro PRIVATE
+  SWP_SOURCE_DIR="${CMAKE_SOURCE_DIR}")
+
+# `cmake --build build --target sched_micro_json` regenerates the
+# scheduler-throughput gate report against the checked-in seed baseline.
+add_custom_target(sched_micro_json
+  COMMAND bench_sched_micro --json ${CMAKE_BINARY_DIR}/BENCH_sched_micro.json
+  DEPENDS bench_sched_micro
+  COMMENT "Measuring Livermore modulo-scheduling throughput")

@@ -32,8 +32,10 @@ int main() {
   unsigned EasyLoops = 0, EasyPerfect = 0;
   bool AnyFailure = false;
 
-  for (const WorkloadSpec &Spec : Population) {
-    RunResult R = runWorkload(Spec, MD, CompilerOptions{});
+  // The 72 programs are independent: compile them all in parallel.
+  std::vector<RunResult> Results = runWorkloads(Population, MD,
+                                                CompilerOptions{});
+  for (const RunResult &R : Results) {
     if (!R.Ok) {
       std::cout << "FAILED: " << R.Error << "\n";
       AnyFailure = true;

@@ -28,9 +28,20 @@ int main() {
 
   std::vector<std::pair<double, bool>> Speedups; // (factor, hasCond)
   bool AnyFailure = false;
+
+  // Pipelined and baseline compiles of all 72 programs run concurrently,
+  // two jobs per program, results in job order.
+  std::vector<RunJob> Jobs;
   for (const WorkloadSpec &Spec : Population) {
-    RunResult Swp = runWorkload(Spec, MD, CompilerOptions{});
-    RunResult Base = runWorkload(Spec, MD, baselineOptions());
+    Jobs.push_back({&Spec, &MD, CompilerOptions{}, true});
+    Jobs.push_back({&Spec, &MD, baselineOptions(), true});
+  }
+  std::vector<RunResult> Results = runJobs(Jobs);
+
+  for (size_t I = 0; I != Population.size(); ++I) {
+    const WorkloadSpec &Spec = Population[I];
+    const RunResult &Swp = Results[2 * I];
+    const RunResult &Base = Results[2 * I + 1];
     if (!Swp.Ok || !Base.Ok) {
       std::cout << "FAILED: " << Swp.Error << Base.Error << "\n";
       AnyFailure = true;

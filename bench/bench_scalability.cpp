@@ -29,6 +29,16 @@ int main() {
       {7, "independent"}, {12, "independent"}, {5, "recurrence"},
       {11, "recurrence"}};
 
+  // Every (kernel, scale factor) pair is an independent compile+simulate;
+  // run the whole grid concurrently, three jobs per kernel.
+  const unsigned Factors[3] = {1, 2, 4};
+  std::vector<MachineDescription> MDs;
+  for (unsigned F : Factors)
+    MDs.push_back(MachineDescription::scaledWarpCell(F));
+
+  std::vector<const WorkloadSpec *> Specs;
+  std::vector<const char *> Kinds;
+  std::vector<RunJob> Jobs;
   for (auto [Number, Kind] : Picks) {
     const WorkloadSpec *Spec = nullptr;
     for (const WorkloadSpec &S : livermoreKernels())
@@ -36,19 +46,29 @@ int main() {
         Spec = &S;
     if (!Spec)
       continue;
+    Specs.push_back(Spec);
+    Kinds.push_back(Kind);
+    for (const MachineDescription &MD : MDs)
+      Jobs.push_back({Spec, &MD, CompilerOptions{}, true});
+  }
+  std::vector<RunResult> Results = runJobs(Jobs);
+
+  for (size_t K = 0; K != Specs.size(); ++K) {
     double M[3] = {0, 0, 0};
-    unsigned Factors[3] = {1, 2, 4};
+    bool RowOk = true;
     for (int I = 0; I != 3; ++I) {
-      MachineDescription MD = MachineDescription::scaledWarpCell(Factors[I]);
-      RunResult R = runWorkload(*Spec, MD, CompilerOptions{});
+      const RunResult &R = Results[3 * K + I];
       if (!R.Ok) {
         std::cout << "FAILED: " << R.Error << "\n";
         AnyFailure = true;
+        RowOk = false;
         break;
       }
       M[I] = R.CellMFLOPS;
     }
-    T.addRow({Spec->Name, Kind, TablePrinter::num(M[0], 2),
+    if (!RowOk)
+      continue;
+    T.addRow({Specs[K]->Name, Kinds[K], TablePrinter::num(M[0], 2),
               TablePrinter::num(M[1], 2), TablePrinter::num(M[2], 2),
               TablePrinter::num(M[1] / M[0], 2),
               TablePrinter::num(M[2] / M[0], 2)});

@@ -7,6 +7,11 @@
 // unaffected): dependence-graph construction, the symbolic closure,
 // modulo scheduling, and whole-program compilation.
 //
+// `--json [out [baseline]]` switches to the scheduler-throughput gate:
+// wall time of modulo-scheduling every innermost Livermore loop,
+// aggregated SchedulerStats, and the speedup against the checked-in seed
+// baseline, written as BENCH_sched_micro.json (see DESIGN.md).
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
@@ -14,11 +19,20 @@
 #include "swp/DDG/Closure.h"
 #include "swp/DDG/DDGBuilder.h"
 #include "swp/DDG/MII.h"
+#include "swp/IR/Expansion.h"
 #include "swp/IR/IRBuilder.h"
+#include "swp/IR/Transforms.h"
 #include "swp/Pipeliner/HierarchicalReducer.h"
+#include "swp/Pipeliner/LoopUtils.h"
 #include "swp/Pipeliner/ModuloScheduler.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 using namespace swp;
 
@@ -115,6 +129,163 @@ void BM_CompileLivermoreKernel(benchmark::State &State) {
 }
 BENCHMARK(BM_CompileLivermoreKernel)->Arg(0)->Arg(4)->Arg(10);
 
+//===----------------------------------------------------------------------===//
+// --json mode: the scheduler-throughput gate.
+//===----------------------------------------------------------------------===//
+
+/// Every schedulable innermost Livermore loop, prepared exactly as the
+/// compiler driver prepares them before modulo scheduling.
+std::vector<DepGraph> livermoreLoopGraphs(const MachineDescription &MD) {
+  std::vector<DepGraph> Graphs;
+  for (const WorkloadSpec &Spec : livermoreKernels()) {
+    BuiltWorkload W = Spec.Make();
+    Program &P = *W.Prog;
+    expandLibraryOps(P);
+    while (eliminateDeadCode(P) + hoistLoopInvariants(P) +
+               localValueNumbering(P) !=
+           0) {
+    }
+    for (ForStmt *For : innermostLoops(P.Body)) {
+      prepareLoopForCodegen(P, *For);
+      std::vector<ScheduleUnit> Units =
+          reduceBodyToUnits(For->Body, MD, For->LoopId);
+      if (Units.empty())
+        continue;
+      DDGBuildOptions Opts;
+      Opts.CurrentLoopId = For->LoopId;
+      Graphs.push_back(buildLoopDepGraph(Units, MD, Opts));
+    }
+  }
+  return Graphs;
+}
+
+/// Extracts the "ms_per_sweep_min" value from a baseline JSON written by
+/// an earlier run of this mode; 0 when absent or unreadable.
+double baselineMsPerSweep(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return 0.0;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+  size_t Key = Text.find("\"ms_per_sweep_min\"");
+  if (Key == std::string::npos)
+    return 0.0;
+  size_t Colon = Text.find(':', Key);
+  if (Colon == std::string::npos)
+    return 0.0;
+  return std::strtod(Text.c_str() + Colon + 1, nullptr);
+}
+
+int runJsonMode(const std::string &OutPath, const std::string &BaselinePath) {
+  // Fail on an unwritable destination before spending time measuring.
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  MachineDescription MD = MachineDescription::warpCell();
+  std::vector<DepGraph> Graphs = livermoreLoopGraphs(MD);
+
+  // Warm-up sweep; also the deterministic check value (sum of IIs), which
+  // pins the schedules: any change in scheduling decisions moves it.
+  uint64_t CheckOne = 0;
+  for (const DepGraph &G : Graphs)
+    CheckOne += moduloSchedule(G, MD).II;
+  uint64_t Check = 0;
+
+  // Min-of-repetitions: on a shared machine the minimum is the stable
+  // statistic; each repetition averages over enough sweeps to cover
+  // clock granularity.
+  constexpr int Reps = 5, Sweeps = 10;
+  double MinMs = 0.0, SumMs = 0.0;
+  for (int Rep = 0; Rep != Reps; ++Rep) {
+    auto T0 = std::chrono::steady_clock::now();
+    for (int S = 0; S != Sweeps; ++S)
+      for (const DepGraph &G : Graphs)
+        Check += moduloSchedule(G, MD).II;
+    auto T1 = std::chrono::steady_clock::now();
+    double Ms =
+        std::chrono::duration<double, std::milli>(T1 - T0).count() / Sweeps;
+    SumMs += Ms;
+    if (Rep == 0 || Ms < MinMs)
+      MinMs = Ms;
+  }
+  if (Check != CheckOne * Reps * Sweeps) {
+    std::fprintf(stderr, "nondeterministic schedules: check %llu != %llu\n",
+                 static_cast<unsigned long long>(Check),
+                 static_cast<unsigned long long>(CheckOne * Reps * Sweeps));
+    return 1;
+  }
+
+  // One instrumented sweep for the aggregate counters.
+  SchedulerStats Agg;
+  for (const DepGraph &G : Graphs)
+    Agg.merge(moduloSchedule(G, MD).Stats);
+
+  double Baseline = baselineMsPerSweep(BaselinePath);
+
+  char Buf[2048];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\n"
+      "  \"bench\": \"sched_micro\",\n"
+      "  \"suite\": \"livermore-innermost-loops\",\n"
+      "  \"graphs\": %zu,\n"
+      "  \"reps\": %d,\n"
+      "  \"sweeps_per_rep\": %d,\n"
+      "  \"ms_per_sweep_min\": %.4f,\n"
+      "  \"ms_per_sweep_mean\": %.4f,\n"
+      "  \"check_sum_of_ii\": %llu,\n"
+      "  \"stats_per_sweep\": {\n"
+      "    \"intervals_tried\": %llu,\n"
+      "    \"slots_probed\": %llu,\n"
+      "    \"component_retries\": %llu,\n"
+      "    \"closure_build_seconds\": %.6f,\n"
+      "    \"phase1_seconds\": %.6f,\n"
+      "    \"phase2_seconds\": %.6f,\n"
+      "    \"total_seconds\": %.6f\n"
+      "  },\n"
+      "  \"baseline_ms_per_sweep\": %.4f,\n"
+      "  \"speedup_vs_baseline\": %.2f\n"
+      "}\n",
+      Graphs.size(), Reps, Sweeps, MinMs, SumMs / Reps,
+      static_cast<unsigned long long>(CheckOne),
+      static_cast<unsigned long long>(Agg.IntervalsTried),
+      static_cast<unsigned long long>(Agg.SlotsProbed),
+      static_cast<unsigned long long>(Agg.ComponentRetries),
+      Agg.ClosureBuildSeconds, Agg.Phase1Seconds, Agg.Phase2Seconds,
+      Agg.TotalSeconds, Baseline, Baseline > 0 ? Baseline / MinMs : 0.0);
+  Out << Buf;
+  std::printf("%s", Buf);
+  std::printf("wrote %s\n", OutPath.c_str());
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // `--json [out [baseline]]` bypasses google-benchmark entirely.
+  for (int I = 1; I < argc; ++I) {
+    if (std::string(argv[I]) != "--json")
+      continue;
+    std::string Out =
+        I + 1 < argc ? argv[I + 1] : "BENCH_sched_micro.json";
+    std::string Baseline;
+    if (I + 2 < argc) {
+      Baseline = argv[I + 2];
+    } else {
+#ifdef SWP_SOURCE_DIR
+      Baseline =
+          std::string(SWP_SOURCE_DIR) + "/bench/baselines/BENCH_sched_micro_seed.json";
+#endif
+    }
+    return runJsonMode(Out, Baseline);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

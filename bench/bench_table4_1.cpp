@@ -30,9 +30,20 @@ int main() {
                   "speedup-vs-local"});
   bool AnyFailure = false;
 
-  for (const WorkloadSpec &Spec : userPrograms()) {
-    RunResult Swp = runWorkload(Spec, MD, CompilerOptions{});
-    RunResult Base = runWorkload(Spec, MD, baselineOptions());
+  // Compile the pipelined and baseline variants of every program
+  // concurrently; results come back in job order, two per program.
+  const std::vector<WorkloadSpec> &Specs = userPrograms();
+  std::vector<RunJob> Jobs;
+  for (const WorkloadSpec &Spec : Specs) {
+    Jobs.push_back({&Spec, &MD, CompilerOptions{}, true});
+    Jobs.push_back({&Spec, &MD, baselineOptions(), true});
+  }
+  std::vector<RunResult> Results = runJobs(Jobs);
+
+  for (size_t I = 0; I != Specs.size(); ++I) {
+    const WorkloadSpec &Spec = Specs[I];
+    const RunResult &Swp = Results[2 * I];
+    const RunResult &Base = Results[2 * I + 1];
     if (!Swp.Ok || !Base.Ok) {
       std::cout << "FAILED: " << Swp.Error << Base.Error << "\n";
       AnyFailure = true;

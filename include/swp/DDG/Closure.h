@@ -44,11 +44,36 @@ struct PathPair {
   uint32_t P = 0;
 };
 
+/// True if \p A dominates \p B for every interval s >= SMin.
+inline bool dominates(const PathPair &A, const PathPair &B, int64_t SMin) {
+  if (A.P > B.P)
+    return false;
+  return A.D - B.D >=
+         SMin * (static_cast<int64_t>(A.P) - static_cast<int64_t>(B.P));
+}
+
 /// A Pareto frontier of path pairs for one (from, to) node pair.
 class PathSet {
 public:
   /// Inserts \p NewPair, pruning under the domination rule at \p SMin.
-  void insert(PathPair NewPair, int64_t SMin);
+  /// Empty and singleton sets (the overwhelmingly common cases inside the
+  /// Floyd-Warshall sweep) are handled without the generic prune scan.
+  void insert(PathPair NewPair, int64_t SMin) {
+    if (Pairs.empty()) {
+      Pairs.push_back(NewPair);
+      return;
+    }
+    if (Pairs.size() == 1) {
+      if (dominates(Pairs[0], NewPair, SMin))
+        return;
+      if (dominates(NewPair, Pairs[0], SMin))
+        Pairs[0] = NewPair;
+      else
+        Pairs.push_back(NewPair);
+      return;
+    }
+    insertSlow(NewPair, SMin);
+  }
 
   bool empty() const { return Pairs.empty(); }
   const std::vector<PathPair> &pairs() const { return Pairs; }
@@ -63,6 +88,8 @@ public:
   }
 
 private:
+  void insertSlow(PathPair NewPair, int64_t SMin);
+
   std::vector<PathPair> Pairs;
 };
 
@@ -78,6 +105,12 @@ public:
   /// interval \p S; INT64_MIN when unconstrained.
   int64_t distance(unsigned From, unsigned To, int64_t S) const {
     return set(From, To).evaluate(S);
+  }
+
+  /// Same, addressed by position in nodes() — the scheduler's hot path,
+  /// which carries local indices and skips the global-id translation.
+  int64_t distanceByIndex(unsigned From, unsigned To, int64_t S) const {
+    return Matrix[static_cast<size_t>(From) * Nodes.size() + To].evaluate(S);
   }
 
   /// The symbolic set itself (for tests).

@@ -26,6 +26,7 @@
 #include "swp/DDG/MII.h"
 #include "swp/Sched/Schedule.h"
 
+#include <cstdint>
 #include <optional>
 
 namespace swp {
@@ -42,6 +43,37 @@ struct ModuloScheduleOptions {
   /// Limit on overlapped iterations (pipeline stages). 0 = unlimited; 2
   /// reproduces the FPS-164 compiler's two-iteration overlap (section 1).
   unsigned MaxStages = 0;
+  /// Threads for the speculative parallel linear search: a window of
+  /// SearchThreads candidate intervals is attempted concurrently and the
+  /// smallest successful one is committed, so the result is identical to
+  /// the serial linear scan (schedulability need not be monotonic; the
+  /// window only ever runs ahead speculatively). 0 or 1 = serial. Ignored
+  /// under BinarySearch.
+  unsigned SearchThreads = 1;
+};
+
+/// Performance counters for one modulo-scheduling run. Slot probes count
+/// modulo-reservation-table placement queries in both the per-component
+/// and the condensation phases; phase times are wall-clock across all
+/// attempted intervals.
+struct SchedulerStats {
+  uint64_t IntervalsTried = 0;   ///< tryInterval calls (incl. speculative).
+  uint64_t SlotsProbed = 0;      ///< MRT canPlace queries.
+  uint64_t ComponentRetries = 0; ///< Latest-first rescue attempts.
+  double ClosureBuildSeconds = 0; ///< Symbolic closure preprocessing.
+  double Phase1Seconds = 0;       ///< Cyclic-component scheduling.
+  double Phase2Seconds = 0;       ///< Condensation list scheduling.
+  double TotalSeconds = 0;        ///< Whole search, bounds included.
+
+  void merge(const SchedulerStats &O) {
+    IntervalsTried += O.IntervalsTried;
+    SlotsProbed += O.SlotsProbed;
+    ComponentRetries += O.ComponentRetries;
+    ClosureBuildSeconds += O.ClosureBuildSeconds;
+    Phase1Seconds += O.Phase1Seconds;
+    Phase2Seconds += O.Phase2Seconds;
+    TotalSeconds += O.TotalSeconds;
+  }
 };
 
 /// Outcome of a modulo-scheduling run.
@@ -54,6 +86,7 @@ struct ModuloScheduleResult {
   unsigned RecMII = 0;
   unsigned Stages = 0; ///< ceil(span / II): iterations in flight.
   unsigned TriedIntervals = 0; ///< Candidate intervals attempted.
+  SchedulerStats Stats;        ///< Perf counters for this run.
 };
 
 /// Runs the full iterative algorithm on \p G.

@@ -18,6 +18,7 @@
 
 #include "swp/DDG/ScheduleUnit.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace swp {
@@ -52,13 +53,29 @@ public:
 
   /// True if \p U can issue at cycle \p T (any integer) without
   /// over-subscribing any folded row.
-  bool canPlace(const ScheduleUnit &U, int T) const;
+  bool canPlace(const ScheduleUnit &U, int T) const {
+    return canPlace(U.reservation().data(), U.reservation().size(), T);
+  }
 
-  void place(const ScheduleUnit &U, int T);
+  void place(const ScheduleUnit &U, int T) {
+    place(U.reservation().data(), U.reservation().size(), T);
+  }
 
   /// Removes a previously placed unit (used when a component schedule is
   /// merged or a trial placement is rolled back).
   void remove(const ScheduleUnit &U, int T);
+
+  /// Span forms of the placement queries, used by the modulo scheduler's
+  /// hot path for aggregate (super-node) reservations that are not backed
+  /// by a ScheduleUnit. Linear in the number of uses: per-row increments
+  /// are accumulated in a scratch buffer so a unit folding onto itself
+  /// (length > s) still counts its own collisions.
+  bool canPlace(const ResourceUse *Uses, size_t NumUses, int T) const;
+  void place(const ResourceUse *Uses, size_t NumUses, int T);
+
+  /// Clears all rows (cheaper than re-constructing when scheduling many
+  /// components at the same interval).
+  void reset() { std::fill(Rows.begin(), Rows.end(), 0u); }
 
   unsigned interval() const { return S; }
   unsigned usedAt(int Row, unsigned Res) const;
@@ -73,6 +90,9 @@ private:
   const MachineDescription &MD;
   unsigned S;
   std::vector<unsigned> Rows; ///< S x numResources, row-major.
+  /// Scratch for the O(uses) self-collision accumulation in canPlace.
+  mutable std::vector<unsigned> Scratch;    ///< Same shape as Rows.
+  mutable std::vector<unsigned> Touched;    ///< Dirty Scratch slots.
 };
 
 } // namespace swp

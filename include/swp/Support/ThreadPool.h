@@ -1,0 +1,79 @@
+//===- swp/Support/ThreadPool.h - Fixed-size worker pool --------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool used by the parallel layers: the
+/// speculative parallel II search in the modulo scheduler and the parallel
+/// workload compilation in the bench harness. Tasks are plain
+/// std::function<void()>; wait() blocks until every enqueued task has
+/// finished, so the pool can be reused round after round (the II search
+/// commits one window of candidate intervals per round).
+///
+/// Tasks must not enqueue into the pool they run on (no work stealing, a
+/// dependent task would deadlock waiting for its own worker). Exceptions
+/// must not escape a task; schedule failures are reported through the
+/// task's captured state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SUPPORT_THREADPOOL_H
+#define SWP_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swp {
+
+class ThreadPool {
+public:
+  /// Creates \p NumThreads workers; 0 means one per hardware thread.
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  /// Drains the queue, waits for running tasks, joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Queues \p Task for execution on some worker.
+  void enqueue(std::function<void()> Task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void wait();
+
+  /// Runs F(0..N-1) across the pool and blocks until all are done.
+  template <typename Fn> void parallelFor(size_t N, Fn &&F) {
+    for (size_t I = 0; I != N; ++I)
+      enqueue([&F, I] { F(I); });
+    wait();
+  }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned hardwareThreads();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mu;
+  std::condition_variable WorkReady; ///< Queue grew or Stop was set.
+  std::condition_variable AllDone;   ///< Outstanding dropped to zero.
+  size_t Outstanding = 0;            ///< Queued plus running tasks.
+  bool Stop = false;
+};
+
+} // namespace swp
+
+#endif // SWP_SUPPORT_THREADPOOL_H

@@ -12,15 +12,7 @@
 
 using namespace swp;
 
-/// True if \p A dominates \p B for every interval s >= SMin.
-static bool dominates(const PathPair &A, const PathPair &B, int64_t SMin) {
-  if (A.P > B.P)
-    return false;
-  return A.D - B.D >=
-         SMin * (static_cast<int64_t>(A.P) - static_cast<int64_t>(B.P));
-}
-
-void PathSet::insert(PathPair NewPair, int64_t SMin) {
+void PathSet::insertSlow(PathPair NewPair, int64_t SMin) {
   for (const PathPair &PP : Pairs)
     if (dominates(PP, NewPair, SMin))
       return;

@@ -2,15 +2,26 @@
 //
 // Part of warp-swp. See ModuloScheduler.h.
 //
+// Hot-path layout (see DESIGN.md, "Scheduler performance"): everything that
+// does not depend on the candidate initiation interval is computed once in
+// the SchedulerImpl constructor — strongly connected components, symbolic
+// closures, per-component intra-edge lists in local indices, condensation
+// edges and in-degrees, and (for acyclic graphs) the condensation heights.
+// tryInterval is const and touches only flat vectors indexed by local or
+// component id, which makes the speculative parallel II search a matter of
+// running several intervals on a thread pool and committing the smallest
+// successful one.
+//
 //===----------------------------------------------------------------------===//
 
 #include "swp/Pipeliner/ModuloScheduler.h"
 
 #include "swp/Sched/ListScheduler.h"
 #include "swp/Sched/ReservationTables.h"
+#include "swp/Support/ThreadPool.h"
 
 #include <algorithm>
-#include <map>
+#include <chrono>
 
 using namespace swp;
 
@@ -19,29 +30,25 @@ namespace {
 constexpr int64_t NegInf = std::numeric_limits<int64_t>::min() / 4;
 constexpr int64_t PosInf = std::numeric_limits<int64_t>::max() / 4;
 
-/// Shared preprocessing (SCCs, symbolic closures, priorities) plus the
-/// per-interval scheduling attempt.
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// Shared preprocessing (SCCs, symbolic closures, priorities, intra- and
+/// inter-component edge lists) plus the per-interval scheduling attempt.
+/// tryInterval is const and allocates its own scratch, so concurrent
+/// attempts at different intervals are safe.
 class SchedulerImpl {
 public:
   SchedulerImpl(const DepGraph &G, const MachineDescription &MD,
-                const ModuloScheduleOptions &Opts)
-      : G(G), MD(MD), Opts(Opts), Comps(G.stronglyConnectedComponents()),
-        Heights(computeHeights(G)) {
-    RecBound = recMII(G);
-    CompOf.assign(G.numNodes(), 0);
-    for (unsigned C = 0; C != Comps.size(); ++C)
-      for (unsigned N : Comps[C])
-        CompOf[N] = C;
-    // The closure is computed once, with the symbolic interval; only
-    // nontrivial components need it.
-    for (unsigned C = 0; C != Comps.size(); ++C)
-      if (Comps[C].size() > 1)
-        Closures.emplace(C, SCCClosure(G, Comps[C], RecBound));
-  }
+                const ModuloScheduleOptions &Opts);
 
   unsigned recBound() const { return RecBound; }
+  double closureBuildSeconds() const { return ClosureSeconds; }
 
-  std::optional<Schedule> tryInterval(unsigned S);
+  std::optional<Schedule> tryInterval(unsigned S, SchedulerStats &Stats) const;
 
 private:
   /// Slot-picking direction inside a component's precedence-constrained
@@ -52,123 +59,292 @@ private:
   /// at every interval).
   enum class SlotOrder { EarliestFirst, LatestFirst };
 
+  /// Reusable per-attempt buffers, all indexed by local (within-component)
+  /// id. One instance per tryInterval call keeps the attempt thread-safe.
+  struct ComponentScratch {
+    std::vector<unsigned> PredsLeft;
+    std::vector<int64_t> Earliest, Latest, Placed;
+    std::vector<unsigned> Ready;
+    std::vector<unsigned> Unplaced;
+  };
+
   bool scheduleComponent(unsigned C, unsigned S, SlotOrder Order,
-                         std::vector<int> &Internal) const;
+                         std::vector<int> &Internal,
+                         ModuloReservationTable &LocalMRT,
+                         ComponentScratch &Scr, SchedulerStats &Stats) const;
+
+  /// Interval-independent per-component state, local indices throughout.
+  struct CompInfo {
+    /// CSR adjacency of the intra-component omega-0 edges by local source.
+    std::vector<unsigned> SuccStart; ///< Size n+1 (empty for trivial).
+    std::vector<unsigned> SuccDst;
+    std::vector<unsigned> InDeg0; ///< Initial omega-0 in-degrees.
+    int ClosureIdx = -1;          ///< Into Closures; -1 for trivial comps.
+  };
+
+  /// One condensation edge; Delay is the raw dependence delay, to which
+  /// each attempt adds Internal[SrcNode] - Internal[DstNode].
+  struct CondEdge {
+    unsigned SrcComp, DstComp;
+    unsigned SrcNode, DstNode;
+    int64_t Delay;
+    unsigned Omega;
+  };
 
   const DepGraph &G;
   const MachineDescription &MD;
   const ModuloScheduleOptions &Opts;
   std::vector<std::vector<unsigned>> Comps;
   std::vector<int64_t> Heights;
-  std::vector<unsigned> CompOf;
-  std::map<unsigned, SCCClosure> Closures;
+  std::vector<unsigned> CompOf;   ///< Node -> component.
+  std::vector<unsigned> LocalIdx; ///< Node -> position within component.
+  std::vector<CompInfo> Infos;
+  std::vector<SCCClosure> Closures;
+  std::vector<CondEdge> CondEdges;
+  std::vector<std::vector<unsigned>> CondSuccs, CondPreds;
+  std::vector<unsigned> CondInDeg;
+  /// Condensation heights with all internal offsets zero — exact whenever
+  /// the graph has no nontrivial component (then they are II-invariant).
+  std::vector<int64_t> BaseCompHeight;
+  bool HasNontrivial = false;
+  unsigned NumNontrivial = 0;
+  double ClosureSeconds = 0;
   unsigned RecBound = 1;
 };
 
-bool SchedulerImpl::scheduleComponent(unsigned C, unsigned S,
-                                      SlotOrder Order,
-                                      std::vector<int> &Internal) const {
-  const std::vector<unsigned> &Members = Comps[C];
-  const SCCClosure &Cl = Closures.at(C);
+SchedulerImpl::SchedulerImpl(const DepGraph &G, const MachineDescription &MD,
+                             const ModuloScheduleOptions &Opts)
+    : G(G), MD(MD), Opts(Opts), Comps(G.stronglyConnectedComponents()),
+      Heights(computeHeights(G)) {
+  RecBound = recMII(G);
+  const unsigned NumComps = Comps.size();
+  CompOf.assign(G.numNodes(), 0);
+  LocalIdx.assign(G.numNodes(), 0);
+  for (unsigned C = 0; C != NumComps; ++C)
+    for (unsigned I = 0; I != Comps[C].size(); ++I) {
+      CompOf[Comps[C][I]] = C;
+      LocalIdx[Comps[C][I]] = I;
+    }
 
-  // Topological order of the intra-component omega-0 edges, higher global
-  // height first among ready nodes (section 2.2.2).
-  std::map<unsigned, unsigned> PredsLeft;
-  for (unsigned N : Members)
-    PredsLeft[N] = 0;
-  for (const DepEdge &E : G.edges())
-    if (E.Omega == 0 && CompOf[E.Src] == C && CompOf[E.Dst] == C)
-      ++PredsLeft[E.Dst];
-  std::vector<unsigned> Ready;
-  for (unsigned N : Members)
-    if (PredsLeft[N] == 0)
-      Ready.push_back(N);
+  // The closure is computed once, with the symbolic interval; only
+  // nontrivial components need it.
+  Infos.resize(NumComps);
+  auto ClosureStart = Clock::now();
+  for (unsigned C = 0; C != NumComps; ++C)
+    if (Comps[C].size() > 1) {
+      HasNontrivial = true;
+      ++NumNontrivial;
+      Infos[C].ClosureIdx = static_cast<int>(Closures.size());
+      Closures.emplace_back(G, Comps[C], RecBound);
+    }
+  ClosureSeconds = secondsSince(ClosureStart);
 
-  std::map<unsigned, int64_t> Earliest, Latest;
-  for (unsigned N : Members) {
-    Earliest[N] = NegInf;
-    Latest[N] = PosInf;
+  // Intra-component omega-0 edge lists and in-degrees, which the original
+  // implementation re-derived from a full-graph edge scan on every
+  // component of every candidate interval.
+  for (unsigned C = 0; C != NumComps; ++C) {
+    if (Comps[C].size() <= 1)
+      continue;
+    Infos[C].SuccStart.assign(Comps[C].size() + 1, 0);
+    Infos[C].InDeg0.assign(Comps[C].size(), 0);
+  }
+  for (const DepEdge &E : G.edges()) {
+    unsigned C = CompOf[E.Src];
+    if (E.Omega != 0 || CompOf[E.Dst] != C || Comps[C].size() <= 1)
+      continue;
+    ++Infos[C].SuccStart[LocalIdx[E.Src] + 1];
+    ++Infos[C].InDeg0[LocalIdx[E.Dst]];
+  }
+  for (unsigned C = 0; C != NumComps; ++C) {
+    CompInfo &Info = Infos[C];
+    if (Info.SuccStart.empty())
+      continue;
+    for (unsigned I = 1; I != Info.SuccStart.size(); ++I)
+      Info.SuccStart[I] += Info.SuccStart[I - 1];
+    Info.SuccDst.resize(Info.SuccStart.back());
+  }
+  {
+    // Second pass over the edges with per-component fill cursors.
+    std::vector<std::vector<unsigned>> Cursors(NumComps);
+    for (unsigned C = 0; C != NumComps; ++C)
+      if (!Infos[C].SuccStart.empty())
+        Cursors[C].assign(Infos[C].SuccStart.begin(),
+                          Infos[C].SuccStart.end() - 1);
+    for (const DepEdge &E : G.edges()) {
+      unsigned C = CompOf[E.Src];
+      if (E.Omega != 0 || CompOf[E.Dst] != C || Comps[C].size() <= 1)
+        continue;
+      Infos[C].SuccDst[Cursors[C][LocalIdx[E.Src]]++] = LocalIdx[E.Dst];
+    }
   }
 
-  ModuloReservationTable LocalMRT(MD, S);
-  std::map<unsigned, int64_t> Placed;
-  while (!Ready.empty()) {
-    auto Best = std::max_element(Ready.begin(), Ready.end(),
-                                 [&](unsigned A, unsigned B) {
-                                   return Heights[A] < Heights[B] ||
-                                          (Heights[A] == Heights[B] && A > B);
-                                 });
-    unsigned N = *Best;
-    Ready.erase(Best);
+  // Condensation edges and in-degrees (interval-independent structure;
+  // only the per-attempt internal-offset correction varies).
+  CondSuccs.assign(NumComps, {});
+  CondPreds.assign(NumComps, {});
+  CondInDeg.assign(NumComps, 0);
+  for (const DepEdge &E : G.edges()) {
+    unsigned CS = CompOf[E.Src], CD = CompOf[E.Dst];
+    if (CS == CD)
+      continue;
+    CondSuccs[CS].push_back(static_cast<unsigned>(CondEdges.size()));
+    CondPreds[CD].push_back(static_cast<unsigned>(CondEdges.size()));
+    ++CondInDeg[CD];
+    CondEdges.push_back({CS, CD, E.Src, E.Dst, E.Delay, E.Omega});
+  }
 
-    int64_t Lo = Earliest[N] == NegInf ? 0 : Earliest[N];
-    int64_t Hi = std::min<int64_t>(Latest[N], Lo + S - 1);
+  // Heights over the condensation's omega-0 edges at zero internal
+  // offsets; exact (and reused by every attempt) when the graph is
+  // acyclic, recomputed per attempt otherwise.
+  BaseCompHeight.assign(NumComps, 0);
+  for (unsigned C = NumComps; C-- != 0;) {
+    int64_t H = 1;
+    if (Comps[C].size() == 1)
+      H = std::max(1, G.unit(Comps[C][0]).length());
+    for (unsigned EIdx : CondSuccs[C]) {
+      const CondEdge &E = CondEdges[EIdx];
+      if (E.Omega == 0)
+        H = std::max(H, BaseCompHeight[E.DstComp] + E.Delay);
+    }
+    BaseCompHeight[C] = H;
+  }
+}
+
+bool SchedulerImpl::scheduleComponent(unsigned C, unsigned S, SlotOrder Order,
+                                      std::vector<int> &Internal,
+                                      ModuloReservationTable &LocalMRT,
+                                      ComponentScratch &Scr,
+                                      SchedulerStats &Stats) const {
+  const std::vector<unsigned> &Members = Comps[C];
+  const CompInfo &Info = Infos[C];
+  const SCCClosure &Cl = Closures[Info.ClosureIdx];
+  const unsigned N = static_cast<unsigned>(Members.size());
+
+  LocalMRT.reset();
+  Scr.PredsLeft.assign(Info.InDeg0.begin(), Info.InDeg0.end());
+  Scr.Earliest.assign(N, NegInf);
+  Scr.Latest.assign(N, PosInf);
+  Scr.Placed.assign(N, NegInf);
+  Scr.Ready.clear();
+  Scr.Unplaced.clear();
+  for (unsigned L = 0; L != N; ++L) {
+    if (Scr.PredsLeft[L] == 0)
+      Scr.Ready.push_back(L);
+    Scr.Unplaced.push_back(L);
+  }
+
+  // Topological order of the intra-component omega-0 edges, higher global
+  // height first among ready nodes (section 2.2.2), ties to the smaller
+  // global id.
+  unsigned NumPlaced = 0;
+  while (!Scr.Ready.empty()) {
+    size_t BestPos = 0;
+    for (size_t I = 1; I < Scr.Ready.size(); ++I) {
+      unsigned A = Members[Scr.Ready[I]], B = Members[Scr.Ready[BestPos]];
+      if (Heights[A] > Heights[B] || (Heights[A] == Heights[B] && A < B))
+        BestPos = I;
+    }
+    unsigned L = Scr.Ready[BestPos];
+    Scr.Ready[BestPos] = Scr.Ready.back();
+    Scr.Ready.pop_back();
+    const ScheduleUnit &U = G.unit(Members[L]);
+
+    int64_t Lo = Scr.Earliest[L] == NegInf ? 0 : Scr.Earliest[L];
+    int64_t Hi = std::min<int64_t>(Scr.Latest[L], Lo + S - 1);
     bool Found = false;
+    int64_t At = 0;
     for (int64_t I = Lo; I <= Hi; ++I) {
       int64_t T = Order == SlotOrder::EarliestFirst ? I : Hi - (I - Lo);
-      if (!LocalMRT.canPlace(G.unit(N), static_cast<int>(T)))
+      ++Stats.SlotsProbed;
+      if (!LocalMRT.canPlace(U, static_cast<int>(T)))
         continue;
-      LocalMRT.place(G.unit(N), static_cast<int>(T));
-      Placed[N] = T;
+      LocalMRT.place(U, static_cast<int>(T));
+      At = T;
       Found = true;
       break;
     }
     if (!Found)
       return false;
+    Scr.Placed[L] = At;
+    ++NumPlaced;
+    for (size_t I = 0; I != Scr.Unplaced.size(); ++I)
+      if (Scr.Unplaced[I] == L) {
+        Scr.Unplaced[I] = Scr.Unplaced.back();
+        Scr.Unplaced.pop_back();
+        break;
+      }
 
     // Tighten the precedence-constrained range of every unscheduled
     // member, substituting the concrete interval into the closure.
-    for (unsigned M : Members) {
-      if (Placed.count(M))
-        continue;
-      int64_t Fwd = Cl.distance(N, M, S);
+    for (unsigned M : Scr.Unplaced) {
+      int64_t Fwd = Cl.distanceByIndex(L, M, S);
       if (Fwd != std::numeric_limits<int64_t>::min())
-        Earliest[M] = std::max(Earliest[M], Placed[N] + Fwd);
-      int64_t Bwd = Cl.distance(M, N, S);
+        Scr.Earliest[M] = std::max(Scr.Earliest[M], At + Fwd);
+      int64_t Bwd = Cl.distanceByIndex(M, L, S);
       if (Bwd != std::numeric_limits<int64_t>::min())
-        Latest[M] = std::min(Latest[M], Placed[N] - Bwd);
+        Scr.Latest[M] = std::min(Scr.Latest[M], At - Bwd);
     }
 
-    for (unsigned EIdx : G.succs(N)) {
-      const DepEdge &E = G.edges()[EIdx];
-      if (E.Omega != 0 || CompOf[E.Dst] != C)
-        continue;
-      if (--PredsLeft[E.Dst] == 0)
-        Ready.push_back(E.Dst);
-    }
+    for (unsigned EI = Info.SuccStart[L]; EI != Info.SuccStart[L + 1]; ++EI)
+      if (--Scr.PredsLeft[Info.SuccDst[EI]] == 0)
+        Scr.Ready.push_back(Info.SuccDst[EI]);
   }
-  if (Placed.size() != Members.size())
+  if (NumPlaced != N)
     return false;
 
   // Normalize internal offsets to start at zero.
   int64_t Min = PosInf;
-  for (unsigned N : Members)
-    Min = std::min(Min, Placed[N]);
-  for (unsigned N : Members)
-    Internal[N] = static_cast<int>(Placed[N] - Min);
+  for (unsigned L = 0; L != N; ++L)
+    Min = std::min(Min, Scr.Placed[L]);
+  for (unsigned L = 0; L != N; ++L)
+    Internal[Members[L]] = static_cast<int>(Scr.Placed[L] - Min);
   return true;
 }
 
-std::optional<Schedule> SchedulerImpl::tryInterval(unsigned S) {
-  unsigned NumComps = Comps.size();
+std::optional<Schedule>
+SchedulerImpl::tryInterval(unsigned S, SchedulerStats &Stats) const {
+  ++Stats.IntervalsTried;
+  const unsigned NumComps = static_cast<unsigned>(Comps.size());
   std::vector<int> Internal(G.numNodes(), 0);
 
   // Phase 1: schedule every nontrivial component individually; when the
   // earliest-first heuristic wedges, retry the component latest-first.
-  for (unsigned C = 0; C != NumComps; ++C) {
-    if (Comps[C].size() <= 1)
-      continue;
-    if (!scheduleComponent(C, S, SlotOrder::EarliestFirst, Internal) &&
-        !scheduleComponent(C, S, SlotOrder::LatestFirst, Internal))
-      return std::nullopt;
+  if (HasNontrivial) {
+    auto P1Start = Clock::now();
+    ModuloReservationTable LocalMRT(MD, S);
+    ComponentScratch Scr;
+    for (unsigned C = 0; C != NumComps; ++C) {
+      if (Comps[C].size() <= 1)
+        continue;
+      if (scheduleComponent(C, S, SlotOrder::EarliestFirst, Internal,
+                            LocalMRT, Scr, Stats))
+        continue;
+      ++Stats.ComponentRetries;
+      if (!scheduleComponent(C, S, SlotOrder::LatestFirst, Internal,
+                             LocalMRT, Scr, Stats)) {
+        Stats.Phase1Seconds += secondsSince(P1Start);
+        return std::nullopt;
+      }
+    }
+    Stats.Phase1Seconds += secondsSince(P1Start);
   }
 
   // Phase 2: reduce components to super-nodes and list-schedule the
   // acyclic condensation against the global modulo reservation table.
-  // Build per-component aggregate reservations and condensation edges.
-  std::vector<ScheduleUnit> Aggregates;
-  Aggregates.reserve(NumComps);
+  // Trivial components reuse their unit's reservation verbatim; only
+  // nontrivial ones fold this attempt's internal offsets in.
+  auto P2Start = Clock::now();
+  std::vector<std::pair<const ResourceUse *, size_t>> AggRes(NumComps);
+  std::vector<int> AggLen(NumComps);
+  std::vector<std::vector<ResourceUse>> CyclicRes;
+  CyclicRes.reserve(NumNontrivial);
   for (unsigned C = 0; C != NumComps; ++C) {
+    if (Comps[C].size() == 1) {
+      const ScheduleUnit &U = G.unit(Comps[C][0]);
+      AggRes[C] = {U.reservation().data(), U.reservation().size()};
+      AggLen[C] = std::max(1, U.length());
+      continue;
+    }
     std::vector<ResourceUse> Res;
     int Len = 1;
     for (unsigned N : Comps[C]) {
@@ -178,44 +354,33 @@ std::optional<Schedule> SchedulerImpl::tryInterval(unsigned S) {
                        Use.Units});
       Len = std::max(Len, Internal[N] + G.unit(N).length());
     }
-    Aggregates.push_back(ScheduleUnit::makeReduced({}, std::move(Res), Len,
-                                                   MD));
+    CyclicRes.push_back(std::move(Res));
+    AggRes[C] = {CyclicRes.back().data(), CyclicRes.back().size()};
+    AggLen[C] = Len;
   }
 
-  struct CondEdge {
-    unsigned Src, Dst;
-    int64_t Delay;
-    unsigned Omega;
-  };
-  std::vector<CondEdge> CondEdges;
-  std::vector<std::vector<unsigned>> CondSuccs(NumComps), CondPreds(NumComps);
-  for (const DepEdge &E : G.edges()) {
-    unsigned CS = CompOf[E.Src], CD = CompOf[E.Dst];
-    if (CS == CD)
-      continue;
-    CondSuccs[CS].push_back(CondEdges.size());
-    CondPreds[CD].push_back(CondEdges.size());
-    CondEdges.push_back(
-        {CS, CD, E.Delay + Internal[E.Src] - Internal[E.Dst], E.Omega});
-  }
-
-  // Heights over the condensation's omega-0 edges.
-  std::vector<int64_t> CompHeight(NumComps, 0);
-  for (unsigned C = NumComps; C-- != 0;) {
-    int64_t H = Aggregates[C].length();
-    for (unsigned EIdx : CondSuccs[C]) {
-      const CondEdge &E = CondEdges[EIdx];
-      if (E.Omega == 0)
-        H = std::max(H, CompHeight[E.Dst] + E.Delay);
+  // Heights over the condensation's omega-0 edges: cached for acyclic
+  // graphs, recomputed against this attempt's internal offsets otherwise.
+  std::vector<int64_t> HeightBuf;
+  const int64_t *CompHeight = BaseCompHeight.data();
+  if (HasNontrivial) {
+    HeightBuf.resize(NumComps);
+    for (unsigned C = NumComps; C-- != 0;) {
+      int64_t H = AggLen[C];
+      for (unsigned EIdx : CondSuccs[C]) {
+        const CondEdge &E = CondEdges[EIdx];
+        if (E.Omega == 0)
+          H = std::max(H, HeightBuf[E.DstComp] + E.Delay +
+                              Internal[E.SrcNode] - Internal[E.DstNode]);
+      }
+      HeightBuf[C] = H;
     }
-    CompHeight[C] = H;
+    CompHeight = HeightBuf.data();
   }
 
   // Components are already in topological order (all condensation edges go
-  // forward); schedule ready components by height.
-  std::vector<unsigned> PredsLeft(NumComps, 0);
-  for (const CondEdge &E : CondEdges)
-    ++PredsLeft[E.Dst];
+  // forward); schedule ready components by height, ties to the smaller id.
+  std::vector<unsigned> PredsLeft(CondInDeg);
   std::vector<unsigned> Ready;
   for (unsigned C = 0; C != NumComps; ++C)
     if (PredsLeft[C] == 0)
@@ -225,41 +390,48 @@ std::optional<Schedule> SchedulerImpl::tryInterval(unsigned S) {
   std::vector<int64_t> CompStart(NumComps, NegInf);
   unsigned NumPlaced = 0;
   while (!Ready.empty()) {
-    auto Best = std::max_element(
-        Ready.begin(), Ready.end(), [&](unsigned A, unsigned B) {
-          return CompHeight[A] < CompHeight[B] ||
-                 (CompHeight[A] == CompHeight[B] && A > B);
-        });
-    unsigned C = *Best;
-    Ready.erase(Best);
+    size_t BestPos = 0;
+    for (size_t I = 1; I < Ready.size(); ++I) {
+      unsigned A = Ready[I], B = Ready[BestPos];
+      if (CompHeight[A] > CompHeight[B] ||
+          (CompHeight[A] == CompHeight[B] && A < B))
+        BestPos = I;
+    }
+    unsigned C = Ready[BestPos];
+    Ready[BestPos] = Ready.back();
+    Ready.pop_back();
 
     int64_t Lo = 0;
     for (unsigned EIdx : CondPreds[C]) {
       const CondEdge &E = CondEdges[EIdx];
-      assert(CompStart[E.Src] != NegInf &&
+      assert(CompStart[E.SrcComp] != NegInf &&
              "condensation edges all go forward");
-      Lo = std::max(Lo, CompStart[E.Src] + E.Delay -
+      Lo = std::max(Lo, CompStart[E.SrcComp] + E.Delay +
+                            Internal[E.SrcNode] - Internal[E.DstNode] -
                             static_cast<int64_t>(S) * E.Omega);
     }
     bool Found = false;
     for (int64_t T = Lo; T != Lo + S; ++T) {
-      if (!MRT.canPlace(Aggregates[C], static_cast<int>(T)))
+      ++Stats.SlotsProbed;
+      if (!MRT.canPlace(AggRes[C].first, AggRes[C].second,
+                        static_cast<int>(T)))
         continue;
-      MRT.place(Aggregates[C], static_cast<int>(T));
+      MRT.place(AggRes[C].first, AggRes[C].second, static_cast<int>(T));
       CompStart[C] = T;
       Found = true;
       break;
     }
-    if (!Found)
+    if (!Found) {
+      Stats.Phase2Seconds += secondsSince(P2Start);
       return std::nullopt;
+    }
     ++NumPlaced;
 
-    for (unsigned EIdx : CondSuccs[C]) {
-      const CondEdge &E = CondEdges[EIdx];
-      if (--PredsLeft[E.Dst] == 0)
-        Ready.push_back(E.Dst);
-    }
+    for (unsigned EIdx : CondSuccs[C])
+      if (--PredsLeft[CondEdges[EIdx].DstComp] == 0)
+        Ready.push_back(CondEdges[EIdx].DstComp);
   }
+  Stats.Phase2Seconds += secondsSince(P2Start);
   if (NumPlaced != NumComps)
     return std::nullopt;
 
@@ -286,18 +458,21 @@ swp::scheduleAtInterval(const DepGraph &G, const MachineDescription &MD,
   SchedulerImpl Impl(G, MD, Opts);
   if (S < std::max(RecBound, Impl.recBound()))
     return std::nullopt;
-  return Impl.tryInterval(S);
+  SchedulerStats Stats;
+  return Impl.tryInterval(S, Stats);
 }
 
 ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
                                          const MachineDescription &MD,
                                          const ModuloScheduleOptions &Opts) {
+  auto TotalStart = Clock::now();
   ModuloScheduleResult Result;
   Result.ResMII = resMII(G, MD);
 
   SchedulerImpl Impl(G, MD, Opts);
   Result.RecMII = Impl.recBound();
   Result.MII = std::max(Result.ResMII, Result.RecMII);
+  Result.Stats.ClosureBuildSeconds = Impl.closureBuildSeconds();
 
   unsigned MaxII = Opts.MaxII;
   if (MaxII == 0) {
@@ -308,30 +483,60 @@ ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
   }
 
   if (!Opts.BinarySearch) {
-    // Linear search: schedulability is not monotonic in s, and on Warp the
-    // lower bound is usually achievable (section 2.2).
-    for (unsigned S = Result.MII; S <= MaxII; ++S) {
-      ++Result.TriedIntervals;
-      if (std::optional<Schedule> Sched = Impl.tryInterval(S)) {
-        Result.Success = true;
-        Result.Sched = std::move(*Sched);
-        Result.II = S;
-        break;
+    unsigned Threads = std::max(1u, Opts.SearchThreads);
+    if (Threads == 1 || MaxII == Result.MII) {
+      // Linear search: schedulability is not monotonic in s, and on Warp
+      // the lower bound is usually achievable (section 2.2).
+      for (unsigned S = Result.MII; S <= MaxII; ++S) {
+        if (std::optional<Schedule> Sched =
+                Impl.tryInterval(S, Result.Stats)) {
+          Result.Success = true;
+          Result.Sched = std::move(*Sched);
+          Result.II = S;
+          break;
+        }
+      }
+    } else {
+      // Speculative parallel linear search: attempt a window of candidate
+      // intervals concurrently and commit the smallest successful one —
+      // exactly what the serial scan would have returned, since the scan
+      // stops at the first (i.e. smallest) success and later intervals
+      // are only ever probed speculatively.
+      ThreadPool Pool(Threads);
+      unsigned Base = Result.MII;
+      while (Base <= MaxII && !Result.Success) {
+        unsigned Count = std::min(Threads, MaxII - Base + 1);
+        std::vector<std::optional<Schedule>> Window(Count);
+        std::vector<SchedulerStats> WindowStats(Count);
+        Pool.parallelFor(Count, [&](size_t I) {
+          Window[I] = Impl.tryInterval(Base + static_cast<unsigned>(I),
+                                       WindowStats[I]);
+        });
+        for (unsigned I = 0; I != Count; ++I) {
+          Result.Stats.merge(WindowStats[I]);
+          if (!Result.Success && Window[I]) {
+            Result.Success = true;
+            Result.Sched = std::move(*Window[I]);
+            Result.II = Base + I;
+          }
+        }
+        Base += Count;
       }
     }
   } else {
     // Ablation: binary search as in the FPS-164 compiler. Assumes
-    // (incorrectly, in general) that schedulability is monotonic.
+    // (incorrectly, in general) that schedulability is monotonic. Mid
+    // never goes below Lo >= MII >= 1, so stopping when a success lands
+    // exactly on Lo is the only lower-bound exit needed.
     unsigned Lo = Result.MII, Hi = MaxII;
     std::optional<Schedule> BestSched;
     unsigned BestS = 0;
     while (Lo <= Hi) {
       unsigned Mid = Lo + (Hi - Lo) / 2;
-      ++Result.TriedIntervals;
-      if (std::optional<Schedule> Sched = Impl.tryInterval(Mid)) {
+      if (std::optional<Schedule> Sched = Impl.tryInterval(Mid, Result.Stats)) {
         BestSched = std::move(Sched);
         BestS = Mid;
-        if (Mid == 0 || Mid == Lo)
+        if (Mid == Lo)
           break;
         Hi = Mid - 1;
       } else {
@@ -345,7 +550,9 @@ ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
     }
   }
 
+  Result.TriedIntervals = static_cast<unsigned>(Result.Stats.IntervalsTried);
   if (Result.Success)
     Result.Stages = (Result.Sched.issueLength() + Result.II - 1) / Result.II;
+  Result.Stats.TotalSeconds = secondsSince(TotalStart);
   return Result;
 }

@@ -38,35 +38,43 @@ unsigned ReservationTable::usedAt(int T, unsigned Res) const {
 
 ModuloReservationTable::ModuloReservationTable(const MachineDescription &MD,
                                                unsigned S)
-    : MD(MD), S(S), Rows(static_cast<size_t>(S) * MD.numResources(), 0) {
+    : MD(MD), S(S), Rows(static_cast<size_t>(S) * MD.numResources(), 0),
+      Scratch(Rows.size(), 0) {
   assert(S >= 1 && "initiation interval must be positive");
 }
 
-bool ModuloReservationTable::canPlace(const ScheduleUnit &U, int T) const {
+bool ModuloReservationTable::canPlace(const ResourceUse *Uses, size_t NumUses,
+                                      int T) const {
   // A unit longer than the interval folds onto itself; accumulate per-row
-  // increments first so self-collisions are counted correctly.
-  for (const ResourceUse &Use : U.reservation()) {
-    unsigned Row = rowOf(T, Use.Cycle);
-    unsigned Already = Rows[static_cast<size_t>(Row) * MD.numResources() +
-                            Use.ResId];
-    unsigned Extra = Use.Units;
-    // Count sibling reservations of this same unit landing on the same row
-    // and resource (possible when unit length exceeds S).
-    for (const ResourceUse &Other : U.reservation())
-      if (&Other != &Use && Other.ResId == Use.ResId &&
-          rowOf(T, Other.Cycle) == Row && Other.Cycle < Use.Cycle)
-        Extra += Other.Units;
-    if (Already + Extra > MD.resource(Use.ResId).Units)
-      return false;
+  // increments first so self-collisions are counted correctly. The
+  // accumulation runs in Scratch (cleared via the Touched list), making
+  // the whole query linear in the number of uses.
+  Touched.clear();
+  for (size_t I = 0; I != NumUses; ++I) {
+    const ResourceUse &Use = Uses[I];
+    size_t Slot = static_cast<size_t>(rowOf(T, Use.Cycle)) *
+                      MD.numResources() +
+                  Use.ResId;
+    if (Scratch[Slot] == 0)
+      Touched.push_back(static_cast<unsigned>(Slot));
+    Scratch[Slot] += Use.Units;
   }
-  return true;
+  bool Ok = true;
+  for (unsigned Slot : Touched) {
+    unsigned Res = Slot % MD.numResources();
+    if (Rows[Slot] + Scratch[Slot] > MD.resource(Res).Units)
+      Ok = false;
+    Scratch[Slot] = 0;
+  }
+  return Ok;
 }
 
-void ModuloReservationTable::place(const ScheduleUnit &U, int T) {
-  assert(canPlace(U, T) && "placing an over-subscribed unit");
-  for (const ResourceUse &Use : U.reservation())
-    Rows[static_cast<size_t>(rowOf(T, Use.Cycle)) * MD.numResources() +
-         Use.ResId] += Use.Units;
+void ModuloReservationTable::place(const ResourceUse *Uses, size_t NumUses,
+                                   int T) {
+  assert(canPlace(Uses, NumUses, T) && "placing an over-subscribed unit");
+  for (size_t I = 0; I != NumUses; ++I)
+    Rows[static_cast<size_t>(rowOf(T, Uses[I].Cycle)) * MD.numResources() +
+         Uses[I].ResId] += Uses[I].Units;
 }
 
 void ModuloReservationTable::remove(const ScheduleUnit &U, int T) {

@@ -1,0 +1,63 @@
+//===- ThreadPool.cpp - Fixed-size worker pool -------------------------------===//
+//
+// Part of warp-swp. See ThreadPool.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace swp;
+
+unsigned ThreadPool::hardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = hardwareThreads();
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stop = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Task));
+    ++Outstanding;
+  }
+  WorkReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  AllDone.wait(Lock, [this] { return Outstanding == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    WorkReady.wait(Lock, [this] { return Stop || !Queue.empty(); });
+    if (Queue.empty())
+      return; // Stop was set and nothing is left to run.
+    std::function<void()> Task = std::move(Queue.front());
+    Queue.pop_front();
+    Lock.unlock();
+    Task();
+    Lock.lock();
+    if (--Outstanding == 0)
+      AllDone.notify_all();
+  }
+}

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <limits>
 
 using namespace swp;
@@ -404,3 +405,120 @@ TEST_P(ClosureProperty, MatchesNumericLongestPaths) {
 
 INSTANTIATE_TEST_SUITE_P(RandomGraphs, ClosureProperty,
                          ::testing::Range(0, 25));
+
+TEST(Closure, PathSetInsertKeepsParetoMinimalSet) {
+  // Property: after any insertion sequence the set is Pareto-minimal (no
+  // retained pair dominates another) yet still evaluates to the maximum
+  // over everything ever inserted — i.e. pruning never loses the frontier.
+  for (int Seed = 0; Seed != 50; ++Seed) {
+    RNG R(4200 + Seed);
+    int64_t SMin = R.uniform(1, 12);
+    PathSet Set;
+    std::vector<PathPair> Inserted;
+    for (int I = 0; I != 30; ++I) {
+      PathPair PP{R.uniform(-25, 60),
+                  static_cast<uint32_t>(R.uniform(0, 5))};
+      Set.insert(PP, SMin);
+      Inserted.push_back(PP);
+
+      const std::vector<PathPair> &Kept = Set.pairs();
+      for (size_t A = 0; A != Kept.size(); ++A)
+        for (size_t B = 0; B != Kept.size(); ++B)
+          if (A != B)
+            EXPECT_FALSE(dominates(Kept[A], Kept[B], SMin))
+                << "seed " << Seed << ": (" << Kept[A].D << "," << Kept[A].P
+                << ") dominates (" << Kept[B].D << "," << Kept[B].P
+                << ") at SMin=" << SMin;
+
+      for (int64_t S : {SMin, SMin + 1, SMin + 7, SMin + 1000}) {
+        int64_t Want = std::numeric_limits<int64_t>::min();
+        for (const PathPair &Q : Inserted)
+          Want = std::max(Want, Q.D - S * static_cast<int64_t>(Q.P));
+        EXPECT_EQ(Set.evaluate(S), Want) << "seed " << Seed << " s=" << S;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// A component-local edge for the brute-force path enumerator.
+struct LocalEdge {
+  unsigned Src, Dst;
+  int64_t D;
+  uint32_t P;
+};
+
+/// Enumerates every simple path From -> To (From == To enumerates simple
+/// cycles: only the endpoint repeats) and returns each path's symbolic
+/// (sum of delays, sum of omegas). Exponential, fine for <= 6 nodes.
+std::vector<PathPair> simplePaths(const std::vector<LocalEdge> &Edges,
+                                  unsigned N, unsigned From, unsigned To) {
+  std::vector<PathPair> Out;
+  std::vector<char> Visited(N, 0);
+  Visited[From] = 1;
+  std::function<void(unsigned, int64_t, uint32_t)> Walk =
+      [&](unsigned At, int64_t D, uint32_t P) {
+        for (const LocalEdge &E : Edges) {
+          if (E.Src != At)
+            continue;
+          if (E.Dst == To)
+            Out.push_back({D + E.D, P + E.P}); // Path ends here.
+          if (E.Dst != To && !Visited[E.Dst]) {
+            Visited[E.Dst] = 1;
+            Walk(E.Dst, D + E.D, P + E.P);
+            Visited[E.Dst] = 0;
+          }
+        }
+      };
+  Walk(From, 0, 0);
+  return Out;
+}
+
+} // namespace
+
+TEST(Closure, MatchesBruteForceSimplePathEnumeration) {
+  // At any s >= RecMII every cycle has non-positive weight, so the longest
+  // path between two nodes is attained on a simple path (a non-simple path
+  // is a simple path plus cycles). The symbolic closure must therefore
+  // agree with exhaustive simple-path enumeration -- including on the
+  // diagonal, where the "paths" are the simple cycles through the node.
+  for (int Seed = 0; Seed != 30; ++Seed) {
+    RNG R(7700 + Seed);
+    MachineDescription MD = MachineDescription::warpCell();
+    unsigned N = static_cast<unsigned>(R.uniform(2, 6));
+    DepGraph G = randomGraph(R, N, MD);
+    int64_t SMin = recMII(G);
+
+    for (const std::vector<unsigned> &C : G.stronglyConnectedComponents()) {
+      std::vector<int> Local(G.numNodes(), -1);
+      for (unsigned I = 0; I != C.size(); ++I)
+        Local[C[I]] = static_cast<int>(I);
+      std::vector<LocalEdge> Edges;
+      for (unsigned Node : C)
+        for (unsigned EIdx : G.succs(Node)) {
+          const DepEdge &E = G.edges()[EIdx];
+          if (Local[E.Dst] >= 0)
+            Edges.push_back({static_cast<unsigned>(Local[E.Src]),
+                             static_cast<unsigned>(Local[E.Dst]), E.Delay,
+                             E.Omega});
+        }
+
+      SCCClosure Cl(G, C, SMin);
+      for (unsigned I = 0; I != C.size(); ++I)
+        for (unsigned J = 0; J != C.size(); ++J) {
+          std::vector<PathPair> Paths =
+              simplePaths(Edges, static_cast<unsigned>(C.size()), I, J);
+          for (int64_t S = SMin; S != SMin + 4; ++S) {
+            int64_t Brute = std::numeric_limits<int64_t>::min();
+            for (const PathPair &PP : Paths)
+              Brute =
+                  std::max(Brute, PP.D - S * static_cast<int64_t>(PP.P));
+            EXPECT_EQ(Cl.distance(C[I], C[J], S), Brute)
+                << "seed " << Seed << " pair " << C[I] << "->" << C[J]
+                << " at s=" << S;
+          }
+        }
+    }
+  }
+}

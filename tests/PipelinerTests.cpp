@@ -150,6 +150,35 @@ TEST(ModuloScheduler, BinarySearchAlsoFindsSchedules) {
   EXPECT_TRUE(R.Sched.satisfiesPrecedence(G, R.II));
 }
 
+TEST(ModuloScheduler, BinarySearchTerminatesAtMIIOne) {
+  // Regression: the binary-search ablation carried a dead `Mid == 0`
+  // guard and decremented Hi past Lo; with MII = 1 (the smallest legal
+  // interval, immediately schedulable) the search must terminate on the
+  // Mid == Lo success exit and still report the optimal interval.
+  Program P;
+  IRBuilder B(P);
+  unsigned A = P.createArray("a", RegClass::Float, 64);
+  VReg K = P.createVReg(RegClass::Float, "k", /*LiveIn=*/true);
+  ForStmt *L = B.beginForImm(0, 63);
+  B.fstore(A, B.ix(L), B.fadd(B.fload(A, B.ix(L)), K));
+  B.endFor();
+  MachineDescription MD = MachineDescription::toyCell();
+  DepGraph G = loopGraph(P, L, MD);
+  ModuloScheduleOptions Opts;
+  Opts.BinarySearch = true;
+  ModuloScheduleResult R = moduloSchedule(G, MD, Opts);
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.MII, 1u);
+  EXPECT_EQ(R.II, 1u);
+  EXPECT_TRUE(R.Sched.satisfiesPrecedence(G, R.II));
+
+  // The serial linear search finds the same interval and issue length.
+  ModuloScheduleResult Linear = moduloSchedule(G, MD);
+  ASSERT_TRUE(Linear.Success);
+  EXPECT_EQ(Linear.II, R.II);
+  EXPECT_EQ(Linear.Sched.issueLength(), R.Sched.issueLength());
+}
+
 TEST(MVE, RotatingRegisterExample) {
   // The section 2.3 example: def(R) ... use(R) two cycles later with
   // II = 1 needs 2 locations -> unroll 2.
