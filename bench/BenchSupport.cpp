@@ -45,7 +45,7 @@ RunResult swp::bench::runWorkload(const WorkloadSpec &Spec,
   R.Flops = Sim.State.Flops;
   R.CellMFLOPS = Sim.MFLOPS;
   R.CodeSize = CR.Code.size();
-  R.Loops = std::move(CR.Loops);
+  R.Report = std::move(CR.Report);
   return R;
 }
 
@@ -75,13 +75,4 @@ swp::bench::runWorkloads(const std::vector<WorkloadSpec> &Specs,
 std::string swp::bench::bar(unsigned Count, unsigned Scale) {
   unsigned Len = (Count + Scale - 1) / Scale;
   return std::string(Len, '#');
-}
-
-const LoopReport *
-swp::bench::primaryLoop(const std::vector<LoopReport> &Loops) {
-  const LoopReport *Best = nullptr;
-  for (const LoopReport &L : Loops)
-    if (!Best || L.NumUnits > Best->NumUnits)
-      Best = &L;
-  return Best;
 }

@@ -32,7 +32,9 @@ struct RunResult {
   uint64_t Flops = 0;
   double CellMFLOPS = 0.0;
   size_t CodeSize = 0; ///< Emitted instructions.
-  std::vector<LoopReport> Loops;
+  /// The compiler's structured per-loop report (see CompileReport.h);
+  /// benches read decisions and intervals from here directly.
+  CompileReport Report;
 };
 
 /// Builds, compiles, simulates and (by default) verifies one workload.
@@ -72,10 +74,6 @@ inline CompilerOptions baselineOptions() {
 
 /// Prints an ASCII histogram row bar.
 std::string bar(unsigned Count, unsigned Scale = 1);
-
-/// The innermost-loop report carrying the most schedule units (the
-/// "primary" loop used for per-program quality columns).
-const LoopReport *primaryLoop(const std::vector<LoopReport> &Loops);
 
 } // namespace swp::bench
 

@@ -46,18 +46,18 @@ int main() {
       AnyFailure = true;
       continue;
     }
-    const LoopReport *LA = primaryLoop(A.Loops);
-    const LoopReport *LB = primaryLoop(B.Loops);
-    const LoopReport *LC = primaryLoop(C.Loops);
+    const LoopReport *LA = A.Report.primaryLoop();
+    const LoopReport *LB = B.Report.primaryLoop();
+    const LoopReport *LC = C.Report.primaryLoop();
     auto IIOf = [](const LoopReport *L) {
-      return L && L->Pipelined ? std::to_string(L->II) : std::string("-");
+      return L && L->pipelined() ? std::to_string(L->II) : std::string("-");
     };
     T.addRow({Spec.Name, IIOf(LA), IIOf(LB),
               TablePrinter::num(static_cast<double>(B.Cycles) / A.Cycles, 2),
-              LA && LA->Pipelined ? std::to_string(LA->Unroll) : "-",
-              LC && LC->Pipelined ? std::to_string(LC->Unroll) : "-",
-              LA && LA->Pipelined ? std::to_string(LA->KernelInsts) : "-",
-              LC && LC->Pipelined ? std::to_string(LC->KernelInsts) : "-"});
+              LA && LA->pipelined() ? std::to_string(LA->Unroll) : "-",
+              LC && LC->pipelined() ? std::to_string(LC->Unroll) : "-",
+              LA && LA->pipelined() ? std::to_string(LA->KernelInsts) : "-",
+              LC && LC->pipelined() ? std::to_string(LC->KernelInsts) : "-"});
   }
   T.print(std::cout);
   std::cout << "\nexpected shape: disabling MVE inflates the II (register "

@@ -45,10 +45,12 @@ int main() {
     }
     LinearCycles += A.Cycles;
     BinaryCycles += B.Cycles;
-    for (size_t I = 0; I != A.Loops.size() && I != B.Loops.size(); ++I) {
-      const LoopReport &LA = A.Loops[I];
-      const LoopReport &LB = B.Loops[I];
-      if (!LA.Pipelined || !LB.Pipelined)
+    const auto &ALoops = A.Report.Loops;
+    const auto &BLoops = B.Report.Loops;
+    for (size_t I = 0; I != ALoops.size() && I != BLoops.size(); ++I) {
+      const LoopReport &LA = ALoops[I];
+      const LoopReport &LB = BLoops[I];
+      if (!LA.pipelined() || !LB.pipelined())
         continue;
       ++Loops;
       LinearTried += LA.TriedIntervals;

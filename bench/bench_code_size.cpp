@@ -35,8 +35,8 @@ int main() {
       AnyFailure = true;
       continue;
     }
-    const LoopReport *L = primaryLoop(Swp.Loops);
-    if (!L || !L->Pipelined)
+    const LoopReport *L = Swp.Report.primaryLoop();
+    if (!L || !L->pipelined())
       continue;
     double Ratio =
         static_cast<double>(L->TotalLoopInsts) / L->UnpipelinedLen;

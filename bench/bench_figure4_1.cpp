@@ -42,8 +42,8 @@ int main() {
       continue;
     }
     MFLOPS.push_back(R.CellMFLOPS);
-    for (const LoopReport &L : R.Loops) {
-      if (!L.Attempted || !L.Pipelined)
+    for (const LoopReport &L : R.Report.Loops) {
+      if (!L.pipelined())
         continue;
       ++AttemptedLoops;
       if (L.II == L.MII)

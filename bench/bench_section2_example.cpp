@@ -47,7 +47,7 @@ int main() {
     return 1;
   }
 
-  const LoopReport *L = primaryLoop(Swp.Loops);
+  const LoopReport *L = Swp.Report.primaryLoop();
   TablePrinter T({"metric", "paper", "measured"});
   T.addRow({"initiation interval", "1", std::to_string(L->II)});
   T.addRow({"iterations in flight", "4", std::to_string(L->Stages)});

@@ -54,14 +54,14 @@ int main() {
       AnyFailure = true;
       continue;
     }
-    const LoopReport *L = primaryLoop(Swp.Loops);
+    const LoopReport *L = Swp.Report.primaryLoop();
     double Speedup = static_cast<double>(Base.Cycles) / Swp.Cycles;
     std::string Eff = "-";
     std::string II = "-", MII = "-";
     bool Pipelined = false;
     if (L) {
       MII = std::to_string(L->MII);
-      if (L->Pipelined) {
+      if (L->pipelined()) {
         Pipelined = true;
         II = std::to_string(L->II);
         Eff = TablePrinter::num(static_cast<double>(L->MII) / L->II, 2);

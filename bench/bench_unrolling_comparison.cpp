@@ -80,10 +80,10 @@ int main() {
       return TablePrinter::num(static_cast<double>(Base.Cycles) / R.Cycles,
                                2);
     };
-    const LoopReport *L = primaryLoop(Swp.Loops);
+    const LoopReport *L = Swp.Report.primaryLoop();
     T.addRow({Spec.Name, "1.00", Speed(U2), Speed(U4), Speed(U8),
               Speed(Fps), Speed(Swp),
-              L && L->Pipelined ? std::to_string(L->II) : "-",
+              L && L->pipelined() ? std::to_string(L->II) : "-",
               U8.Ok ? std::to_string(U8.CodeSize) : "-",
               std::to_string(Swp.CodeSize)});
   }

@@ -108,17 +108,17 @@ int main() {
 
     if (Mode == 0) {
       std::cout << "stage reports (pipelined build):\n";
-      for (const LoopReport &R : CR.Loops) {
+      for (const LoopReport &R : CR.Report.Loops) {
         if (R.NumUnits == 0)
           continue;
         std::cout << "  loop i" << R.LoopId << ": ";
-        if (R.Pipelined)
+        if (R.pipelined())
           std::cout << "II=" << R.II << "/" << R.MII << " stages="
                     << R.Stages
                     << (R.HasConditionals ? " (conditionals reduced)" : "")
                     << "\n";
         else
-          std::cout << "locally compacted (" << R.SkipReason << ")\n";
+          std::cout << "locally compacted (" << R.causeText() << ")\n";
       }
       std::cout << "\npipelined:   " << Sim.Cycles << " cycles, "
                 << Sim.MFLOPS << " MFLOPS\n";

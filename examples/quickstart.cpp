@@ -47,19 +47,20 @@ int main() {
 
   // 3. The schedule report.
   std::cout << "\n=== schedule report ===\n";
-  for (const LoopReport &R : CR.Loops) {
+  for (const LoopReport &R : CR.Report.Loops) {
     std::cout << "loop i" << R.LoopId << ": "
-              << (R.Pipelined ? "software pipelined" : "locally compacted")
+              << (R.pipelined() ? "software pipelined"
+                                : "locally compacted")
               << "\n  units " << R.NumUnits << ", unpipelined length "
               << R.UnpipelinedLen << "\n";
-    if (R.Pipelined)
+    if (R.pipelined())
       std::cout << "  II " << R.II << " (lower bound " << R.MII
                 << ": resources " << R.ResMII << ", recurrences "
                 << R.RecMII << ")\n  " << R.Stages
                 << " iterations in flight, kernel unrolled x" << R.Unroll
                 << " (" << R.KernelInsts << " steady-state instructions)\n";
-    else if (!R.SkipReason.empty())
-      std::cout << "  reason: " << R.SkipReason << "\n";
+    else if (R.Cause != FallbackCause::None)
+      std::cout << "  reason: " << R.causeText() << "\n";
   }
   std::cout << "emitted " << CR.Code.size() << " long instructions, "
             << CR.Code.FloatRegsUsed << "/" << 62 << " float and "

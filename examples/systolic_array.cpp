@@ -48,8 +48,8 @@ struct Cell {
       return nullptr;
     }
     C->Code = std::move(CR.Code);
-    if (!CR.Loops.empty())
-      C->Report = CR.Loops.front();
+    if (!CR.Report.Loops.empty())
+      C->Report = CR.Report.Loops.front();
     return C;
   }
 };

@@ -7,9 +7,13 @@
 //   w2c [file.w2]          compile and print IR, schedule report, code
 //   w2c --no-pipeline ...  locally compacted code only
 //   w2c --code ...         also dump the VLIW instruction stream
+//   w2c --verify ...       re-check every emitted schedule independently
+//   w2c --stats ...        include scheduler search counters
+//   w2c --json ...         machine-readable CompileReport on stdout
 //
-// With no file it compiles a built-in demonstration program (a
-// conditional loop, to show hierarchical reduction at work).
+// Unknown flags are errors. With no file it compiles a built-in
+// demonstration program (a conditional loop, to show hierarchical
+// reduction at work).
 //
 //===----------------------------------------------------------------------===//
 
@@ -39,26 +43,57 @@ begin
 end
 )";
 
+static void printUsage(std::ostream &OS) {
+  OS << "usage: w2c [--no-pipeline] [--code] [--verify] [--stats] "
+        "[--json] [file.w2]\n"
+        "  --no-pipeline  locally compacted code only\n"
+        "  --code         dump the VLIW instruction stream\n"
+        "  --verify       re-check emitted schedules with the independent "
+        "verifier\n"
+        "  --stats        include scheduler search counters in the report\n"
+        "  --json         print the CompileReport as JSON (suppresses "
+        "human output)\n";
+}
+
 int main(int argc, char **argv) {
   bool Pipeline = true;
   bool DumpCode = false;
+  bool Verify = false;
+  bool Stats = false;
+  bool Json = false;
   std::string Path;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "--no-pipeline")
+    if (Arg == "--no-pipeline") {
       Pipeline = false;
-    else if (Arg == "--code")
+    } else if (Arg == "--code") {
       DumpCode = true;
-    else if (Arg == "--help") {
-      std::cout << "usage: w2c [--no-pipeline] [--code] [file.w2]\n";
+    } else if (Arg == "--verify") {
+      Verify = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--json") {
+      Json = true;
+    } else if (Arg == "--help") {
+      printUsage(std::cout);
       return 0;
-    } else
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "error: unknown option '" << Arg << "'\n";
+      printUsage(std::cerr);
+      return 1;
+    } else if (!Path.empty()) {
+      std::cerr << "error: multiple input files ('" << Path << "' and '"
+                << Arg << "')\n";
+      return 1;
+    } else {
       Path = Arg;
+    }
   }
 
   std::string Source;
   if (Path.empty()) {
-    std::cout << "(no input file: compiling the built-in demo)\n";
+    if (!Json)
+      std::cout << "(no input file: compiling the built-in demo)\n";
     Source = DemoSource;
   } else {
     std::ifstream File(Path);
@@ -80,35 +115,33 @@ int main(int argc, char **argv) {
   if (DE.errorCount() == 0 && !DE.diagnostics().empty())
     std::cerr << DE.str(); // Warnings.
 
-  std::cout << "=== IR ===\n";
-  printProgram(Mod->Prog, std::cout);
+  if (!Json) {
+    std::cout << "=== IR ===\n";
+    printProgram(Mod->Prog, std::cout);
+  }
 
   MachineDescription MD = MachineDescription::warpCell();
   CompilerOptions Opts;
   Opts.EnablePipelining = Pipeline;
-  CompileResult CR = compileProgram(Mod->Prog, MD, Opts);
+  Opts.ParanoidVerify = Verify;
+  CompileResult CR = compileProgram(Mod->Prog, MD, Opts, &DE);
   if (!CR.Ok) {
     std::cerr << "codegen error: " << CR.Error << "\n";
+    for (const std::string &E : CR.Report.VerifyErrors)
+      std::cerr << "verifier: " << E << "\n";
     return 1;
   }
 
-  std::cout << "\n=== loops ===\n";
-  for (const LoopReport &R : CR.Loops) {
-    std::cout << "loop i" << R.LoopId << ": units=" << R.NumUnits
-              << (R.HasConditionals ? " [conditionals]" : "")
-              << (R.HasRecurrence ? " [recurrence]" : "") << "\n";
-    if (R.Pipelined)
-      std::cout << "  pipelined: II=" << R.II << " MII=" << R.MII
-                << " (res " << R.ResMII << ", rec " << R.RecMII
-                << "), stages=" << R.Stages << ", unroll=" << R.Unroll
-                << ", steady state " << R.KernelInsts
-                << " insts vs unpipelined " << R.UnpipelinedLen << "\n";
-    else
-      std::cout << "  locally compacted (" << R.UnpipelinedLen
-                << " insts/iter)"
-                << (R.SkipReason.empty() ? "" : ": " + R.SkipReason)
-                << "\n";
+  if (Json) {
+    std::cout << CR.Report.toJson();
+    return 0;
   }
+
+  std::cout << "\n=== loops ===\n";
+  CR.Report.print(std::cout, Stats);
+  if (Verify)
+    std::cout << "(all emitted schedules passed independent "
+                 "verification)\n";
   std::cout << "\n" << CR.Code.size() << " long instructions, "
             << CR.Code.FloatRegsUsed << " float / " << CR.Code.IntRegsUsed
             << " int registers\n";

@@ -1,0 +1,127 @@
+//===- swp/Codegen/CompileReport.h - Structured compile reporting -*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured report a compilation returns: one LoopReport per
+/// innermost loop carrying the pipelining decision as typed enums (what
+/// happened and, when the loop was not pipelined, exactly why), the
+/// achieved and lower-bound intervals (MII split into its resource and
+/// recurrence components), stage and unroll counts, the emitted region
+/// layout, and the scheduler's performance counters — plus whole-program
+/// aggregates. Consumers (the w2c driver, the benchmark harness, tests)
+/// read these fields directly; nothing downstream parses strings anymore.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_CODEGEN_COMPILEREPORT_H
+#define SWP_CODEGEN_COMPILEREPORT_H
+
+#include "swp/Pipeliner/ModuloScheduler.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swp {
+
+/// What the compiler did with one innermost loop.
+enum class PipelineDecision : uint8_t {
+  EmptyBody, ///< Nothing to schedule (all statements folded away).
+  Skipped,   ///< Policy refused before any scheduling was attempted.
+  Fallback,  ///< Attempted; the locally compacted version was emitted.
+  Pipelined, ///< A software-pipelined kernel was emitted.
+};
+
+/// Why a loop that was not pipelined ended up that way.
+enum class FallbackCause : uint8_t {
+  None,                ///< The loop was pipelined (or had no body).
+  PipeliningDisabled,  ///< CompilerOptions::EnablePipelining is off.
+  BodyTooLong,         ///< Locally compacted length > MaxLoopLenToPipeline.
+  ConditionalsExcluded,///< Hierarchical-reduction ablation (A3).
+  EfficiencyThreshold, ///< MII within EfficiencyThreshold of the baseline.
+  NoSchedule,          ///< No modulo schedule found up to the length bound.
+  IINotBetter,         ///< Achieved II >= the unpipelined period.
+  RegisterPressure,    ///< Expanded variables overflow the register files.
+  ShortTripCount,      ///< Static trip count below the pipeline fill.
+  ZeroTrip,            ///< Static trip count <= 0; no code at all.
+  VerifyFailed,        ///< ParanoidVerify rejected the emitted schedule.
+};
+
+/// Stable human-readable rendering of a decision / cause.
+const char *decisionText(PipelineDecision D);
+const char *fallbackCauseText(FallbackCause C);
+
+/// Instruction-stream extent of one emitted pipelined loop (valid only
+/// when the loop's decision is Pipelined).
+struct PipelinedRegion {
+  size_t PrologBase = 0; ///< First instruction of prolog window 0.
+  size_t KernelBase = 0; ///< Kernel head (backedge target).
+  size_t EpilogBase = 0; ///< First epilog instruction.
+  size_t End = 0;        ///< One past the last epilog instruction.
+};
+
+/// What happened to one innermost loop.
+struct LoopReport {
+  unsigned LoopId = 0;
+  unsigned NumUnits = 0; ///< Schedule units after reduction.
+  bool HasConditionals = false;
+  bool HasRecurrence = false; ///< Nontrivial SCC or carried self-edge.
+
+  PipelineDecision Decision = PipelineDecision::EmptyBody;
+  FallbackCause Cause = FallbackCause::None;
+
+  unsigned MII = 0, ResMII = 0, RecMII = 0;
+  unsigned II = 0;             ///< Achieved interval (pipelined only).
+  unsigned UnpipelinedLen = 0; ///< Locally compacted iteration period.
+  unsigned Stages = 0;
+  unsigned Unroll = 1;
+  unsigned KernelInsts = 0;    ///< Steady-state code size (pipelined).
+  unsigned TotalLoopInsts = 0; ///< All instructions emitted for the loop.
+  unsigned TriedIntervals = 0; ///< Candidate IIs the search attempted.
+
+  PipelinedRegion Region; ///< Valid when pipelined.
+  SchedulerStats Stats;   ///< Scheduler counters for this loop's search.
+
+  bool pipelined() const { return Decision == PipelineDecision::Pipelined; }
+  /// True when modulo scheduling actually ran on this loop.
+  bool attempted() const {
+    return Decision == PipelineDecision::Pipelined ||
+           Decision == PipelineDecision::Fallback;
+  }
+  const char *causeText() const { return fallbackCauseText(Cause); }
+};
+
+/// Whole-program compilation report.
+struct CompileReport {
+  std::vector<LoopReport> Loops;
+  /// Scheduler counters summed over every attempted loop.
+  SchedulerStats SchedTotals;
+  /// True when CompilerOptions::ParanoidVerify re-checked every emitted
+  /// schedule with the independent verifier.
+  bool ParanoidVerified = false;
+  /// Findings of the independent verifier (empty on a clean compile).
+  std::vector<std::string> VerifyErrors;
+
+  unsigned numPipelined() const;
+  unsigned numAttempted() const;
+
+  /// The innermost-loop report carrying the most schedule units (the
+  /// "primary" loop used for per-program quality columns).
+  const LoopReport *primaryLoop() const;
+
+  /// Human rendering, one loop per paragraph; \p WithStats adds the
+  /// scheduler performance counters.
+  void print(std::ostream &OS, bool WithStats = false) const;
+
+  /// Machine rendering of the whole report (stable field names; consumed
+  /// by `w2c --json`).
+  std::string toJson() const;
+};
+
+} // namespace swp
+
+#endif // SWP_CODEGEN_COMPILEREPORT_H

@@ -16,15 +16,22 @@
 /// pipelining (kernels 16 and 20), and register-file overflow falls back
 /// to the unpipelined schedule (section 2.3).
 ///
+/// CompilerOptions owns the full option surface — including the modulo
+/// scheduler search knobs and the MVE policy — behind one validated
+/// finalize(); compilation returns a structured CompileReport instead of
+/// per-loop strings (see CompileReport.h).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SWP_CODEGEN_COMPILER_H
 #define SWP_CODEGEN_COMPILER_H
 
+#include "swp/Codegen/CompileReport.h"
 #include "swp/Codegen/VLIWProgram.h"
 #include "swp/IR/Program.h"
 #include "swp/Pipeliner/ModuloScheduler.h"
 #include "swp/Pipeliner/ModuloVariableExpansion.h"
+#include "swp/Support/Diagnostics.h"
 
 #include <string>
 #include <vector>
@@ -55,27 +62,23 @@ struct CompilerOptions {
   /// hierarchical reduction). Off reproduces a pipeliner without
   /// section 3 (ablation A3).
   bool PipelineConditionalLoops = true;
+  /// Re-check every emitted schedule with the independent verifier
+  /// (swp/Verify): dependence edges, modulo reservation rows, MVE
+  /// lifetimes, and the emitted prolog/kernel/epilog structure. A finding
+  /// fails the compilation (and lands in CompileReport::VerifyErrors and
+  /// the DiagnosticEngine, when one is passed).
+  bool ParanoidVerify = false;
   /// Search options forwarded to the modulo scheduler.
   ModuloScheduleOptions Sched;
-};
 
-/// What happened to one innermost loop.
-struct LoopReport {
-  unsigned LoopId = 0;
-  unsigned NumUnits = 0;       ///< Schedule units after reduction.
-  bool HasConditionals = false;
-  bool HasRecurrence = false;  ///< Nontrivial SCC or carried self-edge.
-  bool Attempted = false;      ///< Pipelining was tried.
-  bool Pipelined = false;
-  unsigned MII = 0, ResMII = 0, RecMII = 0;
-  unsigned II = 0;             ///< Achieved interval (pipelined only).
-  unsigned UnpipelinedLen = 0; ///< Locally compacted iteration period.
-  unsigned Stages = 0;
-  unsigned Unroll = 1;
-  unsigned KernelInsts = 0;    ///< Steady-state code size (pipelined).
-  unsigned TotalLoopInsts = 0; ///< All instructions emitted for the loop.
-  unsigned TriedIntervals = 0; ///< Candidate IIs the search attempted.
-  std::string SkipReason;      ///< Why pipelining was not used.
+  /// Validates the combined option set, returning an empty string when
+  /// coherent or a description of the first rejected combination
+  /// (e.g. MaxUnroll == 0, a threshold outside (0, 1], or SearchThreads
+  /// parallelism requested under the binary-search strategy, whose probes
+  /// are sequentially dependent). compileProgram() runs this itself and
+  /// refuses incoherent options, so hand-assembled combos cannot skew an
+  /// experiment silently.
+  std::string finalize();
 };
 
 /// Result of compiling one program.
@@ -83,14 +86,17 @@ struct CompileResult {
   bool Ok = false;
   std::string Error;
   VLIWProgram Code;
-  std::vector<LoopReport> Loops;
+  /// Structured per-loop decisions and whole-program aggregates.
+  CompileReport Report;
 };
 
 /// Compiles \p P for \p MD. The program is mutated (library expansion and
 /// induction-variable materialization); clone it first if the original
-/// matters. Programs must verify cleanly.
+/// matters. Programs must verify cleanly. \p Diags, when non-null,
+/// receives compile errors and ParanoidVerify findings.
 CompileResult compileProgram(Program &P, const MachineDescription &MD,
-                             const CompilerOptions &Opts = {});
+                             const CompilerOptions &Opts = {},
+                             DiagnosticEngine *Diags = nullptr);
 
 } // namespace swp
 

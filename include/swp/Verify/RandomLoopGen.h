@@ -1,0 +1,51 @@
+//===- swp/Verify/RandomLoopGen.h - Seeded random loop programs -*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic random-program generator for differential fuzzing.
+/// Each seed yields one small program (1-2 loop nests over 2-4 float
+/// arrays) drawn from the features the pipeliner must get right:
+/// non-unit and negative array strides, loop-carried array recurrences at
+/// distances 1-3, scalar accumulator recurrences that live out of the
+/// loop, clamp-style conditionals (both one- and two-armed), and runtime
+/// trip counts that exercise the dual-version short-trip dispatch. All
+/// subscripts are constructed in-bounds by design, so any runtime fault
+/// or state divergence the harness observes is a compiler bug, not a
+/// generator artifact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_VERIFY_RANDOMLOOPGEN_H
+#define SWP_VERIFY_RANDOMLOOPGEN_H
+
+#include "swp/Workloads/Workloads.h"
+
+#include <cstdint>
+
+namespace swp {
+
+/// Feature toggles for generated programs (all on by default).
+struct RandomLoopOptions {
+  bool AllowConditionals = true;    ///< Clamp-style IF/ELSE in bodies.
+  bool AllowRecurrences = true;     ///< Array- and scalar-carried cycles.
+  bool AllowRuntimeTripCount = true;///< Live-in loop bounds (dual version).
+};
+
+/// Builds the program for \p Seed: a fresh Program plus the inputs
+/// (array contents, live-in scalars) that make it runnable. The same
+/// seed always yields the same program and input, bit for bit.
+BuiltWorkload generateRandomLoop(uint64_t Seed,
+                                 const RandomLoopOptions &Opts = {});
+
+/// Wraps \p Seed as a workload factory named "fuzz-<seed>", so the
+/// differential harness can treat generated loops exactly like the
+/// Livermore and application workloads.
+WorkloadSpec randomLoopSpec(uint64_t Seed,
+                            const RandomLoopOptions &Opts = {});
+
+} // namespace swp
+
+#endif // SWP_VERIFY_RANDOMLOOPGEN_H

@@ -1,0 +1,162 @@
+//===- CompileReport.cpp - Structured compile reporting -------------------------===//
+//
+// Part of warp-swp. See CompileReport.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Codegen/CompileReport.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace swp;
+
+const char *swp::decisionText(PipelineDecision D) {
+  switch (D) {
+  case PipelineDecision::EmptyBody:
+    return "empty-body";
+  case PipelineDecision::Skipped:
+    return "skipped";
+  case PipelineDecision::Fallback:
+    return "fallback";
+  case PipelineDecision::Pipelined:
+    return "pipelined";
+  }
+  return "unknown";
+}
+
+const char *swp::fallbackCauseText(FallbackCause C) {
+  switch (C) {
+  case FallbackCause::None:
+    return "none";
+  case FallbackCause::PipeliningDisabled:
+    return "pipelining disabled";
+  case FallbackCause::BodyTooLong:
+    return "loop body exceeds the pipelining length threshold";
+  case FallbackCause::ConditionalsExcluded:
+    return "conditional loops excluded (hierarchical reduction ablation)";
+  case FallbackCause::EfficiencyThreshold:
+    return "II lower bound within threshold of the unpipelined length";
+  case FallbackCause::NoSchedule:
+    return "no modulo schedule found up to the unpipelined length";
+  case FallbackCause::IINotBetter:
+    return "achieved II no better than the unpipelined loop";
+  case FallbackCause::RegisterPressure:
+    return "register files cannot hold the expanded variables";
+  case FallbackCause::ShortTripCount:
+    return "trip count below the pipeline fill";
+  case FallbackCause::ZeroTrip:
+    return "zero-trip loop";
+  case FallbackCause::VerifyFailed:
+    return "independent schedule verification failed";
+  }
+  return "unknown";
+}
+
+unsigned CompileReport::numPipelined() const {
+  unsigned N = 0;
+  for (const LoopReport &L : Loops)
+    N += L.pipelined();
+  return N;
+}
+
+unsigned CompileReport::numAttempted() const {
+  unsigned N = 0;
+  for (const LoopReport &L : Loops)
+    N += L.attempted();
+  return N;
+}
+
+const LoopReport *CompileReport::primaryLoop() const {
+  const LoopReport *Best = nullptr;
+  for (const LoopReport &L : Loops)
+    if (!Best || L.NumUnits > Best->NumUnits)
+      Best = &L;
+  return Best;
+}
+
+void CompileReport::print(std::ostream &OS, bool WithStats) const {
+  for (const LoopReport &L : Loops) {
+    OS << "loop i" << L.LoopId << ": " << decisionText(L.Decision);
+    if (L.pipelined()) {
+      OS << " II=" << L.II << " (MII=" << L.MII << " res=" << L.ResMII
+         << " rec=" << L.RecMII << ") vs " << L.UnpipelinedLen
+         << " unpipelined, stages=" << L.Stages << " unroll=" << L.Unroll
+         << ", kernel " << L.KernelInsts << " insts of "
+         << L.TotalLoopInsts;
+    } else {
+      if (L.Cause != FallbackCause::None)
+        OS << " (" << L.causeText() << ")";
+      if (L.attempted())
+        OS << ", MII=" << L.MII << " vs " << L.UnpipelinedLen
+           << " unpipelined";
+    }
+    if (L.HasConditionals)
+      OS << " [cond]";
+    if (L.HasRecurrence)
+      OS << " [rec]";
+    OS << "\n";
+    if (WithStats && L.attempted())
+      OS << "  search: " << L.TriedIntervals << " intervals, "
+         << L.Stats.SlotsProbed << " slots probed, "
+         << L.Stats.ComponentRetries << " component retries, "
+         << L.Stats.TotalSeconds << "s\n";
+  }
+  if (!VerifyErrors.empty()) {
+    OS << "verifier findings:\n";
+    for (const std::string &E : VerifyErrors)
+      OS << "  " << E << "\n";
+  }
+}
+
+/// JSON string escaping for the messages embedded in VerifyErrors.
+static void appendEscaped(std::ostream &OS, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      OS << '\\' << C;
+    else if (C == '\n')
+      OS << "\\n";
+    else
+      OS << C;
+  }
+}
+
+std::string CompileReport::toJson() const {
+  std::ostringstream OS;
+  OS << "{\n  \"loops\": [\n";
+  for (size_t I = 0; I != Loops.size(); ++I) {
+    const LoopReport &L = Loops[I];
+    OS << "    {\"loop_id\": " << L.LoopId
+       << ", \"decision\": \"" << decisionText(L.Decision) << "\""
+       << ", \"cause\": \"" << fallbackCauseText(L.Cause) << "\""
+       << ", \"num_units\": " << L.NumUnits
+       << ", \"has_conditionals\": " << (L.HasConditionals ? "true" : "false")
+       << ", \"has_recurrence\": " << (L.HasRecurrence ? "true" : "false")
+       << ", \"ii\": " << L.II << ", \"mii\": " << L.MII
+       << ", \"res_mii\": " << L.ResMII << ", \"rec_mii\": " << L.RecMII
+       << ", \"unpipelined_len\": " << L.UnpipelinedLen
+       << ", \"stages\": " << L.Stages << ", \"unroll\": " << L.Unroll
+       << ", \"kernel_insts\": " << L.KernelInsts
+       << ", \"total_loop_insts\": " << L.TotalLoopInsts
+       << ", \"tried_intervals\": " << L.TriedIntervals << "}"
+       << (I + 1 != Loops.size() ? "," : "") << "\n";
+  }
+  OS << "  ],\n"
+     << "  \"num_pipelined\": " << numPipelined() << ",\n"
+     << "  \"num_attempted\": " << numAttempted() << ",\n"
+     << "  \"paranoid_verified\": " << (ParanoidVerified ? "true" : "false")
+     << ",\n  \"verify_errors\": [";
+  for (size_t I = 0; I != VerifyErrors.size(); ++I) {
+    OS << "\"";
+    appendEscaped(OS, VerifyErrors[I]);
+    OS << "\"" << (I + 1 != VerifyErrors.size() ? ", " : "");
+  }
+  OS << "],\n"
+     << "  \"sched_totals\": {\"intervals_tried\": "
+     << SchedTotals.IntervalsTried
+     << ", \"slots_probed\": " << SchedTotals.SlotsProbed
+     << ", \"component_retries\": " << SchedTotals.ComponentRetries
+     << ", \"total_seconds\": " << SchedTotals.TotalSeconds << "}\n"
+     << "}\n";
+  return OS.str();
+}

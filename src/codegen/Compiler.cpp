@@ -26,6 +26,7 @@
 #include "swp/Pipeliner/HierarchicalReducer.h"
 #include "swp/Pipeliner/LoopUtils.h"
 #include "swp/Sched/ListScheduler.h"
+#include "swp/Verify/ScheduleVerifier.h"
 
 #include <algorithm>
 #include <cstdint>
@@ -61,8 +62,8 @@ static std::set<unsigned> noAliasArrays(const Program &P) {
 class CompilerImpl {
 public:
   CompilerImpl(Program &P, const MachineDescription &MD,
-               const CompilerOptions &Opts)
-      : P(P), MD(MD), Opts(Opts), RA(MD), Pad(drainPad(MD)) {}
+               const CompilerOptions &Opts, DiagnosticEngine *Diags)
+      : P(P), MD(MD), Opts(Opts), Diags(Diags), RA(MD), Pad(drainPad(MD)) {}
 
   CompileResult run();
 
@@ -135,6 +136,7 @@ private:
   Program &P;
   const MachineDescription &MD;
   const CompilerOptions &Opts;
+  DiagnosticEngine *Diags;
   CompileResult Result;
   RegAlloc RA;
   unsigned Pad;
@@ -157,6 +159,24 @@ private:
       return;
     Failed = true;
     FirstError = Msg;
+  }
+
+  /// Records independent-verifier findings under ParanoidVerify: each
+  /// finding lands in the report, in the diagnostics engine when present,
+  /// and fails the compilation. Returns true when \p VR had findings.
+  bool recordVerifyFindings(const VerifyReport &VR, const char *What,
+                            unsigned LoopId) {
+    if (VR.ok())
+      return false;
+    for (const VerifyError &E : VR.Errors) {
+      std::string Msg = "loop i" + std::to_string(LoopId) + " " + What +
+                        ": " + E.str();
+      Result.Report.VerifyErrors.push_back(Msg);
+      if (Diags)
+        Diags->error(SourceLoc{}, Msg);
+    }
+    fail("paranoid verify: " + Result.Report.VerifyErrors.front());
+    return true;
   }
 };
 
@@ -598,7 +618,7 @@ void CompilerImpl::emitLoop(ForStmt &For) {
   Report.NumUnits = Units.size();
   Report.HasConditionals = bodyHasConditionals(For.Body);
   if (Units.empty()) {
-    Result.Loops.push_back(Report);
+    Result.Report.Loops.push_back(Report);
     return;
   }
 
@@ -622,14 +642,16 @@ void CompilerImpl::emitLoop(ForStmt &For) {
   RA.beginScope();
   bool Pipelined = false;
   if (!Opts.EnablePipelining) {
-    Report.SkipReason = "pipelining disabled";
+    Report.Decision = PipelineDecision::Skipped;
+    Report.Cause = FallbackCause::PipeliningDisabled;
   } else if (static_cast<unsigned>(Period) > Opts.MaxLoopLenToPipeline) {
-    Report.SkipReason = "loop body exceeds the pipelining length threshold";
+    Report.Decision = PipelineDecision::Skipped;
+    Report.Cause = FallbackCause::BodyTooLong;
   } else if (!Opts.PipelineConditionalLoops && Report.HasConditionals) {
-    Report.SkipReason = "conditional loops excluded (hierarchical "
-                        "reduction ablation)";
+    Report.Decision = PipelineDecision::Skipped;
+    Report.Cause = FallbackCause::ConditionalsExcluded;
   } else {
-    Report.Attempted = true;
+    // tryEmitPipelined refines Decision/Cause to Pipelined or Fallback.
     Pipelined = tryEmitPipelined(For, Units, PlainG, Period, Report);
     if (!Pipelined) {
       // Roll back any local register assignments the attempt made.
@@ -659,7 +681,7 @@ void CompilerImpl::emitLoop(ForStmt &For) {
       fail("register file overflow in unpipelined loop i" +
            std::to_string(For.LoopId));
       RA.endScope();
-      Result.Loops.push_back(Report);
+      Result.Report.Loops.push_back(Report);
       return;
     }
     Report.UnpipelinedLen = AllocPeriod;
@@ -698,7 +720,7 @@ void CompilerImpl::emitLoop(ForStmt &For) {
     padDrain();
   }
   RA.endScope();
-  Result.Loops.push_back(Report);
+  Result.Report.Loops.push_back(Report);
 }
 
 bool CompilerImpl::tryEmitPipelined(ForStmt &For,
@@ -731,27 +753,27 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
   if (SOpts.MaxII == 0)
     SOpts.MaxII = static_cast<unsigned>(UnpipelinedPeriod);
   ModuloScheduleResult MS = moduloSchedule(G, MD, SOpts);
+  Report.Decision = PipelineDecision::Fallback;
   Report.MII = MS.MII;
   Report.ResMII = MS.ResMII;
   Report.RecMII = MS.RecMII;
   Report.TriedIntervals = MS.TriedIntervals;
+  Report.Stats = MS.Stats;
   // A recurrence that matters is one that survives variable expansion and
   // actually bounds the interval (the plain graph calls every reused
   // temporary a cycle).
   Report.HasRecurrence = MS.RecMII > 1;
   if (static_cast<double>(MS.MII) >=
       Opts.EfficiencyThreshold * UnpipelinedPeriod) {
-    Report.SkipReason = "II lower bound within threshold of the "
-                        "unpipelined length";
+    Report.Cause = FallbackCause::EfficiencyThreshold;
     return false;
   }
   if (!MS.Success) {
-    Report.SkipReason = "no modulo schedule found up to the unpipelined "
-                        "length";
+    Report.Cause = FallbackCause::NoSchedule;
     return false;
   }
   if (MS.II >= static_cast<unsigned>(UnpipelinedPeriod)) {
-    Report.SkipReason = "achieved II no better than the unpipelined loop";
+    Report.Cause = FallbackCause::IINotBetter;
     return false;
   }
 
@@ -760,6 +782,18 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
   if (Opts.MVE == MVEPolicy::MinRegisters && Plan.Unroll > Opts.MaxUnroll)
     Plan = planModuloVariableExpansion(Units, MS.Sched, MS.II, Eligible,
                                        MVEPolicy::MinCodeSize);
+
+  if (Opts.ParanoidVerify) {
+    // Re-check the schedule and the expansion plan with the independent
+    // verifier before committing any code to them.
+    VerifyReport VR = verifyModuloSchedule(G, MS.Sched, MS.II, MD,
+                                           SOpts.MaxStages);
+    VR.merge(verifyMVEPlan(Units, MS.Sched, MS.II, Plan, Eligible));
+    if (recordVerifyFindings(VR, "modulo schedule", For.LoopId)) {
+      Report.Cause = FallbackCause::VerifyFailed;
+      return false;
+    }
+  }
 
   // Exclusive local registers: expanded regs take their copy sets; other
   // locals take one register each.
@@ -770,8 +804,7 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
   for (unsigned Id : Locals) {
     unsigned Copies = Plan.copiesOf(Id);
     if (!RA.assignLocal(Id, P.vregInfo(VReg(Id)).RC, Copies)) {
-      Report.SkipReason = "register files cannot hold the expanded "
-                          "variables";
+      Report.Cause = FallbackCause::RegisterPressure;
       return false;
     }
   }
@@ -795,7 +828,8 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
     }
   unsigned M = static_cast<unsigned>(MaxIssue / S) + 1; // Stage count.
   unsigned U = Plan.Unroll;
-  Report.Pipelined = true;
+  Report.Decision = PipelineDecision::Pipelined;
+  Report.Cause = FallbackCause::None;
   Report.II = S;
   Report.Stages = M;
   Report.Unroll = U;
@@ -871,21 +905,39 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
     // The epilog may be empty (M == 1); keep the cursor past the kernel.
     Cursor = std::max(Cursor, KernelLast + 1);
     Frontier = std::max(Frontier, Cursor);
+    Report.Region = {Base, KernelBase, EpilogBase, Cursor};
+
+    if (Opts.ParanoidVerify) {
+      // The region is fully emitted; re-derive its structure from the
+      // schedule and compare against the instructions actually in Code.
+      // Trailing epilog rows with no operations are created lazily, so
+      // materialize the whole region before handing it to the verifier.
+      if (Cursor > 0)
+        (void)instAt(Cursor - 1);
+      PipelinedLoopLayout L;
+      L.PrologBase = Base;
+      L.II = S;
+      L.Stages = M;
+      L.Unroll = U;
+      L.LoopId = For.LoopId;
+      recordVerifyFindings(verifyPipelinedLoop(Result.Code, L, G, MS.Sched),
+                           "emitted pipelined loop", For.LoopId);
+    }
   };
 
   if (StaticN) {
     int64_t N = *StaticN;
     if (N <= 0) {
-      Report.Pipelined = false;
-      Report.SkipReason = "zero-trip loop";
+      Report.Decision = PipelineDecision::Fallback;
+      Report.Cause = FallbackCause::ZeroTrip;
       Report.TotalLoopInsts = 0;
       padDrain();
       return true;
     }
     if (N < Threshold) {
       // Too short to fill the pipeline: run everything unpipelined.
-      Report.Pipelined = false;
-      Report.SkipReason = "trip count below the pipeline fill";
+      Report.Decision = PipelineDecision::Fallback;
+      Report.Cause = FallbackCause::ShortTripCount;
       PhysReg Counter = emitIConst(N);
       EmitLoopVarInit();
       emitUnpipelinedRun(PlainG, LocalSched, Period, For.LoopId, Counter);
@@ -967,6 +1019,10 @@ CompileResult CompilerImpl::run() {
   classifyAndAllocateGlobals();
   if (!Failed)
     emitStmtList(P.Body);
+  Result.Report.ParanoidVerified = Opts.ParanoidVerify;
+  for (const LoopReport &L : Result.Report.Loops)
+    if (L.attempted())
+      Result.Report.SchedTotals.merge(L.Stats);
   if (!Failed) {
     Cursor = std::max(Cursor, Frontier);
     emitCtrl(ControlOp::Kind::Halt);
@@ -976,13 +1032,39 @@ CompileResult CompilerImpl::run() {
   } else {
     Result.Ok = false;
     Result.Error = FirstError;
+    if (Diags && Result.Report.VerifyErrors.empty())
+      Diags->error(SourceLoc{}, FirstError);
   }
   return std::move(Result);
 }
 
 } // namespace
 
+std::string swp::CompilerOptions::finalize() {
+  if (MaxUnroll == 0)
+    return "CompilerOptions: MaxUnroll must be at least 1";
+  if (MaxLoopLenToPipeline == 0)
+    return "CompilerOptions: MaxLoopLenToPipeline must be at least 1";
+  if (!(EfficiencyThreshold > 0.0) || EfficiencyThreshold > 1.0)
+    return "CompilerOptions: EfficiencyThreshold must lie in (0, 1]";
+  if (Sched.BinarySearch && Sched.SearchThreads > 1)
+    return "CompilerOptions: SearchThreads > 1 is incompatible with "
+           "BinarySearch (its probes are sequentially dependent)";
+  return "";
+}
+
 CompileResult swp::compileProgram(Program &P, const MachineDescription &MD,
-                                  const CompilerOptions &Opts) {
-  return CompilerImpl(P, MD, Opts).run();
+                                  const CompilerOptions &Opts,
+                                  DiagnosticEngine *Diags) {
+  // Refuse incoherent option combinations before touching the program.
+  CompilerOptions Checked = Opts;
+  std::string OptErr = Checked.finalize();
+  if (!OptErr.empty()) {
+    CompileResult R;
+    R.Error = OptErr;
+    if (Diags)
+      Diags->error(SourceLoc{}, OptErr);
+    return R;
+  }
+  return CompilerImpl(P, MD, Checked, Diags).run();
 }

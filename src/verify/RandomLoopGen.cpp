@@ -1,0 +1,198 @@
+//===- RandomLoopGen.cpp - Seeded random loop programs --------------------------===//
+//
+// Part of warp-swp. See RandomLoopGen.h.
+//
+// Subscript safety: arrays have Size = 2*Len + 16 elements and induction
+// variables run over [4, Len - 1] (immediate bounds) or [4, n] with the
+// live-in n <= Len - 1 (runtime bounds). The stride menu keeps every
+// access inside [0, Size):
+//   coef +1, offset in [-3, +3]:  index in [1, Len + 2]
+//   coef +2, offset in [-3, +3]:  index in [5, 2*Len + 1]
+//   coef -1, offset = Len:        index in [1, Len - 4]
+// Software pipelining never issues an operation of a non-executed
+// iteration, so these static ranges hold for the pipelined code too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Verify/RandomLoopGen.h"
+
+#include "swp/IR/IRBuilder.h"
+#include "swp/Support/RNG.h"
+
+using namespace swp;
+
+namespace {
+
+/// One load/store stride drawn from the bounds-safe menu above.
+struct Stride {
+  int64_t Coef;
+  int64_t Offset;
+};
+
+Stride pickStride(RNG &R, int64_t Len) {
+  switch (R.uniform(0, 5)) {
+  case 0:
+    return {2, R.uniform(-3, 3)};
+  case 1:
+    return {-1, Len};
+  default:
+    return {1, R.uniform(-3, 3)};
+  }
+}
+
+/// Draws a float arithmetic step over the live-value pool.
+VReg growPool(IRBuilder &B, RNG &R, std::vector<VReg> &Pool) {
+  VReg A = Pool[R.uniform(0, Pool.size() - 1)];
+  VReg Bv = Pool[R.uniform(0, Pool.size() - 1)];
+  switch (R.uniform(0, 9)) {
+  case 0:
+    return B.fsub(A, Bv);
+  case 1:
+    return B.fmin(A, Bv);
+  case 2:
+    return B.fmax(A, Bv);
+  case 3:
+    return B.fneg(A);
+  case 4:
+    return B.fabs(A);
+  case 5:
+    return B.fmul(A, Bv);
+  case 6: {
+    VReg Cond = B.binop(Opcode::FCmpLT, A, Bv);
+    return B.fsel(Cond, A, Bv);
+  }
+  default:
+    return B.fadd(A, Bv);
+  }
+}
+
+/// Emits one loop nest into \p B; appends to \p In the live-in scalars it
+/// introduces. \p OutSlot names the array element a scalar accumulator
+/// (if any) is stored to after the loop.
+void generateLoop(IRBuilder &B, RNG &R, ProgramInput &In,
+                  const std::vector<unsigned> &Arrays, int64_t Len,
+                  unsigned OutArray, int64_t OutSlot,
+                  const RandomLoopOptions &Opts) {
+  Program &P = B.program();
+
+  // Scalar accumulator recurrence, initialized before the loop so its
+  // final value is observable through OutArray[OutSlot].
+  bool WithAccum = Opts.AllowRecurrences && R.chance(0.4);
+  VReg Accum;
+  if (WithAccum) {
+    Accum = P.createVReg(RegClass::Float, "acc");
+    B.assignMov(Accum, B.fconst(0.0625 * R.uniform(0, 15)));
+  }
+
+  ForStmt *L;
+  if (Opts.AllowRuntimeTripCount && R.chance(0.35)) {
+    // Runtime trip count: sometimes shorter than the pipeline fill, so
+    // the dual-version dispatch and the remainder path get exercised.
+    VReg Hi = P.createVReg(RegClass::Int, "n", /*LiveIn=*/true);
+    In.IntScalars[Hi.Id] =
+        R.chance(0.3) ? R.uniform(0, 7) : R.uniform(8, Len - 1);
+    L = B.beginForReg(4, Hi);
+  } else {
+    L = B.beginForImm(4, R.uniform(Len / 2, Len - 1));
+  }
+
+  std::vector<VReg> Pool;
+  unsigned NumLoads = static_cast<unsigned>(R.uniform(1, 3));
+  for (unsigned I = 0; I != NumLoads; ++I) {
+    unsigned Src = Arrays[R.uniform(0, Arrays.size() - 1)];
+    Stride S = pickStride(R, Len);
+    Pool.push_back(B.fload(Src, B.ix(L, S.Coef, S.Offset)));
+  }
+  Pool.push_back(B.fconst(0.5 + 0.125 * R.uniform(0, 7)));
+
+  unsigned NumOps = static_cast<unsigned>(R.uniform(2, 14));
+  for (unsigned I = 0; I != NumOps; ++I)
+    Pool.push_back(growPool(B, R, Pool));
+
+  VReg Result = Pool.back();
+
+  if (Opts.AllowConditionals && R.chance(0.5)) {
+    // Clamp: conditionally rescale the result, sometimes with an ELSE arm.
+    VReg Limit = B.fconst(0.75 + 0.25 * R.uniform(0, 3));
+    VReg Cond = B.binop(Opcode::FCmpLT, Limit, Result);
+    VReg Clamped = P.createVReg(RegClass::Float);
+    B.assignMov(Clamped, Result);
+    B.beginIf(Cond);
+    B.assign(Clamped, Opcode::FMul, Result, B.fconst(0.5));
+    if (R.chance(0.5)) {
+      B.beginElse();
+      B.assign(Clamped, Opcode::FAdd, Result, B.fconst(0.0625));
+    }
+    B.endIf();
+    Result = Clamped;
+  }
+
+  unsigned Dst = Arrays[R.uniform(0, Arrays.size() - 1)];
+  if (Opts.AllowRecurrences && R.chance(0.4)) {
+    // Array-carried recurrence at distance 1-3: the store feeds a load
+    // a few iterations later.
+    int64_t Dist = R.uniform(1, 3);
+    VReg Prev = B.fload(Dst, B.ix(L, 1, -Dist));
+    B.fstore(Dst, B.ix(L),
+             B.fadd(B.fmul(Result, B.fconst(0.25)),
+                    B.fmul(Prev, B.fconst(0.5))));
+  } else {
+    Stride S = pickStride(R, Len);
+    B.fstore(Dst, B.ix(L, S.Coef, S.Offset), Result);
+  }
+
+  if (WithAccum) {
+    Opcode Opc = R.chance(0.7) ? Opcode::FAdd : Opcode::FMax;
+    B.assign(Accum, Opc, Accum, Result);
+  }
+
+  B.endFor();
+
+  if (WithAccum)
+    B.fstore(OutArray, B.cx(OutSlot), Accum);
+}
+
+ProgramInput generateProgram(Program &P, RNG &R,
+                             const RandomLoopOptions &Opts) {
+  IRBuilder B(P);
+  ProgramInput In;
+
+  int64_t Len = R.uniform(32, 96);
+  int64_t Size = 2 * Len + 16;
+  unsigned NumArrays = static_cast<unsigned>(R.uniform(2, 4));
+  std::vector<unsigned> Arrays;
+  for (unsigned A = 0; A != NumArrays; ++A) {
+    unsigned Id =
+        P.createArray("a" + std::to_string(A), RegClass::Float, Size);
+    Arrays.push_back(Id);
+    auto &Data = In.FloatArrays[Id];
+    for (int64_t I = 0; I != Size; ++I)
+      Data.push_back(0.25f + 0.001f * static_cast<float>(R.uniform(0, 999)));
+  }
+
+  unsigned NumLoops = R.chance(0.3) ? 2 : 1;
+  for (unsigned I = 0; I != NumLoops; ++I)
+    generateLoop(B, R, In, Arrays, Len, Arrays.front(),
+                 /*OutSlot=*/static_cast<int64_t>(I), Opts);
+  return In;
+}
+
+} // namespace
+
+BuiltWorkload swp::generateRandomLoop(uint64_t Seed,
+                                      const RandomLoopOptions &Opts) {
+  BuiltWorkload W;
+  W.Prog = std::make_unique<Program>();
+  RNG R(Seed ^ 0x5eedf00dULL);
+  W.Input = generateProgram(*W.Prog, R, Opts);
+  return W;
+}
+
+WorkloadSpec swp::randomLoopSpec(uint64_t Seed,
+                                 const RandomLoopOptions &Opts) {
+  WorkloadSpec S;
+  S.Name = "fuzz-" + std::to_string(Seed);
+  S.WorkItems = 1.0;
+  S.Make = [Seed, Opts] { return generateRandomLoop(Seed, Opts); };
+  return S;
+}

@@ -119,9 +119,9 @@ void checkInvariants(const WorkloadSpec &Spec, const MachineDescription &MD,
       << Spec.Name;
 
   // Report invariants.
-  for (const LoopReport &L : CR.Loops) {
+  for (const LoopReport &L : CR.Report.Loops) {
     EXPECT_EQ(L.MII, std::max(L.ResMII, L.RecMII)) << Spec.Name;
-    if (L.Pipelined) {
+    if (L.pipelined()) {
       EXPECT_GE(L.II, L.MII) << Spec.Name;
       EXPECT_LT(L.II, L.UnpipelinedLen) << Spec.Name;
       EXPECT_GE(L.Stages, 1u) << Spec.Name;
@@ -248,7 +248,7 @@ TEST(Codegen, NoAliasDirectiveEnablesPipelining) {
     ASSERT_EQ(compareStates(P, Golden, Sim.State), "");
     Cycles[Mode] = Sim.Cycles;
     if (Mode == 1)
-      EXPECT_TRUE(CR.Loops[0].Pipelined)
+      EXPECT_TRUE(CR.Report.Loops[0].pipelined())
           << "noalias should unlock pipelining";
   }
   EXPECT_LT(Cycles[1], Cycles[0]) << "directive must pay off";

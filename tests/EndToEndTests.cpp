@@ -442,9 +442,10 @@ TEST(EndToEnd, PipeliningActuallySpeedsUp) {
 
   EXPECT_LT(S1.Cycles * 2, S2.Cycles)
       << "pipelined code should be at least 2x faster on this kernel";
-  ASSERT_EQ(R1.Loops.size(), 1u);
-  EXPECT_TRUE(R1.Loops[0].Pipelined);
-  EXPECT_EQ(R1.Loops[0].II, R1.Loops[0].MII) << "this loop meets its bound";
+  ASSERT_EQ(R1.Report.Loops.size(), 1u);
+  EXPECT_TRUE(R1.Report.Loops[0].pipelined());
+  EXPECT_EQ(R1.Report.Loops[0].II, R1.Report.Loops[0].MII)
+      << "this loop meets its bound";
 }
 
 TEST(EndToEnd, Section2ExampleFourTimesFaster) {
@@ -491,10 +492,10 @@ TEST(EndToEnd, ReportsCarryScheduleQuality) {
   MachineDescription MD = MachineDescription::warpCell();
   CompileResult R = compileProgram(P, MD, {});
   ASSERT_TRUE(R.Ok) << R.Error;
-  ASSERT_EQ(R.Loops.size(), 1u);
-  const LoopReport &Rep = R.Loops[0];
-  EXPECT_TRUE(Rep.Attempted);
-  EXPECT_TRUE(Rep.Pipelined);
+  ASSERT_EQ(R.Report.Loops.size(), 1u);
+  const LoopReport &Rep = R.Report.Loops[0];
+  EXPECT_TRUE(Rep.attempted());
+  EXPECT_TRUE(Rep.pipelined());
   EXPECT_GE(Rep.II, Rep.MII);
   EXPECT_GT(Rep.UnpipelinedLen, Rep.II);
   EXPECT_GE(Rep.Stages, 2u);
