@@ -9,6 +9,7 @@
 #include "swp/Interp/Interpreter.h"
 #include "swp/Sim/Simulator.h"
 #include "swp/Support/ThreadPool.h"
+#include "swp/Support/Trace.h"
 
 using namespace swp;
 using namespace swp::bench;
@@ -17,6 +18,9 @@ RunResult swp::bench::runWorkload(const WorkloadSpec &Spec,
                                   const MachineDescription &MD,
                                   const CompilerOptions &Opts, bool Verify) {
   RunResult R;
+  SWP_TRACE_SPAN(JobSpan, "benchWorkload");
+  if (JobSpan.active())
+    JobSpan.args("\"workload\": \"" + Spec.Name + "\"");
   BuiltWorkload W = Spec.Make();
   CompileResult CR = compileProgram(*W.Prog, MD, Opts);
   if (!CR.Ok) {
@@ -45,7 +49,10 @@ RunResult swp::bench::runWorkload(const WorkloadSpec &Spec,
   R.Flops = Sim.State.Flops;
   R.CellMFLOPS = Sim.MFLOPS;
   R.CodeSize = CR.Code.size();
+  R.Util = std::move(Sim.Util);
   R.Report = std::move(CR.Report);
+  R.Report.HasUtilization = true;
+  R.Report.Util = R.Util;
   return R;
 }
 

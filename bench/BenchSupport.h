@@ -32,6 +32,9 @@ struct RunResult {
   uint64_t Flops = 0;
   double CellMFLOPS = 0.0;
   size_t CodeSize = 0; ///< Emitted instructions.
+  /// Dynamic machine utilization of the simulated run (FU occupancy,
+  /// issue-slot fill, stall breakdown).
+  UtilizationReport Util;
   /// The compiler's structured per-loop report (see CompileReport.h);
   /// benches read decisions and intervals from here directly.
   CompileReport Report;

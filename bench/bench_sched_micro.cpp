@@ -25,6 +25,8 @@
 #include "swp/Pipeliner/HierarchicalReducer.h"
 #include "swp/Pipeliner/LoopUtils.h"
 #include "swp/Pipeliner/ModuloScheduler.h"
+#include "swp/Sched/Utilization.h"
+#include "swp/Support/Trace.h"
 
 #include <benchmark/benchmark.h>
 
@@ -218,14 +220,47 @@ int runJsonMode(const std::string &OutPath, const std::string &BaselinePath) {
     return 1;
   }
 
-  // One instrumented sweep for the aggregate counters.
+  // One instrumented sweep for the aggregate counters and the static
+  // kernel-utilization summary (section 4's efficiency measure, averaged
+  // over every scheduled loop).
   SchedulerStats Agg;
-  for (const DepGraph &G : Graphs)
-    Agg.merge(moduloSchedule(G, MD).Stats);
+  double SumBottleneck = 0.0, SumIssueFill = 0.0;
+  unsigned NumScheduled = 0;
+  for (const DepGraph &G : Graphs) {
+    ModuloScheduleResult R = moduloSchedule(G, MD);
+    Agg.merge(R.Stats);
+    if (R.Success) {
+      UtilizationReport U = scheduleUtilization(G, R.Sched, R.II, MD);
+      SumBottleneck += U.bottleneckOccupancy();
+      SumIssueFill += U.issueFillRate();
+      ++NumScheduled;
+    }
+  }
 
   double Baseline = baselineMsPerSweep(BaselinePath);
 
-  char Buf[2048];
+  // Tracing-overhead gate: with no trace session active (the default),
+  // throughput must stay within noise of the PR 1 scheduler-overhaul
+  // baseline — the instrumentation's disabled cost is one relaxed atomic
+  // load per span. The 1.5x margin absorbs shared-machine noise; a real
+  // regression (locking or allocation on the hot path) blows well past
+  // it.
+  double OverheadRef = baselineMsPerSweep(
+#ifdef SWP_SOURCE_DIR
+      std::string(SWP_SOURCE_DIR) +
+      "/bench/baselines/BENCH_sched_micro_overhaul.json"
+#else
+      "bench/baselines/BENCH_sched_micro_overhaul.json"
+#endif
+  );
+  bool OverheadOk = OverheadRef <= 0.0 || MinMs <= 1.5 * OverheadRef;
+  if (!OverheadOk)
+    std::fprintf(stderr,
+                 "tracing-disabled throughput regressed: %.4f ms/sweep vs "
+                 "overhaul baseline %.4f (limit 1.5x)\n",
+                 MinMs, OverheadRef);
+
+  char Buf[3072];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\n"
@@ -241,11 +276,22 @@ int runJsonMode(const std::string &OutPath, const std::string &BaselinePath) {
       "    \"intervals_tried\": %llu,\n"
       "    \"slots_probed\": %llu,\n"
       "    \"component_retries\": %llu,\n"
+      "    \"failed_intervals\": %llu,\n"
+      "    \"fail_causes\": {\"precedence_range\": %llu, "
+      "\"resource_conflict\": %llu, \"slot_abort\": %llu, "
+      "\"stage_limit\": %llu},\n"
       "    \"closure_build_seconds\": %.6f,\n"
       "    \"phase1_seconds\": %.6f,\n"
       "    \"phase2_seconds\": %.6f,\n"
       "    \"total_seconds\": %.6f\n"
       "  },\n"
+      "  \"utilization\": {\n"
+      "    \"loops_scheduled\": %u,\n"
+      "    \"mean_bottleneck_occupancy\": %.4f,\n"
+      "    \"mean_issue_fill\": %.4f\n"
+      "  },\n"
+      "  \"trace_compiled_in\": %s,\n"
+      "  \"trace_overhead_ok\": %s,\n"
       "  \"baseline_ms_per_sweep\": %.4f,\n"
       "  \"speedup_vs_baseline\": %.2f\n"
       "}\n",
@@ -254,12 +300,21 @@ int runJsonMode(const std::string &OutPath, const std::string &BaselinePath) {
       static_cast<unsigned long long>(Agg.IntervalsTried),
       static_cast<unsigned long long>(Agg.SlotsProbed),
       static_cast<unsigned long long>(Agg.ComponentRetries),
+      static_cast<unsigned long long>(Agg.failedIntervals()),
+      static_cast<unsigned long long>(Agg.FailPrecedence),
+      static_cast<unsigned long long>(Agg.FailResource),
+      static_cast<unsigned long long>(Agg.FailSlotAbort),
+      static_cast<unsigned long long>(Agg.FailStageLimit),
       Agg.ClosureBuildSeconds, Agg.Phase1Seconds, Agg.Phase2Seconds,
-      Agg.TotalSeconds, Baseline, Baseline > 0 ? Baseline / MinMs : 0.0);
+      Agg.TotalSeconds, NumScheduled,
+      NumScheduled ? SumBottleneck / NumScheduled : 0.0,
+      NumScheduled ? SumIssueFill / NumScheduled : 0.0,
+      trace::compiledIn() ? "true" : "false", OverheadOk ? "true" : "false",
+      Baseline, Baseline > 0 ? Baseline / MinMs : 0.0);
   Out << Buf;
   std::printf("%s", Buf);
   std::printf("wrote %s\n", OutPath.c_str());
-  return 0;
+  return OverheadOk ? 0 : 1;
 }
 
 } // namespace

@@ -10,6 +10,9 @@
 //   w2c --verify ...       re-check every emitted schedule independently
 //   w2c --stats ...        include scheduler search counters
 //   w2c --json ...         machine-readable CompileReport on stdout
+//   w2c --explain ...      per-loop kernel schedule + reservation table
+//   w2c --utilization ...  simulate and report machine utilization
+//   w2c --trace=f.json ... write a Chrome/Perfetto trace of the compile
 //
 // Unknown flags are errors. With no file it compiles a built-in
 // demonstration program (a conditional loop, to show hierarchical
@@ -20,7 +23,10 @@
 #include "swp/Codegen/Compiler.h"
 #include "swp/IR/Printer.h"
 #include "swp/Lang/Lowering.h"
+#include "swp/Sim/Simulator.h"
+#include "swp/Support/Trace.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -45,14 +51,22 @@ end
 
 static void printUsage(std::ostream &OS) {
   OS << "usage: w2c [--no-pipeline] [--code] [--verify] [--stats] "
-        "[--json] [file.w2]\n"
+        "[--json] [--explain] [--utilization] [--trace=FILE] [file.w2]\n"
         "  --no-pipeline  locally compacted code only\n"
         "  --code         dump the VLIW instruction stream\n"
         "  --verify       re-check emitted schedules with the independent "
         "verifier\n"
         "  --stats        include scheduler search counters in the report\n"
         "  --json         print the CompileReport as JSON (suppresses "
-        "human output)\n";
+        "human output)\n"
+        "  --explain      per-loop kernel schedule, modulo reservation "
+        "table, and occupancy\n"
+        "  --utilization  simulate the compiled program (zero-filled "
+        "inputs) and report FU occupancy, issue fill, and stalls\n"
+        "  --trace=FILE   write a Chrome trace-event JSON of the "
+        "compilation (open in Perfetto / chrome://tracing)\n"
+        "  --search-threads=N  speculative parallel II search on N "
+        "threads (same schedules; with --trace, one track per worker)\n";
 }
 
 int main(int argc, char **argv) {
@@ -61,6 +75,10 @@ int main(int argc, char **argv) {
   bool Verify = false;
   bool Stats = false;
   bool Json = false;
+  bool Explain = false;
+  bool Utilization = false;
+  unsigned SearchThreads = 1;
+  std::string TracePath;
   std::string Path;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -74,6 +92,24 @@ int main(int argc, char **argv) {
       Stats = true;
     } else if (Arg == "--json") {
       Json = true;
+    } else if (Arg == "--explain") {
+      Explain = true;
+    } else if (Arg == "--utilization") {
+      Utilization = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(8);
+      if (TracePath.empty()) {
+        std::cerr << "error: --trace needs a file name (--trace=FILE)\n";
+        return 1;
+      }
+    } else if (Arg.rfind("--search-threads=", 0) == 0) {
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Arg.c_str() + 17, &End, 10);
+      if (*End != '\0' || N == 0 || N > 64) {
+        std::cerr << "error: --search-threads needs a count in [1, 64]\n";
+        return 1;
+      }
+      SearchThreads = static_cast<unsigned>(N);
     } else if (Arg == "--help") {
       printUsage(std::cout);
       return 0;
@@ -120,11 +156,45 @@ int main(int argc, char **argv) {
     printProgram(Mod->Prog, std::cout);
   }
 
+  if (!TracePath.empty()) {
+    if (!trace::compiledIn()) {
+      std::cerr << "error: --trace requested but tracing was compiled out "
+                   "(rebuild with SWP_TRACE_ENABLED=1)\n";
+      return 1;
+    }
+    trace::start(TracePath);
+    trace::setThreadName("w2c-main");
+  }
+
   MachineDescription MD = MachineDescription::warpCell();
   CompilerOptions Opts;
   Opts.EnablePipelining = Pipeline;
   Opts.ParanoidVerify = Verify;
+  Opts.Explain = Explain;
+  Opts.Sched.SearchThreads = SearchThreads;
   CompileResult CR = compileProgram(Mod->Prog, MD, Opts, &DE);
+  if (CR.Ok && Utilization) {
+    // Dynamic occupancy: run the compiled code on the cycle-accurate
+    // simulator with zero-filled arrays and scalars. Resource usage is
+    // input-independent for these kernels; the report reflects the real
+    // schedule the machine executes.
+    SimResult SR = simulate(CR.Code, Mod->Prog, MD, ProgramInput{});
+    if (!SR.State.Ok) {
+      std::cerr << "simulation error: " << SR.State.Error << "\n";
+      return 1;
+    }
+    CR.Report.HasUtilization = true;
+    CR.Report.Util = SR.Util;
+  }
+  if (!TracePath.empty()) {
+    std::string TraceErr;
+    if (!trace::stop(&TraceErr)) {
+      std::cerr << "error: writing trace: " << TraceErr << "\n";
+      return 1;
+    }
+    if (!Json)
+      std::cout << "(trace written to " << TracePath << ")\n";
+  }
   if (!CR.Ok) {
     std::cerr << "codegen error: " << CR.Error << "\n";
     for (const std::string &E : CR.Report.VerifyErrors)
@@ -139,6 +209,12 @@ int main(int argc, char **argv) {
 
   std::cout << "\n=== loops ===\n";
   CR.Report.print(std::cout, Stats);
+  if (Explain) {
+    for (const LoopReport &L : CR.Report.Loops)
+      if (L.pipelined() && !L.ExplainText.empty())
+        std::cout << "\n=== explain loop i" << L.LoopId << " ===\n"
+                  << L.ExplainText;
+  }
   if (Verify)
     std::cout << "(all emitted schedules passed independent "
                  "verification)\n";

@@ -20,6 +20,7 @@
 #define SWP_CODEGEN_COMPILEREPORT_H
 
 #include "swp/Pipeliner/ModuloScheduler.h"
+#include "swp/Sched/Utilization.h"
 
 #include <cstdint>
 #include <iosfwd>
@@ -86,6 +87,14 @@ struct LoopReport {
   PipelinedRegion Region; ///< Valid when pipelined.
   SchedulerStats Stats;   ///< Scheduler counters for this loop's search.
 
+  /// Static kernel utilization at the achieved II (pipelined loops only;
+  /// measured() is false otherwise): per-resource occupancy of the modulo
+  /// reservation table, the paper's section 4 efficiency measure.
+  UtilizationReport KernelUtil;
+  /// Human "explain this schedule" rendering (kernel schedule plus modulo
+  /// reservation table); filled only under CompilerOptions::Explain.
+  std::string ExplainText;
+
   bool pipelined() const { return Decision == PipelineDecision::Pipelined; }
   /// True when modulo scheduling actually ran on this loop.
   bool attempted() const {
@@ -105,6 +114,11 @@ struct CompileReport {
   bool ParanoidVerified = false;
   /// Findings of the independent verifier (empty on a clean compile).
   std::vector<std::string> VerifyErrors;
+  /// Dynamic whole-run machine utilization, attached by drivers that
+  /// simulate the compiled program (w2c --utilization, the bench
+  /// harness). HasUtilization gates rendering.
+  bool HasUtilization = false;
+  UtilizationReport Util;
 
   unsigned numPipelined() const;
   unsigned numAttempted() const;

@@ -68,6 +68,10 @@ struct CompilerOptions {
   /// fails the compilation (and lands in CompileReport::VerifyErrors and
   /// the DiagnosticEngine, when one is passed).
   bool ParanoidVerify = false;
+  /// Fill LoopReport::ExplainText for every pipelined loop: the flat
+  /// kernel schedule plus the modulo reservation table, the "explain this
+  /// schedule" view behind `w2c --explain`.
+  bool Explain = false;
   /// Search options forwarded to the modulo scheduler.
   ModuloScheduleOptions Sched;
 

@@ -52,23 +52,58 @@ struct ModuloScheduleOptions {
   unsigned SearchThreads = 1;
 };
 
+/// Why one candidate interval was rejected. Together with the failing
+/// node this is the structured failure record carried by trace spans and
+/// counted (by cause) in SchedulerStats, so a search is explainable even
+/// from the aggregate report.
+enum class IntervalFailCause : uint8_t {
+  None,            ///< The attempt succeeded.
+  PrecedenceRange, ///< A node's precedence-constrained range was empty.
+  ResourceConflict,///< Every slot of a node's (nonempty) range was taken.
+  SlotAbort,       ///< Condensation node failed s consecutive slots.
+  StageLimit,      ///< Schedule found but exceeds MaxStages.
+};
+
+/// Stable human-readable rendering of a failure cause.
+const char *intervalFailCauseText(IntervalFailCause C);
+
+/// Structured record of one failed tryInterval attempt.
+struct IntervalFailure {
+  IntervalFailCause Cause = IntervalFailCause::None;
+  unsigned Node = 0;         ///< Failing node (a member, for components).
+  unsigned SlotsTried = 0;   ///< Consecutive slots probed before aborting.
+};
+
 /// Performance counters for one modulo-scheduling run. Slot probes count
 /// modulo-reservation-table placement queries in both the per-component
 /// and the condensation phases; phase times are wall-clock across all
-/// attempted intervals.
+/// attempted intervals. The Fail* counters tally rejected intervals by
+/// cause (one increment per failed tryInterval).
 struct SchedulerStats {
   uint64_t IntervalsTried = 0;   ///< tryInterval calls (incl. speculative).
   uint64_t SlotsProbed = 0;      ///< MRT canPlace queries.
   uint64_t ComponentRetries = 0; ///< Latest-first rescue attempts.
+  uint64_t FailPrecedence = 0;   ///< Attempts lost to an empty range.
+  uint64_t FailResource = 0;     ///< Attempts lost to occupied ranges.
+  uint64_t FailSlotAbort = 0;    ///< Attempts lost to the s-slot abort.
+  uint64_t FailStageLimit = 0;   ///< Attempts lost to MaxStages.
   double ClosureBuildSeconds = 0; ///< Symbolic closure preprocessing.
   double Phase1Seconds = 0;       ///< Cyclic-component scheduling.
   double Phase2Seconds = 0;       ///< Condensation list scheduling.
   double TotalSeconds = 0;        ///< Whole search, bounds included.
 
+  uint64_t failedIntervals() const {
+    return FailPrecedence + FailResource + FailSlotAbort + FailStageLimit;
+  }
+
   void merge(const SchedulerStats &O) {
     IntervalsTried += O.IntervalsTried;
     SlotsProbed += O.SlotsProbed;
     ComponentRetries += O.ComponentRetries;
+    FailPrecedence += O.FailPrecedence;
+    FailResource += O.FailResource;
+    FailSlotAbort += O.FailSlotAbort;
+    FailStageLimit += O.FailStageLimit;
     ClosureBuildSeconds += O.ClosureBuildSeconds;
     Phase1Seconds += O.Phase1Seconds;
     Phase2Seconds += O.Phase2Seconds;

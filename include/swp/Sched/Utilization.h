@@ -1,0 +1,87 @@
+//===- swp/Sched/Utilization.h - Machine-utilization metrics ----*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's section 4 quality measure made first-class: how busy each
+/// functional unit is. Two producers fill the same report type:
+///   - scheduleUtilization() derives the *static* kernel utilization of a
+///     modulo schedule (resource uses per II window against capacity),
+///     the number behind Tables 4-1/4-2's efficiency column;
+///   - the cycle-accurate simulator accumulates the *dynamic* occupancy
+///     of an actual run (predicated-off operations consume no resources,
+///     stalls freeze the machine), plus issue-slot fill and a stall
+///     breakdown.
+/// The report renders as an aligned ASCII table (print) and as stable
+/// JSON (toJson) embedded in CompileReport / the bench gate output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SCHED_UTILIZATION_H
+#define SWP_SCHED_UTILIZATION_H
+
+#include "swp/Sched/Schedule.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swp {
+
+/// Occupancy of one resource class over a measured window.
+struct ResourceUtilization {
+  std::string Name;
+  unsigned Units = 1;            ///< Capacity (copies of the unit).
+  uint64_t BusyUnitCycles = 0;   ///< Sum of units occupied per cycle.
+
+  /// Busy fraction of capacity over \p Cycles cycles (0 when unmeasured).
+  double occupancy(uint64_t Cycles) const {
+    uint64_t Cap = static_cast<uint64_t>(Units) * Cycles;
+    return Cap ? static_cast<double>(BusyUnitCycles) / Cap : 0.0;
+  }
+};
+
+/// Machine utilization over one measured window: a steady-state kernel
+/// (static; Cycles == ExecCycles == II) or a whole simulated run.
+struct UtilizationReport {
+  uint64_t Cycles = 0;     ///< Wall cycles, stalls included.
+  uint64_t ExecCycles = 0; ///< Cycles the machine actually advanced.
+  uint64_t StallCycles = 0;
+  uint64_t InputStallCycles = 0;  ///< Blocked popping the input queue.
+  uint64_t OutputStallCycles = 0; ///< Blocked pushing the output queue.
+  uint64_t OpsIssued = 0; ///< Non-nop operations whose predicates held.
+  std::vector<ResourceUtilization> Resources;
+
+  bool measured() const { return Cycles != 0; }
+
+  /// Mean operations issued per executed cycle.
+  double issueFillRate() const {
+    return ExecCycles ? static_cast<double>(OpsIssued) / ExecCycles : 0.0;
+  }
+
+  /// Occupancy of the busiest resource — the paper's efficiency measure
+  /// (a kernel at 100% bottleneck occupancy issues as fast as the
+  /// hardware allows).
+  double bottleneckOccupancy() const;
+
+  /// Aligned ASCII table: one row per resource with an occupancy bar,
+  /// then issue fill and the stall breakdown.
+  void print(std::ostream &OS) const;
+
+  /// Stable-field-name JSON object (not newline-terminated).
+  std::string toJson() const;
+};
+
+/// Static kernel utilization of \p Sched folded at interval \p II: every
+/// resource use of every scheduled unit lands in one of II rows; busy
+/// unit-cycles count one iteration's uses. OpsIssued counts member ops.
+UtilizationReport scheduleUtilization(const DepGraph &G, const Schedule &Sched,
+                                      unsigned II,
+                                      const MachineDescription &MD);
+
+} // namespace swp
+
+#endif // SWP_SCHED_UTILIZATION_H

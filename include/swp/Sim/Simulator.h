@@ -29,6 +29,7 @@
 
 #include "swp/Codegen/VLIWProgram.h"
 #include "swp/IR/Execution.h"
+#include "swp/Sched/Utilization.h"
 
 namespace swp {
 
@@ -38,6 +39,9 @@ struct SimResult {
   uint64_t Cycles = 0;
   /// Single-precision MFLOPS at the machine's clock rate.
   double MFLOPS = 0.0;
+  /// Dynamic machine utilization over the whole run: per-resource
+  /// occupancy, issue-slot fill, and the stall breakdown.
+  UtilizationReport Util;
 };
 
 /// Limits for one run.

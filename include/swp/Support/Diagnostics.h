@@ -14,6 +14,7 @@
 #ifndef SWP_SUPPORT_DIAGNOSTICS_H
 #define SWP_SUPPORT_DIAGNOSTICS_H
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,28 +43,45 @@ struct Diagnostic {
   std::string str() const;
 };
 
-/// Collects diagnostics produced while processing one input.
+/// Collects diagnostics produced while processing one input. Thread-safe:
+/// one engine may be shared across compile workers (the speculative
+/// parallel II search and the bench harness report into a single engine),
+/// so every accessor serializes on an internal mutex. diagnostics()
+/// returns a snapshot rather than a reference for the same reason.
 class DiagnosticEngine {
 public:
   void error(SourceLoc Loc, std::string Message) {
+    std::lock_guard<std::mutex> Lock(Mu);
     Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
     ++NumErrors;
   }
   void warning(SourceLoc Loc, std::string Message) {
+    std::lock_guard<std::mutex> Lock(Mu);
     Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
   }
   void note(SourceLoc Loc, std::string Message) {
+    std::lock_guard<std::mutex> Lock(Mu);
     Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
   }
 
-  bool hasErrors() const { return NumErrors > 0; }
-  unsigned errorCount() const { return NumErrors; }
-  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  bool hasErrors() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return NumErrors > 0;
+  }
+  unsigned errorCount() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return NumErrors;
+  }
+  std::vector<Diagnostic> diagnostics() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Diags;
+  }
 
   /// All diagnostics rendered one per line.
   std::string str() const;
 
 private:
+  mutable std::mutex Mu;
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
 };

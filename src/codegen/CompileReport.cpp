@@ -96,16 +96,34 @@ void CompileReport::print(std::ostream &OS, bool WithStats) const {
     if (L.HasRecurrence)
       OS << " [rec]";
     OS << "\n";
-    if (WithStats && L.attempted())
+    if (L.pipelined() && L.KernelUtil.measured()) {
+      std::ostringstream Occ;
+      Occ.precision(1);
+      Occ << std::fixed << 100.0 * L.KernelUtil.bottleneckOccupancy();
+      OS << "  kernel: bottleneck occupancy " << Occ.str()
+         << "%, issue fill " << L.KernelUtil.issueFillRate()
+         << " ops/cycle\n";
+    }
+    if (WithStats && L.attempted()) {
       OS << "  search: " << L.TriedIntervals << " intervals, "
          << L.Stats.SlotsProbed << " slots probed, "
          << L.Stats.ComponentRetries << " component retries, "
          << L.Stats.TotalSeconds << "s\n";
+      if (L.Stats.failedIntervals())
+        OS << "  rejected intervals: " << L.Stats.FailPrecedence
+           << " precedence-range, " << L.Stats.FailResource
+           << " resource-conflict, " << L.Stats.FailSlotAbort
+           << " slot-abort, " << L.Stats.FailStageLimit << " stage-limit\n";
+    }
   }
   if (!VerifyErrors.empty()) {
     OS << "verifier findings:\n";
     for (const std::string &E : VerifyErrors)
       OS << "  " << E << "\n";
+  }
+  if (HasUtilization && Util.measured()) {
+    OS << "machine utilization (simulated):\n";
+    Util.print(OS);
   }
 }
 
@@ -138,8 +156,20 @@ std::string CompileReport::toJson() const {
        << ", \"stages\": " << L.Stages << ", \"unroll\": " << L.Unroll
        << ", \"kernel_insts\": " << L.KernelInsts
        << ", \"total_loop_insts\": " << L.TotalLoopInsts
-       << ", \"tried_intervals\": " << L.TriedIntervals << "}"
-       << (I + 1 != Loops.size() ? "," : "") << "\n";
+       << ", \"tried_intervals\": " << L.TriedIntervals
+       << ", \"fail_causes\": {\"precedence_range\": "
+       << L.Stats.FailPrecedence
+       << ", \"resource_conflict\": " << L.Stats.FailResource
+       << ", \"slot_abort\": " << L.Stats.FailSlotAbort
+       << ", \"stage_limit\": " << L.Stats.FailStageLimit << "}";
+    if (L.pipelined() && L.KernelUtil.measured())
+      OS << ", \"kernel_util\": " << L.KernelUtil.toJson();
+    if (!L.ExplainText.empty()) {
+      OS << ", \"explain\": \"";
+      appendEscaped(OS, L.ExplainText);
+      OS << "\"";
+    }
+    OS << "}" << (I + 1 != Loops.size() ? "," : "") << "\n";
   }
   OS << "  ],\n"
      << "  \"num_pipelined\": " << numPipelined() << ",\n"
@@ -156,7 +186,15 @@ std::string CompileReport::toJson() const {
      << SchedTotals.IntervalsTried
      << ", \"slots_probed\": " << SchedTotals.SlotsProbed
      << ", \"component_retries\": " << SchedTotals.ComponentRetries
-     << ", \"total_seconds\": " << SchedTotals.TotalSeconds << "}\n"
-     << "}\n";
+     << ", \"failed_intervals\": " << SchedTotals.failedIntervals()
+     << ", \"fail_causes\": {\"precedence_range\": "
+     << SchedTotals.FailPrecedence
+     << ", \"resource_conflict\": " << SchedTotals.FailResource
+     << ", \"slot_abort\": " << SchedTotals.FailSlotAbort
+     << ", \"stage_limit\": " << SchedTotals.FailStageLimit << "}"
+     << ", \"total_seconds\": " << SchedTotals.TotalSeconds << "}";
+  if (HasUtilization && Util.measured())
+    OS << ",\n  \"utilization\": " << Util.toJson();
+  OS << "\n}\n";
   return OS.str();
 }

@@ -26,12 +26,16 @@
 #include "swp/Pipeliner/HierarchicalReducer.h"
 #include "swp/Pipeliner/LoopUtils.h"
 #include "swp/Sched/ListScheduler.h"
+#include "swp/Sched/ScheduleDump.h"
+#include "swp/Sched/Utilization.h"
+#include "swp/Support/Trace.h"
 #include "swp/Verify/ScheduleVerifier.h"
 
 #include <algorithm>
 #include <cstdint>
 #include <map>
 #include <set>
+#include <sstream>
 
 using namespace swp;
 
@@ -610,14 +614,33 @@ void CompilerImpl::emitLoop(ForStmt &For) {
     return;
   }
 
+  SWP_TRACE_SPAN(LoopSpan, "compileLoop");
+
   LoopReport Report;
   Report.LoopId = For.LoopId;
+  auto FinishLoopSpan = [&] {
+    if (!LoopSpan.active())
+      return;
+    std::string A = "\"loop\": " + std::to_string(Report.LoopId) +
+                    ", \"units\": " + std::to_string(Report.NumUnits) +
+                    ", \"decision\": \"" + decisionText(Report.Decision) +
+                    "\"";
+    if (Report.Cause != FallbackCause::None)
+      A += std::string(", \"cause\": \"") + fallbackCauseText(Report.Cause) +
+           "\"";
+    if (Report.pipelined())
+      A += ", \"ii\": " + std::to_string(Report.II) +
+           ", \"stages\": " + std::to_string(Report.Stages) +
+           ", \"unroll\": " + std::to_string(Report.Unroll);
+    LoopSpan.args(std::move(A));
+  };
 
   std::vector<ScheduleUnit> Units =
       reduceBodyToUnits(For.Body, MD, For.LoopId);
   Report.NumUnits = Units.size();
   Report.HasConditionals = bodyHasConditionals(For.Body);
   if (Units.empty()) {
+    FinishLoopSpan();
     Result.Report.Loops.push_back(Report);
     return;
   }
@@ -681,6 +704,7 @@ void CompilerImpl::emitLoop(ForStmt &For) {
       fail("register file overflow in unpipelined loop i" +
            std::to_string(For.LoopId));
       RA.endScope();
+      FinishLoopSpan();
       Result.Report.Loops.push_back(Report);
       return;
     }
@@ -720,6 +744,7 @@ void CompilerImpl::emitLoop(ForStmt &For) {
     padDrain();
   }
   RA.endScope();
+  FinishLoopSpan();
   Result.Report.Loops.push_back(Report);
 }
 
@@ -833,6 +858,19 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
   Report.II = S;
   Report.Stages = M;
   Report.Unroll = U;
+  Report.KernelUtil = scheduleUtilization(G, MS.Sched, S, MD);
+  if (Opts.Explain) {
+    std::ostringstream ExplainOS;
+    ExplainOS << "loop i" << For.LoopId << ": II=" << S << " stages=" << M
+              << " unroll=" << U << " (MII=" << MS.MII
+              << " res=" << MS.ResMII << " rec=" << MS.RecMII << ")\n"
+              << "flat schedule (one iteration):\n"
+              << scheduleToString(G, MS.Sched, S)
+              << "modulo reservation table (II=" << S << "):\n"
+              << moduloTableToString(G, MS.Sched, S, MD);
+    Report.KernelUtil.print(ExplainOS);
+    Report.ExplainText = ExplainOS.str();
+  }
 
   std::optional<int64_t> StaticN = For.staticTripCount();
   int64_t Threshold = static_cast<int64_t>(M - 1) + U;
@@ -1066,5 +1104,12 @@ CompileResult swp::compileProgram(Program &P, const MachineDescription &MD,
       Diags->error(SourceLoc{}, OptErr);
     return R;
   }
-  return CompilerImpl(P, MD, Checked, Diags).run();
+  SWP_TRACE_SPAN(CompileSpan, "compileProgram");
+  CompileResult R = CompilerImpl(P, MD, Checked, Diags).run();
+  if (CompileSpan.active())
+    CompileSpan.args(
+        "\"ok\": " + std::string(R.Ok ? "true" : "false") +
+        ", \"loops\": " + std::to_string(R.Report.Loops.size()) +
+        ", \"pipelined\": " + std::to_string(R.Report.numPipelined()));
+  return R;
 }

@@ -8,9 +8,11 @@
 
 #include "swp/DDG/DDGBuilder.h"
 #include "swp/Sched/ListScheduler.h"
+#include "swp/Support/Trace.h"
 
 #include <algorithm>
 #include <map>
+#include <string>
 
 using namespace swp;
 
@@ -76,8 +78,10 @@ std::vector<ScheduleUnit>
 swp::reduceStmtsToUnits(const std::vector<const Stmt *> &Stmts,
                         const MachineDescription &MD,
                         unsigned CurrentLoopId) {
+  SWP_TRACE_SPAN(ReduceSpan, "hierarchicalReduce");
   std::vector<ScheduleUnit> Units;
   Units.reserve(Stmts.size());
+  unsigned NumReduced = 0;
   for (const Stmt *S : Stmts) {
     if (const auto *Op = dyn_cast<OpStmt>(S)) {
       Units.push_back(ScheduleUnit::makeSimple(Op->Op, MD));
@@ -111,7 +115,13 @@ swp::reduceStmtsToUnits(const std::vector<const Stmt *> &Stmts,
     Units.push_back(ScheduleUnit::makeReduced(
         std::move(Ops), std::move(Reservation),
         std::max(Then.Length, Else.Length), MD));
+    ++NumReduced;
   }
+  if (ReduceSpan.active())
+    ReduceSpan.args("\"stmts\": " + std::to_string(Stmts.size()) +
+                    ", \"units\": " + std::to_string(Units.size()) +
+                    ", \"reduced_conditionals\": " +
+                    std::to_string(NumReduced));
   return Units;
 }
 

@@ -19,9 +19,11 @@
 #include "swp/Sched/ListScheduler.h"
 #include "swp/Sched/ReservationTables.h"
 #include "swp/Support/ThreadPool.h"
+#include "swp/Support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 using namespace swp;
 
@@ -48,9 +50,14 @@ public:
   unsigned recBound() const { return RecBound; }
   double closureBuildSeconds() const { return ClosureSeconds; }
 
-  std::optional<Schedule> tryInterval(unsigned S, SchedulerStats &Stats) const;
+  /// One candidate interval: wraps tryIntervalImpl with the trace span and
+  /// the per-cause failure accounting.
+  std::optional<Schedule> tryInterval(unsigned S, SchedulerStats &Stats,
+                                      IntervalFailure *Fail = nullptr) const;
 
 private:
+  std::optional<Schedule> tryIntervalImpl(unsigned S, SchedulerStats &Stats,
+                                          IntervalFailure &Fail) const;
   /// Slot-picking direction inside a component's precedence-constrained
   /// range. Earliest-first is the paper's heuristic; latest-first is the
   /// retry that rescues ranges pinched to a single occupied row (an
@@ -71,7 +78,8 @@ private:
   bool scheduleComponent(unsigned C, unsigned S, SlotOrder Order,
                          std::vector<int> &Internal,
                          ModuloReservationTable &LocalMRT,
-                         ComponentScratch &Scr, SchedulerStats &Stats) const;
+                         ComponentScratch &Scr, SchedulerStats &Stats,
+                         IntervalFailure &Fail) const;
 
   /// Interval-independent per-component state, local indices throughout.
   struct CompInfo {
@@ -129,15 +137,25 @@ SchedulerImpl::SchedulerImpl(const DepGraph &G, const MachineDescription &MD,
   // The closure is computed once, with the symbolic interval; only
   // nontrivial components need it.
   Infos.resize(NumComps);
-  auto ClosureStart = Clock::now();
-  for (unsigned C = 0; C != NumComps; ++C)
-    if (Comps[C].size() > 1) {
-      HasNontrivial = true;
-      ++NumNontrivial;
-      Infos[C].ClosureIdx = static_cast<int>(Closures.size());
-      Closures.emplace_back(G, Comps[C], RecBound);
+  {
+    SWP_TRACE_SPAN(ClosureSpan, "sccClosureBuild");
+    auto ClosureStart = Clock::now();
+    for (unsigned C = 0; C != NumComps; ++C)
+      if (Comps[C].size() > 1) {
+        HasNontrivial = true;
+        ++NumNontrivial;
+        Infos[C].ClosureIdx = static_cast<int>(Closures.size());
+        Closures.emplace_back(G, Comps[C], RecBound);
+      }
+    ClosureSeconds = secondsSince(ClosureStart);
+    if (ClosureSpan.active()) {
+      char Buf[96];
+      std::snprintf(Buf, sizeof(Buf),
+                    "\"nodes\": %u, \"components\": %u, \"nontrivial\": %u",
+                    G.numNodes(), NumComps, NumNontrivial);
+      ClosureSpan.args(Buf);
     }
-  ClosureSeconds = secondsSince(ClosureStart);
+  }
 
   // Intra-component omega-0 edge lists and in-degrees, which the original
   // implementation re-derived from a full-graph edge scan on every
@@ -214,7 +232,8 @@ bool SchedulerImpl::scheduleComponent(unsigned C, unsigned S, SlotOrder Order,
                                       std::vector<int> &Internal,
                                       ModuloReservationTable &LocalMRT,
                                       ComponentScratch &Scr,
-                                      SchedulerStats &Stats) const {
+                                      SchedulerStats &Stats,
+                                      IntervalFailure &Fail) const {
   const std::vector<unsigned> &Members = Comps[C];
   const CompInfo &Info = Infos[C];
   const SCCClosure &Cl = Closures[Info.ClosureIdx];
@@ -263,8 +282,15 @@ bool SchedulerImpl::scheduleComponent(unsigned C, unsigned S, SlotOrder Order,
       Found = true;
       break;
     }
-    if (!Found)
+    if (!Found) {
+      // Empty range: the closure pinched this node's window shut, a pure
+      // precedence failure. Nonempty range: every slot was occupied.
+      Fail.Cause = Hi < Lo ? IntervalFailCause::PrecedenceRange
+                           : IntervalFailCause::ResourceConflict;
+      Fail.Node = Members[L];
+      Fail.SlotsTried = Hi < Lo ? 0 : static_cast<unsigned>(Hi - Lo + 1);
       return false;
+    }
     Scr.Placed[L] = At;
     ++NumPlaced;
     for (size_t I = 0; I != Scr.Unplaced.size(); ++I)
@@ -289,8 +315,13 @@ bool SchedulerImpl::scheduleComponent(unsigned C, unsigned S, SlotOrder Order,
       if (--Scr.PredsLeft[Info.SuccDst[EI]] == 0)
         Scr.Ready.push_back(Info.SuccDst[EI]);
   }
-  if (NumPlaced != N)
+  if (NumPlaced != N) {
+    // Ready list drained with members unplaced: a precedence wedge.
+    Fail.Cause = IntervalFailCause::PrecedenceRange;
+    Fail.Node = Members[Scr.Unplaced.empty() ? 0 : Scr.Unplaced.front()];
+    Fail.SlotsTried = 0;
     return false;
+  }
 
   // Normalize internal offsets to start at zero.
   int64_t Min = PosInf;
@@ -302,7 +333,49 @@ bool SchedulerImpl::scheduleComponent(unsigned C, unsigned S, SlotOrder Order,
 }
 
 std::optional<Schedule>
-SchedulerImpl::tryInterval(unsigned S, SchedulerStats &Stats) const {
+SchedulerImpl::tryInterval(unsigned S, SchedulerStats &Stats,
+                           IntervalFailure *FailOut) const {
+  SWP_TRACE_SPAN(AttemptSpan, "tryInterval");
+  IntervalFailure Fail;
+  std::optional<Schedule> Result = tryIntervalImpl(S, Stats, Fail);
+  if (!Result) {
+    switch (Fail.Cause) {
+    case IntervalFailCause::PrecedenceRange:
+      ++Stats.FailPrecedence;
+      break;
+    case IntervalFailCause::ResourceConflict:
+      ++Stats.FailResource;
+      break;
+    case IntervalFailCause::SlotAbort:
+      ++Stats.FailSlotAbort;
+      break;
+    case IntervalFailCause::StageLimit:
+      ++Stats.FailStageLimit;
+      break;
+    case IntervalFailCause::None:
+      break;
+    }
+  }
+  if (FailOut)
+    *FailOut = Result ? IntervalFailure{} : Fail;
+  if (AttemptSpan.active()) {
+    char Buf[160];
+    if (Result)
+      std::snprintf(Buf, sizeof(Buf), "\"ii\": %u, \"ok\": true", S);
+    else
+      std::snprintf(Buf, sizeof(Buf),
+                    "\"ii\": %u, \"ok\": false, \"cause\": \"%s\", "
+                    "\"node\": %u, \"slots_tried\": %u",
+                    S, intervalFailCauseText(Fail.Cause), Fail.Node,
+                    Fail.SlotsTried);
+    AttemptSpan.args(Buf);
+  }
+  return Result;
+}
+
+std::optional<Schedule>
+SchedulerImpl::tryIntervalImpl(unsigned S, SchedulerStats &Stats,
+                               IntervalFailure &Fail) const {
   ++Stats.IntervalsTried;
   const unsigned NumComps = static_cast<unsigned>(Comps.size());
   std::vector<int> Internal(G.numNodes(), 0);
@@ -310,6 +383,7 @@ SchedulerImpl::tryInterval(unsigned S, SchedulerStats &Stats) const {
   // Phase 1: schedule every nontrivial component individually; when the
   // earliest-first heuristic wedges, retry the component latest-first.
   if (HasNontrivial) {
+    SWP_TRACE_SCOPE("phase1.components");
     auto P1Start = Clock::now();
     ModuloReservationTable LocalMRT(MD, S);
     ComponentScratch Scr;
@@ -317,14 +391,17 @@ SchedulerImpl::tryInterval(unsigned S, SchedulerStats &Stats) const {
       if (Comps[C].size() <= 1)
         continue;
       if (scheduleComponent(C, S, SlotOrder::EarliestFirst, Internal,
-                            LocalMRT, Scr, Stats))
+                            LocalMRT, Scr, Stats, Fail))
         continue;
       ++Stats.ComponentRetries;
       if (!scheduleComponent(C, S, SlotOrder::LatestFirst, Internal,
-                             LocalMRT, Scr, Stats)) {
+                             LocalMRT, Scr, Stats, Fail)) {
         Stats.Phase1Seconds += secondsSince(P1Start);
         return std::nullopt;
       }
+      // The latest-first retry rescued the component; clear the record
+      // the failed earliest-first pass left behind.
+      Fail = IntervalFailure{};
     }
     Stats.Phase1Seconds += secondsSince(P1Start);
   }
@@ -333,6 +410,7 @@ SchedulerImpl::tryInterval(unsigned S, SchedulerStats &Stats) const {
   // acyclic condensation against the global modulo reservation table.
   // Trivial components reuse their unit's reservation verbatim; only
   // nontrivial ones fold this attempt's internal offsets in.
+  SWP_TRACE_SCOPE("phase2.condensation");
   auto P2Start = Clock::now();
   std::vector<std::pair<const ResourceUse *, size_t>> AggRes(NumComps);
   std::vector<int> AggLen(NumComps);
@@ -422,6 +500,11 @@ SchedulerImpl::tryInterval(unsigned S, SchedulerStats &Stats) const {
       break;
     }
     if (!Found) {
+      // The paper's abort rule: a node that fails in s consecutive slots
+      // can never be placed at this interval.
+      Fail.Cause = IntervalFailCause::SlotAbort;
+      Fail.Node = Comps[C].front();
+      Fail.SlotsTried = S;
       Stats.Phase2Seconds += secondsSince(P2Start);
       return std::nullopt;
     }
@@ -432,8 +515,10 @@ SchedulerImpl::tryInterval(unsigned S, SchedulerStats &Stats) const {
         Ready.push_back(CondEdges[EIdx].DstComp);
   }
   Stats.Phase2Seconds += secondsSince(P2Start);
-  if (NumPlaced != NumComps)
+  if (NumPlaced != NumComps) {
+    Fail.Cause = IntervalFailCause::PrecedenceRange;
     return std::nullopt;
+  }
 
   Schedule Sched(G.numNodes());
   for (unsigned N = 0; N != G.numNodes(); ++N)
@@ -443,13 +528,33 @@ SchedulerImpl::tryInterval(unsigned S, SchedulerStats &Stats) const {
 
   if (Opts.MaxStages != 0) {
     unsigned Stages = (Sched.issueLength() + S - 1) / S;
-    if (Stages > Opts.MaxStages)
+    if (Stages > Opts.MaxStages) {
+      Fail.Cause = IntervalFailCause::StageLimit;
+      Fail.Node = 0;
+      Fail.SlotsTried = 0;
       return std::nullopt;
+    }
   }
   return Sched;
 }
 
 } // namespace
+
+const char *swp::intervalFailCauseText(IntervalFailCause C) {
+  switch (C) {
+  case IntervalFailCause::None:
+    return "none";
+  case IntervalFailCause::PrecedenceRange:
+    return "precedence-range-empty";
+  case IntervalFailCause::ResourceConflict:
+    return "resource-conflict";
+  case IntervalFailCause::SlotAbort:
+    return "slot-abort";
+  case IntervalFailCause::StageLimit:
+    return "stage-limit";
+  }
+  return "unknown";
+}
 
 std::optional<Schedule>
 swp::scheduleAtInterval(const DepGraph &G, const MachineDescription &MD,
@@ -465,6 +570,7 @@ swp::scheduleAtInterval(const DepGraph &G, const MachineDescription &MD,
 ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
                                          const MachineDescription &MD,
                                          const ModuloScheduleOptions &Opts) {
+  SWP_TRACE_SPAN(SearchSpan, "moduloSchedule");
   auto TotalStart = Clock::now();
   ModuloScheduleResult Result;
   Result.ResMII = resMII(G, MD);
@@ -506,6 +612,13 @@ ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
       unsigned Base = Result.MII;
       while (Base <= MaxII && !Result.Success) {
         unsigned Count = std::min(Threads, MaxII - Base + 1);
+        SWP_TRACE_SPAN(WindowSpan, "searchWindow");
+        if (WindowSpan.active()) {
+          char Buf[64];
+          std::snprintf(Buf, sizeof(Buf), "\"base_ii\": %u, \"width\": %u",
+                        Base, Count);
+          WindowSpan.args(Buf);
+        }
         std::vector<std::optional<Schedule>> Window(Count);
         std::vector<SchedulerStats> WindowStats(Count);
         Pool.parallelFor(Count, [&](size_t I) {
@@ -554,5 +667,14 @@ ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
   if (Result.Success)
     Result.Stages = (Result.Sched.issueLength() + Result.II - 1) / Result.II;
   Result.Stats.TotalSeconds = secondsSince(TotalStart);
+  if (SearchSpan.active()) {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "\"success\": %s, \"ii\": %u, \"mii\": %u, "
+                  "\"res_mii\": %u, \"rec_mii\": %u, \"intervals\": %u",
+                  Result.Success ? "true" : "false", Result.II, Result.MII,
+                  Result.ResMII, Result.RecMII, Result.TriedIntervals);
+    SearchSpan.args(Buf);
+  }
   return Result;
 }

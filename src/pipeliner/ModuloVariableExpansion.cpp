@@ -8,8 +8,10 @@
 
 #include "swp/IR/Program.h"
 #include "swp/Support/MathUtils.h"
+#include "swp/Support/Trace.h"
 
 #include <algorithm>
+#include <string>
 
 using namespace swp;
 
@@ -50,6 +52,7 @@ MVEPlan swp::planModuloVariableExpansion(
     const std::vector<ScheduleUnit> &Units, const Schedule &Sched,
     unsigned II, const std::set<unsigned> &Expanded, MVEPolicy Policy) {
   MVEPlan Plan;
+  SWP_TRACE_SPAN(MveSpan, "mvePlan");
   if (Policy == MVEPolicy::Disabled || Expanded.empty())
     return Plan;
 
@@ -100,6 +103,10 @@ MVEPlan swp::planModuloVariableExpansion(
     Plan.Unroll = static_cast<unsigned>(U);
     for (const auto &[Id, Qi] : Q)
       Plan.Copies[Id] = Qi;
+    if (MveSpan.active())
+      MveSpan.args("\"policy\": \"min-registers\", \"unroll\": " +
+                   std::to_string(Plan.Unroll) +
+                   ", \"regs\": " + std::to_string(Q.size()));
     return Plan;
   }
 
@@ -112,5 +119,9 @@ MVEPlan swp::planModuloVariableExpansion(
   for (const auto &[Id, Qi] : Q)
     Plan.Copies[Id] =
         static_cast<unsigned>(smallestDivisorAtLeast(U, Qi));
+  if (MveSpan.active())
+    MveSpan.args("\"policy\": \"min-code-size\", \"unroll\": " +
+                 std::to_string(Plan.Unroll) +
+                 ", \"regs\": " + std::to_string(Q.size()));
   return Plan;
 }

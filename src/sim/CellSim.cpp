@@ -16,6 +16,7 @@ CellSim::CellSim(const VLIWProgram &Code, const Program &P,
                  const MachineDescription &MD, const ProgramInput &Input,
                  Channel *In, Channel *Out)
     : Code(Code), P(P), MD(MD), In(In), Out(Out) {
+  UtilBusy.assign(MD.numResources(), 0);
   FRegs.assign(std::max(1u, MD.registerFileSize(RegClass::Float)), 0.0f);
   IRegs.assign(std::max(1u, MD.registerFileSize(RegClass::Int)), 0);
   LoopVars.assign(P.numLoops() + 1, 0);
@@ -110,6 +111,7 @@ void CellSim::auditResources(const MachOp &Op) {
     if (Row.empty())
       Row.assign(MD.numResources(), 0);
     Row[Use.ResId] += Use.Units;
+    UtilBusy[Use.ResId] += Use.Units;
     if (Row[Use.ResId] > MD.resource(Use.ResId).Units)
       fail("resource over-subscription on '" + MD.resource(Use.ResId).Name +
            "'");
@@ -278,12 +280,14 @@ CellSim::Status CellSim::step() {
       return Current;
     }
     ++Stalls;
+    ++InputStalls;
     ++Cycle;
     Current = Status::Stalled;
     return Current;
   }
   if (NeedOut > 0 && !Out->canPush(NeedOut)) {
     ++Stalls;
+    ++OutputStalls;
     ++Cycle;
     Current = Status::Stalled;
     return Current;
@@ -354,5 +358,15 @@ SimResult CellSim::takeResult() {
   if (Cycle > 0)
     Result.MFLOPS = static_cast<double>(Result.State.Flops) * MD.clockMHz() /
                     static_cast<double>(Cycle);
+  Result.Util.Cycles = Cycle;
+  Result.Util.ExecCycles = Exec;
+  Result.Util.StallCycles = Stalls;
+  Result.Util.InputStallCycles = InputStalls;
+  Result.Util.OutputStallCycles = OutputStalls;
+  Result.Util.OpsIssued = Result.State.DynOps;
+  Result.Util.Resources.reserve(MD.numResources());
+  for (unsigned R = 0; R != MD.numResources(); ++R)
+    Result.Util.Resources.push_back(
+        {MD.resource(R).Name, MD.resource(R).Units, UtilBusy[R]});
   return std::move(Result);
 }

@@ -75,6 +75,9 @@ private:
   };
   std::map<uint64_t, std::vector<PendingWrite>> Pending;
   std::map<uint64_t, std::vector<unsigned>> ResUse;
+  /// Per-resource busy unit-cycles accumulated over the run, for the
+  /// dynamic UtilizationReport. Indexed by resource id.
+  std::vector<uint64_t> UtilBusy;
   Channel *In;
   Channel *Out;
 
@@ -86,6 +89,8 @@ private:
   uint64_t Cycle = 0;
   uint64_t Exec = 0;
   uint64_t Stalls = 0;
+  uint64_t InputStalls = 0;
+  uint64_t OutputStalls = 0;
   size_t PC = 0;
   Status Current = Status::Running;
 

@@ -10,12 +10,17 @@
 
 #include "CellSim.h"
 
+#include "swp/Support/Trace.h"
+
+#include <string>
+
 using namespace swp;
 using namespace swp::simdetail;
 
 SimResult swp::simulate(const VLIWProgram &Code, const Program &P,
                         const MachineDescription &MD,
                         const ProgramInput &Input, const SimOptions &Opts) {
+  SWP_TRACE_SPAN(SimSpan, "simulate");
   Channel In, Out;
   In.Data = Input.InputQueue;
   In.Closed = true; // No producer: an over-pop is a hard error.
@@ -33,5 +38,9 @@ SimResult swp::simulate(const VLIWProgram &Code, const Program &P,
   }
   SimResult R = Sim.takeResult();
   R.State.OutputQueue = std::move(Out.Data);
+  if (SimSpan.active())
+    SimSpan.args("\"cycles\": " + std::to_string(R.Cycles) +
+                 ", \"ops\": " + std::to_string(R.State.DynOps) +
+                 ", \"ok\": " + (R.State.Ok ? "true" : "false"));
   return R;
 }

@@ -34,6 +34,7 @@ std::string Diagnostic::str() const {
 }
 
 std::string DiagnosticEngine::str() const {
+  std::lock_guard<std::mutex> Lock(Mu);
   std::string Out;
   for (const Diagnostic &D : Diags) {
     Out += D.str();

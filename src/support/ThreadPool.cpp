@@ -6,7 +6,10 @@
 
 #include "swp/Support/ThreadPool.h"
 
+#include "swp/Support/Trace.h"
+
 #include <algorithm>
+#include <atomic>
 
 using namespace swp;
 
@@ -47,6 +50,14 @@ void ThreadPool::wait() {
 }
 
 void ThreadPool::workerLoop() {
+#if SWP_TRACE_ENABLED
+  // Label this worker's trace track so speculative II-search work is
+  // attributable. The counter is process-wide: pools come and go (one per
+  // parallel search), and reusing names would merge unrelated tracks.
+  static std::atomic<unsigned> WorkerSeq{0};
+  trace::setThreadName("swp-worker-" + std::to_string(WorkerSeq.fetch_add(
+                           1, std::memory_order_relaxed)));
+#endif
   std::unique_lock<std::mutex> Lock(Mu);
   while (true) {
     WorkReady.wait(Lock, [this] { return Stop || !Queue.empty(); });

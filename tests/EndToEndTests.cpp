@@ -503,4 +503,64 @@ TEST(EndToEnd, ReportsCarryScheduleQuality) {
   EXPECT_FALSE(Rep.HasConditionals);
 }
 
+TEST(EndToEnd, DynamicUtilizationMatchesHandCount) {
+  // a[i] = a[i] + 2.0 for 100 iterations: each iteration executes exactly
+  // one load, one add, one store — regardless of pipelining, unroll, or
+  // how iterations split between kernel and cleanup — so the simulator's
+  // per-resource busy counters are exact: 200 memory-port unit-cycles,
+  // 100 adder, zero multiplier/queue.
+  Program P;
+  IRBuilder B(P);
+  unsigned A = P.createArray("a", RegClass::Float, 128);
+  VReg K = B.fconst(2.0);
+  ForStmt *L = B.beginForImm(0, 99);
+  (void)L;
+  B.fstore(A, B.ix(L), B.fadd(B.fload(A, B.ix(L)), K));
+  B.endFor();
+  MachineDescription MD = MachineDescription::warpCell();
+  CompileResult R = compileProgram(P, MD, {});
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  SimResult Sim = simulate(R.Code, P, MD, ProgramInput{});
+  ASSERT_TRUE(Sim.State.Ok) << Sim.State.Error;
+  const UtilizationReport &U = Sim.Util;
+  ASSERT_TRUE(U.measured());
+  EXPECT_EQ(U.Cycles, Sim.Cycles);
+  EXPECT_EQ(U.ExecCycles + U.StallCycles, U.Cycles);
+  EXPECT_EQ(U.InputStallCycles + U.OutputStallCycles, U.StallCycles);
+  EXPECT_EQ(U.StallCycles, 0u) << "no queue traffic, no stalls";
+  EXPECT_EQ(U.OpsIssued, Sim.State.DynOps);
+  auto Busy = [&](const char *Name) -> uint64_t {
+    for (const ResourceUtilization &Res : U.Resources)
+      if (Res.Name == Name)
+        return Res.BusyUnitCycles;
+    ADD_FAILURE() << "no resource named " << Name;
+    return 0;
+  };
+  EXPECT_EQ(Busy("mem"), 200u);
+  EXPECT_EQ(Busy("fadd"), 100u);
+  EXPECT_EQ(Busy("fmul"), 0u);
+  EXPECT_EQ(Busy("qin"), 0u);
+  EXPECT_EQ(Busy("qout"), 0u);
+
+  // The static kernel report on the same loop agrees per II window:
+  // 2 memory references and 1 add per iteration.
+  ASSERT_EQ(R.Report.Loops.size(), 1u);
+  const UtilizationReport &KU = R.Report.Loops[0].KernelUtil;
+  ASSERT_TRUE(R.Report.Loops[0].pipelined());
+  ASSERT_TRUE(KU.measured());
+  EXPECT_EQ(KU.Cycles, uint64_t(R.Report.Loops[0].II));
+  auto KBusy = [&](const char *Name) -> uint64_t {
+    for (const ResourceUtilization &Res : KU.Resources)
+      if (Res.Name == Name)
+        return Res.BusyUnitCycles;
+    ADD_FAILURE() << "no resource named " << Name;
+    return 0;
+  };
+  EXPECT_EQ(KBusy("mem"), 2u);
+  EXPECT_EQ(KBusy("fadd"), 1u);
+  EXPECT_DOUBLE_EQ(KU.bottleneckOccupancy(), 1.0)
+      << "the memory port is the bottleneck and the schedule saturates it";
+}
+
 } // namespace

@@ -13,6 +13,7 @@
 #include "swp/IR/IRBuilder.h"
 #include "swp/Sched/ListScheduler.h"
 #include "swp/Sched/ReservationTables.h"
+#include "swp/Sched/Utilization.h"
 
 #include <gtest/gtest.h>
 
@@ -106,6 +107,45 @@ TEST(ModuloScheduler, ResourceBoundDominatesMemoryHeavyLoop) {
   ASSERT_TRUE(R.Success);
   EXPECT_EQ(R.ResMII, 3u);
   EXPECT_EQ(R.II, 3u);
+}
+
+TEST(ModuloScheduler, KernelUtilizationMatchesHandCount) {
+  // b[i] = x[i] + y[i] at II = 3: the three memory references fill every
+  // modulo row of the single port (100% — the paper's efficiency measure
+  // says this kernel is memory-bound and optimal), the one add occupies a
+  // third of the adder, and nothing touches the multiplier or queues.
+  Program P;
+  IRBuilder B(P);
+  unsigned X = P.createArray("x", RegClass::Float, 64);
+  unsigned Y = P.createArray("y", RegClass::Float, 64);
+  unsigned Bb = P.createArray("b", RegClass::Float, 64);
+  ForStmt *L = B.beginForImm(0, 63);
+  B.fstore(Bb, B.ix(L), B.fadd(B.fload(X, B.ix(L)), B.fload(Y, B.ix(L))));
+  B.endFor();
+  MachineDescription MD = MachineDescription::warpCell();
+  DepGraph G = loopGraph(P, L, MD);
+  ModuloScheduleResult R = moduloSchedule(G, MD);
+  ASSERT_TRUE(R.Success);
+  ASSERT_EQ(R.II, 3u);
+
+  UtilizationReport U = scheduleUtilization(G, R.Sched, R.II, MD);
+  ASSERT_TRUE(U.measured());
+  EXPECT_EQ(U.Cycles, 3u);
+  EXPECT_EQ(U.OpsIssued, 4u); // 2 loads + 1 add + 1 store.
+  auto Busy = [&](const char *Name) -> uint64_t {
+    for (const ResourceUtilization &Res : U.Resources)
+      if (Res.Name == Name)
+        return Res.BusyUnitCycles;
+    ADD_FAILURE() << "no resource named " << Name;
+    return 0;
+  };
+  EXPECT_EQ(Busy("mem"), 3u);
+  EXPECT_EQ(Busy("fadd"), 1u);
+  EXPECT_EQ(Busy("fmul"), 0u);
+  EXPECT_EQ(Busy("qin"), 0u);
+  EXPECT_EQ(Busy("qout"), 0u);
+  EXPECT_DOUBLE_EQ(U.bottleneckOccupancy(), 1.0);
+  EXPECT_DOUBLE_EQ(U.issueFillRate(), 4.0 / 3.0);
 }
 
 TEST(ModuloScheduler, MaxStagesLimitForcesLargerII) {
