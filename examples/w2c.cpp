@@ -13,218 +13,23 @@
 //   w2c --explain ...      per-loop kernel schedule + reservation table
 //   w2c --utilization ...  simulate and report machine utilization
 //   w2c --trace=f.json ... write a Chrome/Perfetto trace of the compile
+//   w2c --budget-ms=N ...  compile budget; loops degrade instead of hang
 //
 // Unknown flags are errors. With no file it compiles a built-in
 // demonstration program (a conditional loop, to show hierarchical
-// reduction at work).
+// reduction at work). All behavior — including the exit-code contract
+// (0 ok, 1 usage/IO, 2 frontend, 3 compile, 4 ok-but-degraded) — lives
+// in the swp_driver library (swp/Driver/W2CDriver.h) so it is testable
+// in-process.
 //
 //===----------------------------------------------------------------------===//
 
-#include "swp/Codegen/Compiler.h"
-#include "swp/IR/Printer.h"
-#include "swp/Lang/Lowering.h"
-#include "swp/Sim/Simulator.h"
-#include "swp/Support/Trace.h"
+#include "swp/Driver/W2CDriver.h"
 
-#include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <sstream>
-
-using namespace swp;
-
-static const char *DemoSource = R"((* clip-and-scale: a conditional loop *)
-var x: float[256];
-var y: float[256];
-param limit: float;
-param scale: float;
-var v: float;
-begin
-  for i := 0 to 255 do begin
-    v := x[i] * scale;
-    if v > limit then
-      v := limit + (v - limit) * 0.125;
-    y[i] := v;
-  end
-end
-)";
-
-static void printUsage(std::ostream &OS) {
-  OS << "usage: w2c [--no-pipeline] [--code] [--verify] [--stats] "
-        "[--json] [--explain] [--utilization] [--trace=FILE] [file.w2]\n"
-        "  --no-pipeline  locally compacted code only\n"
-        "  --code         dump the VLIW instruction stream\n"
-        "  --verify       re-check emitted schedules with the independent "
-        "verifier\n"
-        "  --stats        include scheduler search counters in the report\n"
-        "  --json         print the CompileReport as JSON (suppresses "
-        "human output)\n"
-        "  --explain      per-loop kernel schedule, modulo reservation "
-        "table, and occupancy\n"
-        "  --utilization  simulate the compiled program (zero-filled "
-        "inputs) and report FU occupancy, issue fill, and stalls\n"
-        "  --trace=FILE   write a Chrome trace-event JSON of the "
-        "compilation (open in Perfetto / chrome://tracing)\n"
-        "  --search-threads=N  speculative parallel II search on N "
-        "threads (same schedules; with --trace, one track per worker)\n";
-}
+#include <vector>
 
 int main(int argc, char **argv) {
-  bool Pipeline = true;
-  bool DumpCode = false;
-  bool Verify = false;
-  bool Stats = false;
-  bool Json = false;
-  bool Explain = false;
-  bool Utilization = false;
-  unsigned SearchThreads = 1;
-  std::string TracePath;
-  std::string Path;
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    if (Arg == "--no-pipeline") {
-      Pipeline = false;
-    } else if (Arg == "--code") {
-      DumpCode = true;
-    } else if (Arg == "--verify") {
-      Verify = true;
-    } else if (Arg == "--stats") {
-      Stats = true;
-    } else if (Arg == "--json") {
-      Json = true;
-    } else if (Arg == "--explain") {
-      Explain = true;
-    } else if (Arg == "--utilization") {
-      Utilization = true;
-    } else if (Arg.rfind("--trace=", 0) == 0) {
-      TracePath = Arg.substr(8);
-      if (TracePath.empty()) {
-        std::cerr << "error: --trace needs a file name (--trace=FILE)\n";
-        return 1;
-      }
-    } else if (Arg.rfind("--search-threads=", 0) == 0) {
-      char *End = nullptr;
-      unsigned long N = std::strtoul(Arg.c_str() + 17, &End, 10);
-      if (*End != '\0' || N == 0 || N > 64) {
-        std::cerr << "error: --search-threads needs a count in [1, 64]\n";
-        return 1;
-      }
-      SearchThreads = static_cast<unsigned>(N);
-    } else if (Arg == "--help") {
-      printUsage(std::cout);
-      return 0;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::cerr << "error: unknown option '" << Arg << "'\n";
-      printUsage(std::cerr);
-      return 1;
-    } else if (!Path.empty()) {
-      std::cerr << "error: multiple input files ('" << Path << "' and '"
-                << Arg << "')\n";
-      return 1;
-    } else {
-      Path = Arg;
-    }
-  }
-
-  std::string Source;
-  if (Path.empty()) {
-    if (!Json)
-      std::cout << "(no input file: compiling the built-in demo)\n";
-    Source = DemoSource;
-  } else {
-    std::ifstream File(Path);
-    if (!File) {
-      std::cerr << "error: cannot open '" << Path << "'\n";
-      return 1;
-    }
-    std::stringstream SS;
-    SS << File.rdbuf();
-    Source = SS.str();
-  }
-
-  DiagnosticEngine DE;
-  std::optional<W2Module> Mod = compileW2Source(Source, DE);
-  if (!Mod) {
-    std::cerr << DE.str();
-    return 1;
-  }
-  if (DE.errorCount() == 0 && !DE.diagnostics().empty())
-    std::cerr << DE.str(); // Warnings.
-
-  if (!Json) {
-    std::cout << "=== IR ===\n";
-    printProgram(Mod->Prog, std::cout);
-  }
-
-  if (!TracePath.empty()) {
-    if (!trace::compiledIn()) {
-      std::cerr << "error: --trace requested but tracing was compiled out "
-                   "(rebuild with SWP_TRACE_ENABLED=1)\n";
-      return 1;
-    }
-    trace::start(TracePath);
-    trace::setThreadName("w2c-main");
-  }
-
-  MachineDescription MD = MachineDescription::warpCell();
-  CompilerOptions Opts;
-  Opts.EnablePipelining = Pipeline;
-  Opts.ParanoidVerify = Verify;
-  Opts.Explain = Explain;
-  Opts.Sched.SearchThreads = SearchThreads;
-  CompileResult CR = compileProgram(Mod->Prog, MD, Opts, &DE);
-  if (CR.Ok && Utilization) {
-    // Dynamic occupancy: run the compiled code on the cycle-accurate
-    // simulator with zero-filled arrays and scalars. Resource usage is
-    // input-independent for these kernels; the report reflects the real
-    // schedule the machine executes.
-    SimResult SR = simulate(CR.Code, Mod->Prog, MD, ProgramInput{});
-    if (!SR.State.Ok) {
-      std::cerr << "simulation error: " << SR.State.Error << "\n";
-      return 1;
-    }
-    CR.Report.HasUtilization = true;
-    CR.Report.Util = SR.Util;
-  }
-  if (!TracePath.empty()) {
-    std::string TraceErr;
-    if (!trace::stop(&TraceErr)) {
-      std::cerr << "error: writing trace: " << TraceErr << "\n";
-      return 1;
-    }
-    if (!Json)
-      std::cout << "(trace written to " << TracePath << ")\n";
-  }
-  if (!CR.Ok) {
-    std::cerr << "codegen error: " << CR.Error << "\n";
-    for (const std::string &E : CR.Report.VerifyErrors)
-      std::cerr << "verifier: " << E << "\n";
-    return 1;
-  }
-
-  if (Json) {
-    std::cout << CR.Report.toJson();
-    return 0;
-  }
-
-  std::cout << "\n=== loops ===\n";
-  CR.Report.print(std::cout, Stats);
-  if (Explain) {
-    for (const LoopReport &L : CR.Report.Loops)
-      if (L.pipelined() && !L.ExplainText.empty())
-        std::cout << "\n=== explain loop i" << L.LoopId << " ===\n"
-                  << L.ExplainText;
-  }
-  if (Verify)
-    std::cout << "(all emitted schedules passed independent "
-                 "verification)\n";
-  std::cout << "\n" << CR.Code.size() << " long instructions, "
-            << CR.Code.FloatRegsUsed << " float / " << CR.Code.IntRegsUsed
-            << " int registers\n";
-
-  if (DumpCode) {
-    std::cout << "\n=== VLIW code ===\n"
-              << vliwProgramToString(CR.Code, MD);
-  }
-  return 0;
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  return swp::runW2C(Args, std::cout, std::cerr);
 }

@@ -35,6 +35,7 @@ enum class PipelineDecision : uint8_t {
   Skipped,   ///< Policy refused before any scheduling was attempted.
   Fallback,  ///< Attempted; the locally compacted version was emitted.
   Pipelined, ///< A software-pipelined kernel was emitted.
+  Degraded,  ///< Budget or fault forced a rung below the normal fallback.
 };
 
 /// Why a loop that was not pipelined ended up that way.
@@ -50,11 +51,25 @@ enum class FallbackCause : uint8_t {
   ShortTripCount,      ///< Static trip count below the pipeline fill.
   ZeroTrip,            ///< Static trip count <= 0; no code at all.
   VerifyFailed,        ///< ParanoidVerify rejected the emitted schedule.
+  BudgetExhausted,     ///< A compile-budget ceiling tripped mid-search.
 };
 
-/// Stable human-readable rendering of a decision / cause.
+/// Which rung of the degradation ladder emitted the loop's code. The
+/// ladder (see DESIGN.md section 9) walks Modulo -> UnrolledList ->
+/// Sequential, verifying each rung, until one fits the machine; List is
+/// the ordinary unpipelined fallback (locally compacted, no overlap).
+enum class ScheduleRung : uint8_t {
+  None,         ///< No code emitted (empty body / zero trip).
+  Modulo,       ///< Software-pipelined kernel.
+  List,         ///< Locally compacted single iteration (normal fallback).
+  UnrolledList, ///< Two iterations unrolled and list-scheduled together.
+  Sequential,   ///< One operation at a time, program order.
+};
+
+/// Stable human-readable rendering of a decision / cause / rung.
 const char *decisionText(PipelineDecision D);
 const char *fallbackCauseText(FallbackCause C);
+const char *scheduleRungText(ScheduleRung R);
 
 /// Instruction-stream extent of one emitted pipelined loop (valid only
 /// when the loop's decision is Pipelined).
@@ -74,6 +89,7 @@ struct LoopReport {
 
   PipelineDecision Decision = PipelineDecision::EmptyBody;
   FallbackCause Cause = FallbackCause::None;
+  ScheduleRung Rung = ScheduleRung::None; ///< Ladder rung that emitted code.
 
   unsigned MII = 0, ResMII = 0, RecMII = 0;
   unsigned II = 0;             ///< Achieved interval (pipelined only).
@@ -96,10 +112,13 @@ struct LoopReport {
   std::string ExplainText;
 
   bool pipelined() const { return Decision == PipelineDecision::Pipelined; }
+  /// True when the loop's code came from a rung below the normal ones.
+  bool degraded() const { return Decision == PipelineDecision::Degraded; }
   /// True when modulo scheduling actually ran on this loop.
   bool attempted() const {
     return Decision == PipelineDecision::Pipelined ||
-           Decision == PipelineDecision::Fallback;
+           Decision == PipelineDecision::Fallback ||
+           Decision == PipelineDecision::Degraded;
   }
   const char *causeText() const { return fallbackCauseText(Cause); }
 };
@@ -112,8 +131,17 @@ struct CompileReport {
   /// True when CompilerOptions::ParanoidVerify re-checked every emitted
   /// schedule with the independent verifier.
   bool ParanoidVerified = false;
-  /// Findings of the independent verifier (empty on a clean compile).
+  /// Findings of the independent verifier that made the compilation fail
+  /// (empty on a clean compile).
   std::vector<std::string> VerifyErrors;
+  /// Verifier findings the compiler recovered from by walking down the
+  /// degradation ladder: the rejected schedule was discarded and a lower
+  /// rung (itself verified) was emitted instead. Informational — the
+  /// compile succeeded and the emitted code is clean.
+  std::vector<std::string> RecoveredErrors;
+  /// First budget ceiling that tripped during the compile (None when the
+  /// compile finished within budget).
+  BudgetCause BudgetTripped = BudgetCause::None;
   /// Dynamic whole-run machine utilization, attached by drivers that
   /// simulate the compiled program (w2c --utilization, the bench
   /// harness). HasUtilization gates rendering.

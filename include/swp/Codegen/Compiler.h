@@ -72,6 +72,21 @@ struct CompilerOptions {
   /// kernel schedule plus the modulo reservation table, the "explain this
   /// schedule" view behind `w2c --explain`.
   bool Explain = false;
+  /// Hard ceilings for the whole compilation (wall-clock, candidate
+  /// intervals, node placements; 0 = unlimited). When a ceiling trips,
+  /// affected loops walk down the degradation ladder — modulo schedule,
+  /// then a two-iteration unrolled list schedule, then one operation at a
+  /// time — instead of hanging or failing; the compile stays correct and
+  /// reports Degraded decisions with cause BudgetExhausted.
+  CompileBudget Budget;
+  /// Deterministic fault-injection seed (see swp/Support/FaultInject.h);
+  /// 0 = no fault. Armed for the duration of this compileProgram call.
+  uint64_t ChaosSeed = 0;
+  /// Testing knob for the degradation ladder: the lowest rung innermost
+  /// loops may use. 0 = normal compilation, 1 = at most the unrolled list
+  /// schedule, 2 = sequential only. Nonzero values exist to prove every
+  /// rung end-to-end (bit-identical to the interpreter).
+  unsigned MinLadderRung = 0;
   /// Search options forwarded to the modulo scheduler.
   ModuloScheduleOptions Sched;
 

@@ -1,0 +1,51 @@
+//===- swp/Driver/W2CDriver.h - the w2c driver as a library -----*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The w2c command-line compiler as a callable library, so its behavior —
+/// flag parsing, report rendering, and above all the exit-code contract —
+/// is testable in-process (EndToEndTests) instead of only through a
+/// spawned binary. The `w2c` executable is a thin main() over runW2C().
+///
+/// Exit codes are part of the tool's interface (scripts and the stress
+/// harness branch on them):
+///
+///   0  compiled cleanly
+///   1  usage or I/O error (bad flag, unreadable file, trace write)
+///   2  the frontend rejected the input (lex / parse / lowering)
+///   3  compilation failed (codegen error or verifier findings)
+///   4  compiled and the code is correct, but a compile budget forced at
+///      least one loop down the degradation ladder (see Compiler.h)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_DRIVER_W2CDRIVER_H
+#define SWP_DRIVER_W2CDRIVER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swp {
+
+/// Exit codes of the w2c driver (see the file comment).
+enum W2CExit : int {
+  W2CExitOk = 0,
+  W2CExitUsage = 1,
+  W2CExitParse = 2,
+  W2CExitCompile = 3,
+  W2CExitDegraded = 4,
+};
+
+/// Runs the w2c driver over \p Args (argv[1..], i.e. without the program
+/// name), writing normal output to \p Out and diagnostics to \p Err.
+/// Returns the process exit code per the W2CExit contract.
+int runW2C(const std::vector<std::string> &Args, std::ostream &Out,
+           std::ostream &Err);
+
+} // namespace swp
+
+#endif // SWP_DRIVER_W2CDRIVER_H

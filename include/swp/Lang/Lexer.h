@@ -76,8 +76,9 @@ struct Token {
 /// Returns a printable name for diagnostics ("':='", "identifier", ...).
 const char *tokKindName(TokKind K);
 
-/// Tokenizes \p Source; lexical errors go to \p Diags and yield an Eof-
-/// terminated prefix.
+/// Tokenizes \p Source; lexical errors go to \p Diags (capped at 64, with
+/// non-printable bytes rendered as \xNN) and yield an Eof-terminated
+/// prefix.
 std::vector<Token> lexW2(const std::string &Source, DiagnosticEngine &Diags);
 
 } // namespace swp

@@ -36,7 +36,12 @@
 namespace swp {
 
 /// Parses \p Source into an AST; syntax errors go to \p Diags and yield
-/// nullopt.
+/// nullopt. The parser recovers at statement and declaration boundaries
+/// (resynchronizing on ';' / 'end') so one broken statement does not hide
+/// the errors after it; the diagnostic stream is capped (32 syntax
+/// errors) and descent depth is bounded, so arbitrary bytes — including
+/// binary garbage — always terminate with bounded output and never
+/// crash.
 std::optional<ModuleAST> parseW2(const std::string &Source,
                                  DiagnosticEngine &Diags);
 

@@ -25,6 +25,7 @@
 #include "swp/DDG/Closure.h"
 #include "swp/DDG/MII.h"
 #include "swp/Sched/Schedule.h"
+#include "swp/Support/Budget.h"
 
 #include <cstdint>
 #include <optional>
@@ -50,6 +51,13 @@ struct ModuloScheduleOptions {
   /// window only ever runs ahead speculatively). 0 or 1 = serial. Ignored
   /// under BinarySearch.
   unsigned SearchThreads = 1;
+  /// Optional compile budget (not owned). When set, the search charges
+  /// one interval per candidate and one node per placement attempt, and
+  /// backs out cooperatively once a ceiling trips: the run reports
+  /// BudgetExhausted instead of spinning. When null (the default) the
+  /// scheduler never consults a tracker, so serial and parallel searches
+  /// stay bit-identical to the unbudgeted algorithm.
+  BudgetTracker *Budget = nullptr;
 };
 
 /// Why one candidate interval was rejected. Together with the failing
@@ -62,6 +70,7 @@ enum class IntervalFailCause : uint8_t {
   ResourceConflict,///< Every slot of a node's (nonempty) range was taken.
   SlotAbort,       ///< Condensation node failed s consecutive slots.
   StageLimit,      ///< Schedule found but exceeds MaxStages.
+  BudgetCancelled, ///< Attempt backed out: the compile budget tripped.
 };
 
 /// Stable human-readable rendering of a failure cause.
@@ -87,13 +96,15 @@ struct SchedulerStats {
   uint64_t FailResource = 0;     ///< Attempts lost to occupied ranges.
   uint64_t FailSlotAbort = 0;    ///< Attempts lost to the s-slot abort.
   uint64_t FailStageLimit = 0;   ///< Attempts lost to MaxStages.
+  uint64_t FailBudget = 0;       ///< Attempts backed out by the budget.
   double ClosureBuildSeconds = 0; ///< Symbolic closure preprocessing.
   double Phase1Seconds = 0;       ///< Cyclic-component scheduling.
   double Phase2Seconds = 0;       ///< Condensation list scheduling.
   double TotalSeconds = 0;        ///< Whole search, bounds included.
 
   uint64_t failedIntervals() const {
-    return FailPrecedence + FailResource + FailSlotAbort + FailStageLimit;
+    return FailPrecedence + FailResource + FailSlotAbort + FailStageLimit +
+           FailBudget;
   }
 
   void merge(const SchedulerStats &O) {
@@ -104,6 +115,7 @@ struct SchedulerStats {
     FailResource += O.FailResource;
     FailSlotAbort += O.FailSlotAbort;
     FailStageLimit += O.FailStageLimit;
+    FailBudget += O.FailBudget;
     ClosureBuildSeconds += O.ClosureBuildSeconds;
     Phase1Seconds += O.Phase1Seconds;
     Phase2Seconds += O.Phase2Seconds;
@@ -121,6 +133,9 @@ struct ModuloScheduleResult {
   unsigned RecMII = 0;
   unsigned Stages = 0; ///< ceil(span / II): iterations in flight.
   unsigned TriedIntervals = 0; ///< Candidate intervals attempted.
+  /// True when the search stopped because the compile budget tripped; the
+  /// caller should degrade (see Compiler.h) rather than report NoSchedule.
+  bool BudgetExhausted = false;
   SchedulerStats Stats;        ///< Perf counters for this run.
 };
 

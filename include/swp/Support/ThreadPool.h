@@ -13,15 +13,19 @@
 /// commits one window of candidate intervals per round).
 ///
 /// Tasks must not enqueue into the pool they run on (no work stealing, a
-/// dependent task would deadlock waiting for its own worker). Exceptions
-/// must not escape a task; schedule failures are reported through the
-/// task's captured state.
+/// dependent task would deadlock waiting for its own worker). Schedule
+/// failures are reported through the task's captured state; an exception
+/// that does escape a task is contained — the worker survives, the task
+/// counts as aborted (tasksAborted()), and wait() still returns — so a
+/// dying speculative attempt degrades the search instead of taking the
+/// process down.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SWP_SUPPORT_THREADPOOL_H
 #define SWP_SUPPORT_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -59,12 +63,20 @@ public:
     wait();
   }
 
+  /// Tasks whose exception was contained since construction. A nonzero
+  /// count means some speculative work was lost, not that state was
+  /// corrupted: tasks own their captured state exclusively.
+  uint64_t tasksAborted() const {
+    return Aborted.load(std::memory_order_relaxed);
+  }
+
   /// std::thread::hardware_concurrency with a floor of 1.
   static unsigned hardwareThreads();
 
 private:
   void workerLoop();
 
+  std::atomic<uint64_t> Aborted{0};
   std::vector<std::thread> Workers;
   std::deque<std::function<void()>> Queue;
   std::mutex Mu;

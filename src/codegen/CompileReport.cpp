@@ -21,6 +21,24 @@ const char *swp::decisionText(PipelineDecision D) {
     return "fallback";
   case PipelineDecision::Pipelined:
     return "pipelined";
+  case PipelineDecision::Degraded:
+    return "degraded";
+  }
+  return "unknown";
+}
+
+const char *swp::scheduleRungText(ScheduleRung R) {
+  switch (R) {
+  case ScheduleRung::None:
+    return "none";
+  case ScheduleRung::Modulo:
+    return "modulo";
+  case ScheduleRung::List:
+    return "list";
+  case ScheduleRung::UnrolledList:
+    return "unrolled-list";
+  case ScheduleRung::Sequential:
+    return "sequential";
   }
   return "unknown";
 }
@@ -49,6 +67,8 @@ const char *swp::fallbackCauseText(FallbackCause C) {
     return "zero-trip loop";
   case FallbackCause::VerifyFailed:
     return "independent schedule verification failed";
+  case FallbackCause::BudgetExhausted:
+    return "compile budget exhausted";
   }
   return "unknown";
 }
@@ -87,6 +107,8 @@ void CompileReport::print(std::ostream &OS, bool WithStats) const {
     } else {
       if (L.Cause != FallbackCause::None)
         OS << " (" << L.causeText() << ")";
+      if (L.degraded())
+        OS << " rung=" << scheduleRungText(L.Rung);
       if (L.attempted())
         OS << ", MII=" << L.MII << " vs " << L.UnpipelinedLen
            << " unpipelined";
@@ -113,8 +135,17 @@ void CompileReport::print(std::ostream &OS, bool WithStats) const {
         OS << "  rejected intervals: " << L.Stats.FailPrecedence
            << " precedence-range, " << L.Stats.FailResource
            << " resource-conflict, " << L.Stats.FailSlotAbort
-           << " slot-abort, " << L.Stats.FailStageLimit << " stage-limit\n";
+           << " slot-abort, " << L.Stats.FailStageLimit << " stage-limit, "
+           << L.Stats.FailBudget << " budget-cancelled\n";
     }
+  }
+  if (BudgetTripped != BudgetCause::None)
+    OS << "compile budget tripped: " << budgetCauseText(BudgetTripped)
+       << "\n";
+  if (!RecoveredErrors.empty()) {
+    OS << "recovered verifier findings (degraded, emitted code is clean):\n";
+    for (const std::string &E : RecoveredErrors)
+      OS << "  " << E << "\n";
   }
   if (!VerifyErrors.empty()) {
     OS << "verifier findings:\n";
@@ -152,6 +183,7 @@ std::string CompileReport::toJson() const {
        << ", \"has_recurrence\": " << (L.HasRecurrence ? "true" : "false")
        << ", \"ii\": " << L.II << ", \"mii\": " << L.MII
        << ", \"res_mii\": " << L.ResMII << ", \"rec_mii\": " << L.RecMII
+       << ", \"rung\": \"" << scheduleRungText(L.Rung) << "\""
        << ", \"unpipelined_len\": " << L.UnpipelinedLen
        << ", \"stages\": " << L.Stages << ", \"unroll\": " << L.Unroll
        << ", \"kernel_insts\": " << L.KernelInsts
@@ -161,7 +193,8 @@ std::string CompileReport::toJson() const {
        << L.Stats.FailPrecedence
        << ", \"resource_conflict\": " << L.Stats.FailResource
        << ", \"slot_abort\": " << L.Stats.FailSlotAbort
-       << ", \"stage_limit\": " << L.Stats.FailStageLimit << "}";
+       << ", \"stage_limit\": " << L.Stats.FailStageLimit
+       << ", \"budget_cancelled\": " << L.Stats.FailBudget << "}";
     if (L.pipelined() && L.KernelUtil.measured())
       OS << ", \"kernel_util\": " << L.KernelUtil.toJson();
     if (!L.ExplainText.empty()) {
@@ -174,12 +207,20 @@ std::string CompileReport::toJson() const {
   OS << "  ],\n"
      << "  \"num_pipelined\": " << numPipelined() << ",\n"
      << "  \"num_attempted\": " << numAttempted() << ",\n"
+     << "  \"budget_tripped\": \"" << budgetCauseText(BudgetTripped)
+     << "\",\n"
      << "  \"paranoid_verified\": " << (ParanoidVerified ? "true" : "false")
      << ",\n  \"verify_errors\": [";
   for (size_t I = 0; I != VerifyErrors.size(); ++I) {
     OS << "\"";
     appendEscaped(OS, VerifyErrors[I]);
     OS << "\"" << (I + 1 != VerifyErrors.size() ? ", " : "");
+  }
+  OS << "],\n  \"recovered_errors\": [";
+  for (size_t I = 0; I != RecoveredErrors.size(); ++I) {
+    OS << "\"";
+    appendEscaped(OS, RecoveredErrors[I]);
+    OS << "\"" << (I + 1 != RecoveredErrors.size() ? ", " : "");
   }
   OS << "],\n"
      << "  \"sched_totals\": {\"intervals_tried\": "
@@ -191,7 +232,8 @@ std::string CompileReport::toJson() const {
      << SchedTotals.FailPrecedence
      << ", \"resource_conflict\": " << SchedTotals.FailResource
      << ", \"slot_abort\": " << SchedTotals.FailSlotAbort
-     << ", \"stage_limit\": " << SchedTotals.FailStageLimit << "}"
+     << ", \"stage_limit\": " << SchedTotals.FailStageLimit
+     << ", \"budget_cancelled\": " << SchedTotals.FailBudget << "}"
      << ", \"total_seconds\": " << SchedTotals.TotalSeconds << "}";
   if (HasUtilization && Util.measured())
     OS << ",\n  \"utilization\": " << Util.toJson();

@@ -28,12 +28,15 @@
 #include "swp/Sched/ListScheduler.h"
 #include "swp/Sched/ScheduleDump.h"
 #include "swp/Sched/Utilization.h"
+#include "swp/Support/FaultInject.h"
 #include "swp/Support/Trace.h"
 #include "swp/Verify/ScheduleVerifier.h"
 
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <new>
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -63,11 +66,39 @@ static std::set<unsigned> noAliasArrays(const Program &P) {
   return Out;
 }
 
+/// \p U copies of one iteration's dependence graph, manually folded: copy
+/// r of node i is r*n + i, and an edge (Src -> Dst, omega) becomes an edge
+/// from copy r of Src to copy (r + omega) mod U of Dst at distance
+/// (r + omega) / U. Register-reuse serialization survives the fold — the
+/// plain graph materializes anti/output edges for every reused temporary,
+/// and those edges land between the copies that share the register.
+static DepGraph unrollDepGraph(const DepGraph &G, unsigned U) {
+  const unsigned N = G.numNodes();
+  std::vector<ScheduleUnit> Units;
+  Units.reserve(static_cast<size_t>(N) * U);
+  for (unsigned R = 0; R != U; ++R)
+    for (unsigned I = 0; I != N; ++I)
+      Units.push_back(G.unit(I));
+  DepGraph UG(std::move(Units));
+  for (const DepEdge &E : G.edges())
+    for (unsigned R = 0; R != U; ++R) {
+      DepEdge F = E;
+      F.Src = R * N + E.Src;
+      F.Dst = ((R + E.Omega) % U) * N + E.Dst;
+      F.Omega = (R + E.Omega) / U;
+      UG.addEdge(F);
+    }
+  return UG;
+}
+
 class CompilerImpl {
 public:
   CompilerImpl(Program &P, const MachineDescription &MD,
                const CompilerOptions &Opts, DiagnosticEngine *Diags)
-      : P(P), MD(MD), Opts(Opts), Diags(Diags), RA(MD), Pad(drainPad(MD)) {}
+      : P(P), MD(MD), Opts(Opts), Diags(Diags), RA(MD), Pad(drainPad(MD)) {
+    if (Opts.Budget.limited())
+      BudgetStore.emplace(Opts.Budget);
+  }
 
   CompileResult run();
 
@@ -114,15 +145,28 @@ private:
   void emitLoop(ForStmt &For);
   void emitOuterLoop(ForStmt &For);
 
-  /// Emits the locally compacted body once per iteration with period
-  /// \p Period; the caller set up the counter, loop variable, and guards.
-  /// Returns the index of the first loop instruction.
+  /// Emits the body once per backedge with period \p Period; the caller
+  /// set up the counter, loop variable, and guards. Returns the index of
+  /// the first loop instruction. A nonzero \p NodesPerCopy marks \p G as a
+  /// copy-major unrolled graph: node r*NodesPerCopy + i is iteration
+  /// offset r of original node i, so its operations fold r into register
+  /// rotation and subscripts; \p AguStep is the loop-variable advance per
+  /// backedge (the unroll degree).
   size_t emitUnpipelinedRun(const DepGraph &G, const Schedule &Sched,
-                            int Period, unsigned LoopId, PhysReg Counter);
+                            int Period, unsigned LoopId, PhysReg Counter,
+                            unsigned NodesPerCopy = 0, unsigned AguStep = 1);
 
   bool tryEmitPipelined(ForStmt &For, const std::vector<ScheduleUnit> &Units,
                         const DepGraph &PlainG, int UnpipelinedPeriod,
                         LoopReport &Report);
+
+  /// Emits the loop's code on one rung of the degradation ladder (List,
+  /// UnrolledList, or Sequential). Returns false — without emitting
+  /// anything — when the register files cannot hold the rung's locals;
+  /// the caller rolls back the scope and tries the next rung down.
+  bool emitLadderRung(ForStmt &For, const DepGraph &PlainG,
+                      const Schedule &LocalSched, int PlainPeriod,
+                      ScheduleRung Rung, LoopReport &Report);
 
   /// Emits preheader operations (serially) for a prepared loop.
   void emitPreheader(const ForStmt &For);
@@ -154,6 +198,9 @@ private:
   std::map<const ForStmt *, LoopPrep> Preps;
   /// Innermost loop owning all accesses of a vreg; absent or null = global.
   std::map<unsigned, const ForStmt *> LocalTo;
+  /// Live charge against CompilerOptions::Budget (engaged only when some
+  /// ceiling is configured; the scheduler sees it via Sched.Budget).
+  std::optional<BudgetTracker> BudgetStore;
 
   bool Failed = false;
   std::string FirstError;
@@ -167,8 +214,10 @@ private:
 
   /// Records independent-verifier findings under ParanoidVerify: each
   /// finding lands in the report, in the diagnostics engine when present,
-  /// and fails the compilation. Returns true when \p VR had findings.
-  bool recordVerifyFindings(const VerifyReport &VR, const char *What,
+  /// and fails the compilation. For findings on code that was never
+  /// emitted, use recordRecoveredFindings instead. Returns true when
+  /// \p VR had findings.
+  bool recordVerifyFindings(const VerifyReport &VR, const std::string &What,
                             unsigned LoopId) {
     if (VR.ok())
       return false;
@@ -180,6 +229,21 @@ private:
         Diags->error(SourceLoc{}, Msg);
     }
     fail("paranoid verify: " + Result.Report.VerifyErrors.front());
+    return true;
+  }
+
+  /// Records findings the compiler recovered from: the rejected schedule
+  /// was discarded before any code committed to it, and a lower ladder
+  /// rung (itself verified) is emitted instead. The compile stays
+  /// successful; the findings land in CompileReport::RecoveredErrors for
+  /// observability. Returns true when \p VR had findings.
+  bool recordRecoveredFindings(const VerifyReport &VR,
+                               const std::string &What, unsigned LoopId) {
+    if (VR.ok())
+      return false;
+    for (const VerifyError &E : VR.Errors)
+      Result.Report.RecoveredErrors.push_back(
+          "loop i" + std::to_string(LoopId) + " " + What + ": " + E.str());
     return true;
   }
 };
@@ -438,19 +502,23 @@ PhysReg CompilerImpl::emitTripCount(const ForStmt &For) {
 
 size_t CompilerImpl::emitUnpipelinedRun(const DepGraph &G,
                                         const Schedule &Sched, int Period,
-                                        unsigned LoopId, PhysReg Counter) {
+                                        unsigned LoopId, PhysReg Counter,
+                                        unsigned NodesPerCopy,
+                                        unsigned AguStep) {
   size_t Base = Cursor;
-  for (unsigned I = 0; I != G.numNodes(); ++I)
+  for (unsigned I = 0; I != G.numNodes(); ++I) {
+    int64_t K = NodesPerCopy ? I / NodesPerCopy : 0;
     for (const UnitOp &UO : G.unit(I).ops())
       instAt(Base + Sched.startOf(I) + UO.Offset)
-          .Ops.push_back(lowerOp(UO.Op, 0, LoopId, UO.Preds));
+          .Ops.push_back(lowerOp(UO.Op, K, LoopId, UO.Preds));
+  }
   size_t Last = Base + Period - 1;
   VLIWInst &Tail = instAt(Last);
   assert(Tail.Ctrl.K == ControlOp::Kind::None && "control slot collision");
   Tail.Ctrl.K = ControlOp::Kind::DecJumpPos;
   Tail.Ctrl.Counter = Counter;
   Tail.Ctrl.Target = static_cast<unsigned>(Base);
-  Tail.Agu.push_back(AguOp{LoopId, /*Relative=*/true, PhysReg{}, 1});
+  Tail.Agu.push_back(AguOp{LoopId, /*Relative=*/true, PhysReg{}, AguStep});
   Cursor = Last + 1;
   Frontier = std::max(Frontier, Cursor);
   return Base;
@@ -664,7 +732,11 @@ void CompilerImpl::emitLoop(ForStmt &For) {
 
   RA.beginScope();
   bool Pipelined = false;
-  if (!Opts.EnablePipelining) {
+  if (Opts.MinLadderRung > 0) {
+    // Testing knob: force the loop straight onto a lower ladder rung so
+    // every rung can be proven end-to-end.
+    Report.Decision = PipelineDecision::Degraded;
+  } else if (!Opts.EnablePipelining) {
     Report.Decision = PipelineDecision::Skipped;
     Report.Cause = FallbackCause::PipeliningDisabled;
   } else if (static_cast<unsigned>(Period) > Opts.MaxLoopLenToPipeline) {
@@ -674,7 +746,8 @@ void CompilerImpl::emitLoop(ForStmt &For) {
     Report.Decision = PipelineDecision::Skipped;
     Report.Cause = FallbackCause::ConditionalsExcluded;
   } else {
-    // tryEmitPipelined refines Decision/Cause to Pipelined or Fallback.
+    // tryEmitPipelined refines Decision/Cause to Pipelined, Fallback, or
+    // Degraded (the compile budget tripped mid-search).
     Pipelined = tryEmitPipelined(For, Units, PlainG, Period, Report);
     if (!Pipelined) {
       // Roll back any local register assignments the attempt made.
@@ -684,15 +757,113 @@ void CompilerImpl::emitLoop(ForStmt &For) {
   }
 
   if (!Pipelined && !Failed) {
-    // Locally compacted fallback. Register sharing happens on the circle
-    // of the iteration period; when the file overflows, stretching the
-    // period unwraps lifetimes and lets more temporaries share (a
-    // spill-free "serialize further" fallback in the spirit of
-    // section 2.3).
-    int AllocPeriod = Period;
+    // Walk down the degradation ladder until a rung's locals fit the
+    // register files. The normal fallback is the locally compacted list
+    // schedule; a budget-exhausted (or rung-forced) loop starts at the
+    // cheap unrolled list schedule instead; the sequential rung is the
+    // last resort with minimal concurrent lifetimes.
+    bool Degrading = Opts.MinLadderRung > 0 ||
+                     Report.Cause == FallbackCause::BudgetExhausted;
+    std::vector<ScheduleRung> Ladder;
+    if (Opts.MinLadderRung >= 2)
+      Ladder = {ScheduleRung::Sequential};
+    else if (Degrading)
+      Ladder = {ScheduleRung::UnrolledList, ScheduleRung::Sequential};
+    else
+      Ladder = {ScheduleRung::List, ScheduleRung::Sequential};
+    if (Degrading)
+      Report.Decision = PipelineDecision::Degraded;
+
+    bool Emitted = false;
+    for (size_t RI = 0; RI != Ladder.size() && !Failed; ++RI) {
+      if (RI != 0) {
+        // The previous rung did not fit; dropping below it is itself a
+        // degradation worth reporting.
+        Report.Decision = PipelineDecision::Degraded;
+        if (Report.Cause == FallbackCause::None)
+          Report.Cause = FallbackCause::RegisterPressure;
+      }
+      if (emitLadderRung(For, PlainG, LocalSched, Period, Ladder[RI],
+                         Report)) {
+        Emitted = true;
+        break;
+      }
+      RA.endScope();
+      RA.beginScope();
+    }
+    if (!Emitted && !Failed)
+      fail("register file overflow in unpipelined loop i" +
+           std::to_string(For.LoopId));
+  }
+  RA.endScope();
+  FinishLoopSpan();
+  Result.Report.Loops.push_back(Report);
+}
+
+bool CompilerImpl::emitLadderRung(ForStmt &For, const DepGraph &PlainG,
+                                  const Schedule &LocalSched,
+                                  int PlainPeriod, ScheduleRung Rung,
+                                  LoopReport &Report) {
+  // Resolve the rung's graph, schedule, and period. List reuses the
+  // locally compacted schedule; UnrolledList list-schedules two manually
+  // folded copies of the body together (cross-iteration overlap without
+  // any II search); Sequential runs one unit at a time in program order,
+  // the minimal-lifetime last resort.
+  const unsigned U = Rung == ScheduleRung::UnrolledList ? 2u : 1u;
+  std::optional<DepGraph> UnrolledG;
+  std::optional<Schedule> OwnSched;
+  const DepGraph *G = &PlainG;
+  const Schedule *Sched = &LocalSched;
+  int Period = PlainPeriod;
+  if (Rung == ScheduleRung::UnrolledList) {
+    UnrolledG.emplace(unrollDepGraph(PlainG, U));
+    OwnSched.emplace(listSchedule(*UnrolledG, MD));
+    G = &*UnrolledG;
+    Sched = &*OwnSched;
+    Period = std::max(unpipelinedPeriod(*G, *Sched), Sched->spanLength(*G));
+  } else if (Rung == ScheduleRung::Sequential) {
+    // One unit at a time in program order, spaced far enough apart that
+    // every same-iteration dependence delay is honored (issue length
+    // alone is not enough: a producer's result latency can exceed the
+    // slots it occupies). Same-iteration edges always point forward in
+    // program order, so a single pass computes the earliest legal start;
+    // carried edges are covered by unpipelinedPeriod below.
+    Schedule Seq(PlainG.numNodes());
+    std::vector<int64_t> Earliest(PlainG.numNodes(), 0);
+    int64_t T = 0;
+    for (unsigned I = 0; I != PlainG.numNodes(); ++I) {
+      T = std::max(T, Earliest[I]);
+      Seq.setStart(I, static_cast<int>(T));
+      for (unsigned EI : PlainG.succs(I)) {
+        const DepEdge &E = PlainG.edges()[EI];
+        if (E.Omega == 0 && E.Dst > I)
+          Earliest[E.Dst] =
+              std::max(Earliest[E.Dst], T + std::max(0, E.Delay));
+      }
+      T += std::max(1, PlainG.unit(I).length());
+    }
+    OwnSched.emplace(std::move(Seq));
+    Sched = &*OwnSched;
+    Period = std::max(unpipelinedPeriod(PlainG, *Sched),
+                      Sched->spanLength(PlainG));
+  }
+
+  // Register allocation. List keeps the circular-arc sharing with the
+  // period-doubling rescue; the unrolled rung gives every local an
+  // exclusive register, which stays safe across the plain remainder run
+  // it also emits (sharing arcs computed on one schedule would not be).
+  int AllocPeriod = Period;
+  if (Rung == ScheduleRung::UnrolledList) {
+    for (const auto &[Id, Loop] : LocalTo) {
+      if (Loop != &For)
+        continue;
+      if (!RA.assignLocal(Id, P.vregInfo(VReg(Id)).RC, 1))
+        return false;
+    }
+  } else {
     bool LocalsOk = false;
     for (int Attempt = 0; Attempt != 4 && !LocalsOk; ++Attempt) {
-      if (allocateUnpipelinedLocals(For, PlainG, LocalSched, AllocPeriod)) {
+      if (allocateUnpipelinedLocals(For, *G, *Sched, AllocPeriod)) {
         LocalsOk = true;
         break;
       }
@@ -700,19 +871,50 @@ void CompilerImpl::emitLoop(ForStmt &For) {
       RA.beginScope();
       AllocPeriod *= 2;
     }
-    if (!LocalsOk) {
-      fail("register file overflow in unpipelined loop i" +
-           std::to_string(For.LoopId));
-      RA.endScope();
-      FinishLoopSpan();
-      Result.Report.Loops.push_back(Report);
-      return;
-    }
-    Report.UnpipelinedLen = AllocPeriod;
-    emitPreheader(For);
-    std::optional<int64_t> StaticN = For.staticTripCount();
-    size_t LoopInstsBegin = Cursor;
-    if (!(StaticN && *StaticN <= 0)) {
+    if (!LocalsOk)
+      return false;
+  }
+
+  if (Opts.ParanoidVerify) {
+    // Every rung is re-checked by the independent verifier before code
+    // commits to it; at a period covering the whole span the modulo
+    // resource fold is the identity, so this is the plain precedence and
+    // reservation check.
+    VerifyReport VR = verifyModuloSchedule(*G, *Sched,
+                                           static_cast<unsigned>(AllocPeriod),
+                                           MD);
+    if (recordVerifyFindings(
+            VR, std::string(scheduleRungText(Rung)) + " rung schedule",
+            For.LoopId))
+      return true; // Failed is latched; no rung below can help.
+  }
+
+  Report.UnpipelinedLen = AllocPeriod;
+  Report.Rung = Rung;
+  if (Rung == ScheduleRung::UnrolledList)
+    Report.Unroll = U;
+
+  emitPreheader(For);
+  std::optional<int64_t> StaticN = For.staticTripCount();
+  size_t LoopInstsBegin = Cursor;
+
+  auto EmitLoopVarInit = [&] {
+    size_t At = Cursor;
+    (void)instAt(At);
+    AguOp Init;
+    Init.LoopId = For.LoopId;
+    Init.Relative = false;
+    if (For.Lo.IsImm)
+      Init.Imm = For.Lo.Imm;
+    else
+      Init.A = RA.regFor(For.Lo.Reg.Id);
+    emitAgu(At, Init);
+    ++Cursor;
+    Frontier = std::max(Frontier, Cursor);
+  };
+
+  if (!(StaticN && *StaticN <= 0)) {
+    if (U == 1) {
       PhysReg Counter;
       size_t GuardInst = SIZE_MAX;
       if (StaticN) {
@@ -724,28 +926,47 @@ void CompilerImpl::emitLoop(ForStmt &For) {
         GuardInst = emitCtrl(ControlOp::Kind::JumpIfZero, Pos);
         Counter = N;
       }
-      size_t At = Cursor;
-      (void)instAt(At);
-      AguOp Init;
-      Init.LoopId = For.LoopId;
-      Init.Relative = false;
-      if (For.Lo.IsImm)
-        Init.Imm = For.Lo.Imm;
-      else
-        Init.A = RA.regFor(For.Lo.Reg.Id);
-      emitAgu(At, Init);
-      ++Cursor;
-      emitUnpipelinedRun(PlainG, LocalSched, AllocPeriod, For.LoopId,
-                         Counter);
+      EmitLoopVarInit();
+      emitUnpipelinedRun(*G, *Sched, AllocPeriod, For.LoopId, Counter);
       if (GuardInst != SIZE_MAX)
         patchTarget(GuardInst, Cursor);
+    } else if (StaticN) {
+      // n = U*k + rem: rem plain iterations, then k unrolled runs. The
+      // remainder runs first so the unrolled body's backedge can advance
+      // the loop variable by a constant U every time.
+      int64_t N = *StaticN;
+      int64_t Rem = N % U;
+      int64_t Kp = N / U;
+      EmitLoopVarInit();
+      if (Rem > 0)
+        emitUnpipelinedRun(PlainG, LocalSched, PlainPeriod, For.LoopId,
+                           emitIConst(Rem));
+      if (Kp > 0)
+        emitUnpipelinedRun(*G, *Sched, AllocPeriod, For.LoopId,
+                           emitIConst(Kp), PlainG.numNodes(), U);
+    } else {
+      // Runtime trip count: both counts guarded (n <= 0 runs nothing —
+      // truncating div/mod keep both nonpositive then).
+      PhysReg N = emitTripCount(For);
+      PhysReg UC = emitIConst(U);
+      PhysReg Rem = emitIBin(Opcode::IMod, N, UC);
+      PhysReg Kp = emitIBin(Opcode::IDiv, N, UC);
+      EmitLoopVarInit();
+      PhysReg Zero = emitIConst(0);
+      PhysReg PosRem = emitIBin(Opcode::ICmpLT, Zero, Rem);
+      size_t SkipRem = emitCtrl(ControlOp::Kind::JumpIfZero, PosRem);
+      emitUnpipelinedRun(PlainG, LocalSched, PlainPeriod, For.LoopId, Rem);
+      patchTarget(SkipRem, Cursor);
+      PhysReg PosKp = emitIBin(Opcode::ICmpLT, Zero, Kp);
+      size_t SkipMain = emitCtrl(ControlOp::Kind::JumpIfZero, PosKp);
+      emitUnpipelinedRun(*G, *Sched, AllocPeriod, For.LoopId, Kp,
+                         PlainG.numNodes(), U);
+      patchTarget(SkipMain, Cursor);
     }
-    Report.TotalLoopInsts = Cursor - LoopInstsBegin;
-    padDrain();
   }
-  RA.endScope();
-  FinishLoopSpan();
-  Result.Report.Loops.push_back(Report);
+  Report.TotalLoopInsts = static_cast<unsigned>(Cursor - LoopInstsBegin);
+  padDrain();
+  return true;
 }
 
 bool CompilerImpl::tryEmitPipelined(ForStmt &For,
@@ -753,6 +974,11 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
                                     const DepGraph &PlainG,
                                     int UnpipelinedPeriod,
                                     LoopReport &Report) {
+  // Chaos: allocation failure entering the pipeline attempt. Propagates
+  // to compileProgram, which turns it into a structured compile failure.
+  if (faults::shouldFire(faults::Site::OomAllocation))
+    throw std::bad_alloc();
+
   // Eligibility for modulo variable expansion.
   std::set<unsigned> LiveOut = liveOutRegs(P, For);
   std::set<unsigned> Eligible;
@@ -777,6 +1003,8 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
   ModuloScheduleOptions SOpts = Opts.Sched;
   if (SOpts.MaxII == 0)
     SOpts.MaxII = static_cast<unsigned>(UnpipelinedPeriod);
+  if (BudgetStore)
+    SOpts.Budget = &*BudgetStore;
   ModuloScheduleResult MS = moduloSchedule(G, MD, SOpts);
   Report.Decision = PipelineDecision::Fallback;
   Report.MII = MS.MII;
@@ -788,6 +1016,13 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
   // actually bounds the interval (the plain graph calls every reused
   // temporary a cycle).
   Report.HasRecurrence = MS.RecMII > 1;
+  if (MS.BudgetExhausted && !MS.Success) {
+    // The budget tripped before the search finished: degrade rather than
+    // spend more time; emitLoop starts the ladder at UnrolledList.
+    Report.Decision = PipelineDecision::Degraded;
+    Report.Cause = FallbackCause::BudgetExhausted;
+    return false;
+  }
   if (static_cast<double>(MS.MII) >=
       Opts.EfficiencyThreshold * UnpipelinedPeriod) {
     Report.Cause = FallbackCause::EfficiencyThreshold;
@@ -809,12 +1044,19 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
                                        MVEPolicy::MinCodeSize);
 
   if (Opts.ParanoidVerify) {
+    // Chaos: perturb the schedule the verifier is about to re-check. A
+    // perturbation the verifier proves harmless may be emitted; any other
+    // must be caught here, before code commits to it.
+    if (faults::shouldFire(faults::Site::CorruptSchedule))
+      MS.Sched.setStart(0, MS.Sched.startOf(0) + 1);
     // Re-check the schedule and the expansion plan with the independent
-    // verifier before committing any code to them.
+    // verifier before committing any code to them. A finding at this
+    // point is recoverable — nothing was emitted yet — so the schedule is
+    // discarded and the loop falls back to a verified lower rung.
     VerifyReport VR = verifyModuloSchedule(G, MS.Sched, MS.II, MD,
                                            SOpts.MaxStages);
     VR.merge(verifyMVEPlan(Units, MS.Sched, MS.II, Plan, Eligible));
-    if (recordVerifyFindings(VR, "modulo schedule", For.LoopId)) {
+    if (recordRecoveredFindings(VR, "modulo schedule", For.LoopId)) {
       Report.Cause = FallbackCause::VerifyFailed;
       return false;
     }
@@ -854,6 +1096,7 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
   unsigned M = static_cast<unsigned>(MaxIssue / S) + 1; // Stage count.
   unsigned U = Plan.Unroll;
   Report.Decision = PipelineDecision::Pipelined;
+  Report.Rung = ScheduleRung::Modulo;
   Report.Cause = FallbackCause::None;
   Report.II = S;
   Report.Stages = M;
@@ -952,6 +1195,18 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
       // materialize the whole region before handing it to the verifier.
       if (Cursor > 0)
         (void)instAt(Cursor - 1);
+      // Chaos: corrupt the emitted kernel (duplicate its first operation)
+      // so the emission check below must catch it — the code is already
+      // committed, so this one is a structured compile failure, not a
+      // recoverable fallback.
+      if (faults::shouldFire(faults::Site::CorruptEmission)) {
+        for (size_t I = KernelBase; I <= KernelLast; ++I)
+          if (!Result.Code.Insts[I].Ops.empty()) {
+            Result.Code.Insts[I].Ops.push_back(
+                Result.Code.Insts[I].Ops.front());
+            break;
+          }
+      }
       PipelinedLoopLayout L;
       L.PrologBase = Base;
       L.II = S;
@@ -968,6 +1223,7 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
     if (N <= 0) {
       Report.Decision = PipelineDecision::Fallback;
       Report.Cause = FallbackCause::ZeroTrip;
+      Report.Rung = ScheduleRung::None;
       Report.TotalLoopInsts = 0;
       padDrain();
       return true;
@@ -976,6 +1232,7 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
       // Too short to fill the pipeline: run everything unpipelined.
       Report.Decision = PipelineDecision::Fallback;
       Report.Cause = FallbackCause::ShortTripCount;
+      Report.Rung = ScheduleRung::List;
       PhysReg Counter = emitIConst(N);
       EmitLoopVarInit();
       emitUnpipelinedRun(PlainG, LocalSched, Period, For.LoopId, Counter);
@@ -1058,6 +1315,8 @@ CompileResult CompilerImpl::run() {
   if (!Failed)
     emitStmtList(P.Body);
   Result.Report.ParanoidVerified = Opts.ParanoidVerify;
+  if (BudgetStore)
+    Result.Report.BudgetTripped = BudgetStore->cause();
   for (const LoopReport &L : Result.Report.Loops)
     if (L.attempted())
       Result.Report.SchedTotals.merge(L.Stats);
@@ -1088,6 +1347,12 @@ std::string swp::CompilerOptions::finalize() {
   if (Sched.BinarySearch && Sched.SearchThreads > 1)
     return "CompilerOptions: SearchThreads > 1 is incompatible with "
            "BinarySearch (its probes are sequentially dependent)";
+  if (MinLadderRung > 2)
+    return "CompilerOptions: MinLadderRung must be 0 (full), 1 (unrolled "
+           "list), or 2 (sequential)";
+  if (ChaosSeed != 0 && !faults::compiledIn())
+    return "CompilerOptions: ChaosSeed set but fault injection was "
+           "compiled out (SWP_FAULTS_ENABLED=0)";
   return "";
 }
 
@@ -1105,7 +1370,20 @@ CompileResult swp::compileProgram(Program &P, const MachineDescription &MD,
     return R;
   }
   SWP_TRACE_SPAN(CompileSpan, "compileProgram");
-  CompileResult R = CompilerImpl(P, MD, Checked, Diags).run();
+  // Arm deterministic fault injection for this compile only (no-op when
+  // ChaosSeed is 0 or an outer scope already armed).
+  faults::ScopedArm Chaos(Checked.ChaosSeed);
+  CompileResult R;
+  try {
+    R = CompilerImpl(P, MD, Checked, Diags).run();
+  } catch (const std::bad_alloc &) {
+    // Allocation failure mid-compile (real or injected): a structured
+    // failure, never a crash. Partial results are discarded.
+    R = CompileResult{};
+    R.Error = "compilation ran out of memory";
+    if (Diags)
+      Diags->error(SourceLoc{}, R.Error);
+  }
   if (CompileSpan.active())
     CompileSpan.args(
         "\"ok\": " + std::string(R.Ok ? "true" : "false") +

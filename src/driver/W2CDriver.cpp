@@ -1,0 +1,278 @@
+//===- W2CDriver.cpp - the w2c driver as a library -----------------------------===//
+//
+// Part of warp-swp. See W2CDriver.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Driver/W2CDriver.h"
+
+#include "swp/Codegen/Compiler.h"
+#include "swp/IR/Printer.h"
+#include "swp/Lang/Lowering.h"
+#include "swp/Sim/Simulator.h"
+#include "swp/Support/Trace.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace swp;
+
+namespace {
+
+const char *DemoSource = R"((* clip-and-scale: a conditional loop *)
+var x: float[256];
+var y: float[256];
+param limit: float;
+param scale: float;
+var v: float;
+begin
+  for i := 0 to 255 do begin
+    v := x[i] * scale;
+    if v > limit then
+      v := limit + (v - limit) * 0.125;
+    y[i] := v;
+  end
+end
+)";
+
+void printUsage(std::ostream &OS) {
+  OS << "usage: w2c [--no-pipeline] [--code] [--verify] [--stats] "
+        "[--json] [--explain] [--utilization] [--trace=FILE] [file.w2]\n"
+        "  --no-pipeline  locally compacted code only\n"
+        "  --code         dump the VLIW instruction stream\n"
+        "  --verify       re-check emitted schedules with the independent "
+        "verifier\n"
+        "  --stats        include scheduler search counters in the report\n"
+        "  --json         print the CompileReport as JSON (suppresses "
+        "human output)\n"
+        "  --explain      per-loop kernel schedule, modulo reservation "
+        "table, and occupancy\n"
+        "  --utilization  simulate the compiled program (zero-filled "
+        "inputs) and report FU occupancy, issue fill, and stalls\n"
+        "  --trace=FILE   write a Chrome trace-event JSON of the "
+        "compilation (open in Perfetto / chrome://tracing)\n"
+        "  --search-threads=N  speculative parallel II search on N "
+        "threads (same schedules; with --trace, one track per worker)\n"
+        "  --budget-ms=N       compile wall-clock budget; on expiry loops "
+        "degrade (exit 4) instead of hanging\n"
+        "  --max-intervals=N   budget on candidate IIs tried across the "
+        "compile\n"
+        "  --max-nodes=N       budget on node placements across the "
+        "compile\n"
+        "  --min-rung=N        force the degradation ladder: 1 = at most "
+        "the unrolled list schedule, 2 = sequential only\n"
+        "  --chaos-seed=N      deterministic fault injection (testing; "
+        "see swp/Support/FaultInject.h)\n"
+        "exit codes: 0 ok, 1 usage/IO, 2 frontend rejection, 3 compile "
+        "failure, 4 ok-but-degraded\n";
+}
+
+/// Parses the N of a --flag=N argument; returns false (with a diagnostic)
+/// unless the payload is a complete nonnegative decimal number.
+bool parseCount(const std::string &Arg, size_t PrefixLen, const char *Flag,
+                uint64_t Max, uint64_t &Out, std::ostream &Err) {
+  const char *Payload = Arg.c_str() + PrefixLen;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(Payload, &End, 10);
+  if (*Payload == '\0' || *End != '\0' || N > Max) {
+    Err << "error: " << Flag << " needs a number in [0, " << Max << "]\n";
+    return false;
+  }
+  Out = N;
+  return true;
+}
+
+} // namespace
+
+int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
+                std::ostream &Err) {
+  bool Pipeline = true;
+  bool DumpCode = false;
+  bool Verify = false;
+  bool Stats = false;
+  bool Json = false;
+  bool Explain = false;
+  bool Utilization = false;
+  unsigned SearchThreads = 1;
+  CompileBudget Budget;
+  uint64_t ChaosSeed = 0;
+  unsigned MinLadderRung = 0;
+  std::string TracePath;
+  std::string Path;
+  for (const std::string &Arg : Args) {
+    uint64_t N = 0;
+    if (Arg == "--no-pipeline") {
+      Pipeline = false;
+    } else if (Arg == "--code") {
+      DumpCode = true;
+    } else if (Arg == "--verify") {
+      Verify = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--json") {
+      Json = true;
+    } else if (Arg == "--explain") {
+      Explain = true;
+    } else if (Arg == "--utilization") {
+      Utilization = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(8);
+      if (TracePath.empty()) {
+        Err << "error: --trace needs a file name (--trace=FILE)\n";
+        return W2CExitUsage;
+      }
+    } else if (Arg.rfind("--search-threads=", 0) == 0) {
+      if (!parseCount(Arg, 17, "--search-threads", 64, N, Err))
+        return W2CExitUsage;
+      if (N == 0) {
+        Err << "error: --search-threads needs a count in [1, 64]\n";
+        return W2CExitUsage;
+      }
+      SearchThreads = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--budget-ms=", 0) == 0) {
+      if (!parseCount(Arg, 12, "--budget-ms", UINT64_MAX, N, Err))
+        return W2CExitUsage;
+      Budget.WallMs = N;
+    } else if (Arg.rfind("--max-intervals=", 0) == 0) {
+      if (!parseCount(Arg, 16, "--max-intervals", UINT64_MAX, N, Err))
+        return W2CExitUsage;
+      Budget.MaxIntervals = N;
+    } else if (Arg.rfind("--max-nodes=", 0) == 0) {
+      if (!parseCount(Arg, 12, "--max-nodes", UINT64_MAX, N, Err))
+        return W2CExitUsage;
+      Budget.MaxNodes = N;
+    } else if (Arg.rfind("--min-rung=", 0) == 0) {
+      if (!parseCount(Arg, 11, "--min-rung", 2, N, Err))
+        return W2CExitUsage;
+      MinLadderRung = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--chaos-seed=", 0) == 0) {
+      if (!parseCount(Arg, 13, "--chaos-seed", UINT64_MAX, N, Err))
+        return W2CExitUsage;
+      ChaosSeed = N;
+    } else if (Arg == "--help") {
+      printUsage(Out);
+      return W2CExitOk;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      Err << "error: unknown option '" << Arg << "'\n";
+      printUsage(Err);
+      return W2CExitUsage;
+    } else if (!Path.empty()) {
+      Err << "error: multiple input files ('" << Path << "' and '" << Arg
+          << "')\n";
+      return W2CExitUsage;
+    } else {
+      Path = Arg;
+    }
+  }
+
+  std::string Source;
+  if (Path.empty()) {
+    if (!Json)
+      Out << "(no input file: compiling the built-in demo)\n";
+    Source = DemoSource;
+  } else {
+    std::ifstream File(Path);
+    if (!File) {
+      Err << "error: cannot open '" << Path << "'\n";
+      return W2CExitUsage;
+    }
+    std::stringstream SS;
+    SS << File.rdbuf();
+    Source = SS.str();
+  }
+
+  DiagnosticEngine DE;
+  std::optional<W2Module> Mod = compileW2Source(Source, DE);
+  if (!Mod) {
+    Err << DE.str();
+    return W2CExitParse;
+  }
+  if (DE.errorCount() == 0 && !DE.diagnostics().empty())
+    Err << DE.str(); // Warnings.
+
+  if (!Json) {
+    Out << "=== IR ===\n";
+    printProgram(Mod->Prog, Out);
+  }
+
+  if (!TracePath.empty()) {
+    if (!trace::compiledIn()) {
+      Err << "error: --trace requested but tracing was compiled out "
+             "(rebuild with SWP_TRACE_ENABLED=1)\n";
+      return W2CExitUsage;
+    }
+    trace::start(TracePath);
+    trace::setThreadName("w2c-main");
+  }
+
+  MachineDescription MD = MachineDescription::warpCell();
+  CompilerOptions Opts;
+  Opts.EnablePipelining = Pipeline;
+  Opts.ParanoidVerify = Verify;
+  Opts.Explain = Explain;
+  Opts.Budget = Budget;
+  Opts.ChaosSeed = ChaosSeed;
+  Opts.MinLadderRung = MinLadderRung;
+  Opts.Sched.SearchThreads = SearchThreads;
+  CompileResult CR = compileProgram(Mod->Prog, MD, Opts, &DE);
+  if (CR.Ok && Utilization) {
+    // Dynamic occupancy: run the compiled code on the cycle-accurate
+    // simulator with zero-filled arrays and scalars. Resource usage is
+    // input-independent for these kernels; the report reflects the real
+    // schedule the machine executes.
+    SimResult SR = simulate(CR.Code, Mod->Prog, MD, ProgramInput{});
+    if (!SR.State.Ok) {
+      Err << "simulation error: " << SR.State.Error << "\n";
+      return W2CExitCompile;
+    }
+    CR.Report.HasUtilization = true;
+    CR.Report.Util = SR.Util;
+  }
+  if (!TracePath.empty()) {
+    std::string TraceErr;
+    if (!trace::stop(&TraceErr)) {
+      Err << "error: writing trace: " << TraceErr << "\n";
+      return W2CExitUsage;
+    }
+    if (!Json)
+      Out << "(trace written to " << TracePath << ")\n";
+  }
+  if (!CR.Ok) {
+    Err << "codegen error: " << CR.Error << "\n";
+    for (const std::string &E : CR.Report.VerifyErrors)
+      Err << "verifier: " << E << "\n";
+    return W2CExitCompile;
+  }
+
+  // The compile succeeded; distinguish "clean" from "correct but the
+  // budget (or --min-rung) pushed loops down the degradation ladder".
+  bool Degraded = false;
+  for (const LoopReport &L : CR.Report.Loops)
+    Degraded |= L.degraded();
+
+  if (Json) {
+    Out << CR.Report.toJson();
+    return Degraded ? W2CExitDegraded : W2CExitOk;
+  }
+
+  Out << "\n=== loops ===\n";
+  CR.Report.print(Out, Stats);
+  if (Explain) {
+    for (const LoopReport &L : CR.Report.Loops)
+      if (L.pipelined() && !L.ExplainText.empty())
+        Out << "\n=== explain loop i" << L.LoopId << " ===\n"
+            << L.ExplainText;
+  }
+  if (Verify)
+    Out << "(all emitted schedules passed independent verification)\n";
+  Out << "\n" << CR.Code.size() << " long instructions, "
+      << CR.Code.FloatRegsUsed << " float / " << CR.Code.IntRegsUsed
+      << " int registers\n";
+
+  if (DumpCode) {
+    Out << "\n=== VLIW code ===\n" << vliwProgramToString(CR.Code, MD);
+  }
+  return Degraded ? W2CExitDegraded : W2CExitOk;
+}

@@ -107,6 +107,22 @@ std::vector<Token> swp::lexW2(const std::string &Source,
   size_t I = 0, N = Source.size();
   int Line = 1, Col = 1;
 
+  // Fuzzed or binary input can carry thousands of junk bytes; cap the
+  // diagnostic stream so lexing stays O(input) in output too. Returns
+  // false once the cap is hit, at which point the caller stops lexing
+  // (the token stream so far, Eof-terminated, is still returned).
+  constexpr unsigned MaxLexErrors = 64;
+  unsigned NumErrors = 0;
+  auto LexError = [&](SourceLoc Loc, const std::string &Msg) -> bool {
+    if (NumErrors >= MaxLexErrors) {
+      Diags.error(Loc, "too many lexical errors; giving up");
+      return false;
+    }
+    ++NumErrors;
+    Diags.error(Loc, Msg);
+    return true;
+  };
+
   auto Advance = [&](size_t By = 1) {
     for (size_t K = 0; K != By && I < N; ++K, ++I) {
       if (Source[I] == '\n') {
@@ -140,7 +156,7 @@ std::vector<Token> swp::lexW2(const std::string &Source,
       while (I < N && !(Peek() == '*' && Peek(1) == ')'))
         Advance();
       if (I >= N) {
-        Diags.error(Start, "unterminated comment");
+        LexError(Start, "unterminated comment");
         break;
       }
       Advance(2);
@@ -298,10 +314,24 @@ std::vector<Token> swp::lexW2(const std::string &Source,
       Advance();
       Push(TokKind::Equal, Loc);
       continue;
-    default:
-      Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    default: {
+      // Render non-printable bytes as \xNN so binary garbage cannot
+      // smuggle control characters into the diagnostic stream.
+      std::string Spelled;
+      if (std::isprint(static_cast<unsigned char>(C))) {
+        Spelled += C;
+      } else {
+        static const char Hex[] = "0123456789abcdef";
+        unsigned char U = static_cast<unsigned char>(C);
+        Spelled += "\\x";
+        Spelled += Hex[U >> 4];
+        Spelled += Hex[U & 0xF];
+      }
+      if (!LexError(Loc, "unexpected character '" + Spelled + "'"))
+        I = N; // Cap hit: stop lexing; the Eof terminator still follows.
       Advance();
       continue;
+    }
     }
   }
 

@@ -38,10 +38,66 @@ private:
   bool expect(TokKind K, const char *Context) {
     if (match(K))
       return true;
-    Diags.error(peek().Loc, std::string("expected ") + tokKindName(K) +
-                                " " + Context + ", found " +
-                                tokKindName(peek().Kind));
+    error(peek().Loc, std::string("expected ") + tokKindName(K) + " " +
+                          Context + ", found " + tokKindName(peek().Kind));
     return false;
+  }
+
+  /// All parser diagnostics funnel through here so a hostile input cannot
+  /// produce an unbounded diagnostic stream: after MaxErrors the parser
+  /// reports once that it is giving up and goes silent (callers then
+  /// unwind via the TooManyErrors flag).
+  void error(SourceLoc Loc, const std::string &Msg) {
+    if (TooManyErrors)
+      return;
+    if (NumErrors >= MaxErrors) {
+      TooManyErrors = true;
+      Diags.error(Loc, "too many syntax errors; giving up");
+      return;
+    }
+    ++NumErrors;
+    Diags.error(Loc, Msg);
+  }
+
+  /// Recovery: skip to the next statement boundary — just past a ';' at
+  /// the current block depth, or stopping (without consuming) at an 'end'
+  /// that closes this block, so the enclosing loop can continue and
+  /// surface further independent errors. Nested begin/end pairs crossed
+  /// while skipping are balanced so an error inside an inner block does
+  /// not desynchronize the outer one.
+  void resyncToStatement() {
+    unsigned Depth = 0;
+    while (!check(TokKind::Eof)) {
+      TokKind K = peek().Kind;
+      if (K == TokKind::KwBegin) {
+        ++Depth;
+      } else if (K == TokKind::KwEnd) {
+        if (Depth == 0)
+          return;
+        --Depth;
+      } else if (K == TokKind::Semicolon && Depth == 0) {
+        advance();
+        return;
+      }
+      advance();
+    }
+  }
+
+  /// Recursion guard for the descent itself: fuzzed inputs of the shape
+  /// "begin begin begin ..." or "((((((..." would otherwise turn parser
+  /// recursion depth into stack exhaustion. Every recursive cycle passes
+  /// through parseStatement or parsePrimary, so guarding those two caps
+  /// the whole grammar.
+  struct DepthGuard {
+    unsigned &D;
+    explicit DepthGuard(unsigned &D) : D(D) { ++D; }
+    ~DepthGuard() { --D; }
+  };
+  bool tooDeep(SourceLoc Loc) {
+    if (Depth < MaxDepth)
+      return false;
+    error(Loc, "statement or expression nesting too deep");
+    return true;
   }
 
   std::optional<VarDeclAST> parseDecl();
@@ -56,6 +112,11 @@ private:
   std::vector<Token> Tokens;
   DiagnosticEngine &Diags;
   size_t Pos = 0;
+  static constexpr unsigned MaxErrors = 32;
+  static constexpr unsigned MaxDepth = 256;
+  unsigned NumErrors = 0;
+  unsigned Depth = 0;
+  bool TooManyErrors = false;
 };
 
 std::optional<VarDeclAST> Parser::parseDecl() {
@@ -64,7 +125,7 @@ std::optional<VarDeclAST> Parser::parseDecl() {
   D.IsParam = peek().Kind == TokKind::KwParam;
   advance(); // var / param
   if (!check(TokKind::Ident)) {
-    Diags.error(peek().Loc, "expected a name in declaration");
+    error(peek().Loc, "expected a name in declaration");
     return std::nullopt;
   }
   D.Name = advance().Text;
@@ -75,12 +136,12 @@ std::optional<VarDeclAST> Parser::parseDecl() {
   } else if (match(TokKind::KwInt)) {
     D.IsFloat = false;
   } else {
-    Diags.error(peek().Loc, "expected 'float' or 'int' type");
+    error(peek().Loc, "expected 'float' or 'int' type");
     return std::nullopt;
   }
   if (match(TokKind::LBracket)) {
     if (!check(TokKind::IntLit)) {
-      Diags.error(peek().Loc, "array size must be an integer literal");
+      error(peek().Loc, "array size must be an integer literal");
       return std::nullopt;
     }
     D.IsArray = true;
@@ -88,7 +149,7 @@ std::optional<VarDeclAST> Parser::parseDecl() {
     if (!expect(TokKind::RBracket, "after the array size"))
       return std::nullopt;
     if (D.IsParam) {
-      Diags.error(D.Loc, "parameters must be scalars");
+      error(D.Loc, "parameters must be scalars");
       return std::nullopt;
     }
     if (match(TokKind::KwNoAlias))
@@ -106,13 +167,20 @@ StmtASTPtr Parser::parseBlock() {
   auto Block = std::make_unique<BlockStmt>(Loc);
   while (!check(TokKind::KwEnd) && !check(TokKind::Eof)) {
     StmtASTPtr S = parseStatement();
-    if (!S)
-      return nullptr;
+    if (!S) {
+      // Error recovery: the diagnostic is already out; skip to the next
+      // statement boundary and keep parsing so one broken statement does
+      // not hide every error after it. The module still fails overall.
+      if (TooManyErrors)
+        return nullptr;
+      resyncToStatement();
+      continue;
+    }
     Block->Stmts.push_back(std::move(S));
     // Semicolons separate statements; a trailing one before 'end' is fine.
     if (!match(TokKind::Semicolon) && !check(TokKind::KwEnd)) {
-      Diags.error(peek().Loc, "expected ';' between statements");
-      return nullptr;
+      error(peek().Loc, "expected ';' between statements");
+      resyncToStatement();
     }
   }
   if (!expect(TokKind::KwEnd, "to close the block"))
@@ -122,12 +190,15 @@ StmtASTPtr Parser::parseBlock() {
 
 StmtASTPtr Parser::parseStatement() {
   SourceLoc Loc = peek().Loc;
+  if (tooDeep(Loc))
+    return nullptr;
+  DepthGuard G(Depth);
   if (check(TokKind::KwBegin))
     return parseBlock();
 
   if (match(TokKind::KwFor)) {
     if (!check(TokKind::Ident)) {
-      Diags.error(peek().Loc, "expected the loop variable name");
+      error(peek().Loc, "expected the loop variable name");
       return nullptr;
     }
     std::string Var = advance().Text;
@@ -172,7 +243,7 @@ StmtASTPtr Parser::parseStatement() {
     int Queue = 0;
     if (match(TokKind::Comma)) {
       if (!check(TokKind::IntLit)) {
-        Diags.error(peek().Loc, "the channel index must be a literal");
+        error(peek().Loc, "the channel index must be a literal");
         return nullptr;
       }
       Queue = static_cast<int>(advance().IntVal);
@@ -199,8 +270,8 @@ StmtASTPtr Parser::parseStatement() {
                                         std::move(Value), Loc);
   }
 
-  Diags.error(Loc, std::string("expected a statement, found ") +
-                       tokKindName(peek().Kind));
+  error(Loc, std::string("expected a statement, found ") +
+                 tokKindName(peek().Kind));
   return nullptr;
 }
 
@@ -253,6 +324,9 @@ ExprPtr Parser::parseMulExpr() {
 
 ExprPtr Parser::parseUnary() {
   if (check(TokKind::Minus)) {
+    if (tooDeep(peek().Loc))
+      return nullptr;
+    DepthGuard G(Depth);
     SourceLoc Loc = advance().Loc;
     ExprPtr Sub = parseUnary();
     if (!Sub)
@@ -264,6 +338,9 @@ ExprPtr Parser::parseUnary() {
 
 ExprPtr Parser::parsePrimary() {
   SourceLoc Loc = peek().Loc;
+  if (tooDeep(Loc))
+    return nullptr;
+  DepthGuard G(Depth);
   // Conversions spell like calls but use the type keywords.
   if ((check(TokKind::KwFloat) || check(TokKind::KwInt)) &&
       peek(1).Kind == TokKind::LParen) {
@@ -314,8 +391,8 @@ ExprPtr Parser::parsePrimary() {
     }
     return std::make_unique<VarRefExpr>(std::move(Name), Loc);
   }
-  Diags.error(Loc, std::string("expected an expression, found ") +
-                       tokKindName(peek().Kind));
+  error(Loc, std::string("expected an expression, found ") +
+                 tokKindName(peek().Kind));
   return nullptr;
 }
 
@@ -323,17 +400,32 @@ std::optional<ModuleAST> Parser::parseModule() {
   ModuleAST M;
   while (check(TokKind::KwVar) || check(TokKind::KwParam)) {
     std::optional<VarDeclAST> D = parseDecl();
-    if (!D)
-      return std::nullopt;
+    if (!D) {
+      // Recovery: skip past the broken declaration (to just beyond its
+      // ';', or to the next declaration keyword / 'begin') and keep
+      // collecting declaration errors.
+      if (TooManyErrors)
+        return std::nullopt;
+      while (!check(TokKind::Eof) && !check(TokKind::KwBegin) &&
+             !check(TokKind::KwVar) && !check(TokKind::KwParam)) {
+        if (match(TokKind::Semicolon))
+          break;
+        advance();
+      }
+      continue;
+    }
     M.Decls.push_back(std::move(*D));
   }
   StmtASTPtr Body = parseBlock();
   if (!Body)
     return std::nullopt;
-  if (!check(TokKind::Eof)) {
-    Diags.error(peek().Loc, "trailing input after the program block");
+  if (!check(TokKind::Eof))
+    error(peek().Loc, "trailing input after the program block");
+  // Recovery keeps parsing after an error to surface as many independent
+  // diagnostics as possible, but a module with any syntax error is never
+  // handed to lowering.
+  if (NumErrors != 0)
     return std::nullopt;
-  }
   M.Body.push_back(std::move(Body));
   return M;
 }

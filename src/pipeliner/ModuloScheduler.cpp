@@ -18,12 +18,14 @@
 
 #include "swp/Sched/ListScheduler.h"
 #include "swp/Sched/ReservationTables.h"
+#include "swp/Support/FaultInject.h"
 #include "swp/Support/ThreadPool.h"
 #include "swp/Support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 using namespace swp;
 
@@ -266,6 +268,12 @@ bool SchedulerImpl::scheduleComponent(unsigned C, unsigned S, SlotOrder Order,
     unsigned L = Scr.Ready[BestPos];
     Scr.Ready[BestPos] = Scr.Ready.back();
     Scr.Ready.pop_back();
+    if (Opts.Budget && !Opts.Budget->chargeNode()) {
+      Fail.Cause = IntervalFailCause::BudgetCancelled;
+      Fail.Node = Members[L];
+      Fail.SlotsTried = 0;
+      return false;
+    }
     const ScheduleUnit &U = G.unit(Members[L]);
 
     int64_t Lo = Scr.Earliest[L] == NegInf ? 0 : Scr.Earliest[L];
@@ -352,6 +360,9 @@ SchedulerImpl::tryInterval(unsigned S, SchedulerStats &Stats,
     case IntervalFailCause::StageLimit:
       ++Stats.FailStageLimit;
       break;
+    case IntervalFailCause::BudgetCancelled:
+      ++Stats.FailBudget;
+      break;
     case IntervalFailCause::None:
       break;
     }
@@ -377,6 +388,20 @@ std::optional<Schedule>
 SchedulerImpl::tryIntervalImpl(unsigned S, SchedulerStats &Stats,
                                IntervalFailure &Fail) const {
   ++Stats.IntervalsTried;
+  // The interval charge also polls the wall clock, so a long search backs
+  // out within one attempt of the deadline.
+  if (Opts.Budget && !Opts.Budget->chargeInterval()) {
+    Fail.Cause = IntervalFailCause::BudgetCancelled;
+    return std::nullopt;
+  }
+  // Chaos: reject this candidate as if every slot clashed; the search
+  // recovers at a higher interval or falls back to the unpipelined loop.
+  if (faults::shouldFire(faults::Site::SlotExhaustion)) {
+    Fail.Cause = IntervalFailCause::SlotAbort;
+    Fail.Node = 0;
+    Fail.SlotsTried = S;
+    return std::nullopt;
+  }
   const unsigned NumComps = static_cast<unsigned>(Comps.size());
   std::vector<int> Internal(G.numNodes(), 0);
 
@@ -478,6 +503,12 @@ SchedulerImpl::tryIntervalImpl(unsigned S, SchedulerStats &Stats,
     unsigned C = Ready[BestPos];
     Ready[BestPos] = Ready.back();
     Ready.pop_back();
+    if (Opts.Budget && !Opts.Budget->chargeNode()) {
+      Fail.Cause = IntervalFailCause::BudgetCancelled;
+      Fail.Node = Comps[C].front();
+      Stats.Phase2Seconds += secondsSince(P2Start);
+      return std::nullopt;
+    }
 
     int64_t Lo = 0;
     for (unsigned EIdx : CondPreds[C]) {
@@ -552,6 +583,8 @@ const char *swp::intervalFailCauseText(IntervalFailCause C) {
     return "slot-abort";
   case IntervalFailCause::StageLimit:
     return "stage-limit";
+  case IntervalFailCause::BudgetCancelled:
+    return "budget-cancelled";
   }
   return "unknown";
 }
@@ -577,6 +610,11 @@ ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
 
   SchedulerImpl Impl(G, MD, Opts);
   Result.RecMII = Impl.recBound();
+  // Chaos: a lying recurrence bound. The search starts higher than needed
+  // and settles for a valid-but-worse interval (or the unpipelined upper
+  // bound keeps the search nonempty), never an invalid schedule.
+  if (faults::shouldFire(faults::Site::RecMIIInflate))
+    Result.RecMII = Result.RecMII * 2 + 3;
   Result.MII = std::max(Result.ResMII, Result.RecMII);
   Result.Stats.ClosureBuildSeconds = Impl.closureBuildSeconds();
 
@@ -594,6 +632,8 @@ ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
       // Linear search: schedulability is not monotonic in s, and on Warp
       // the lower bound is usually achievable (section 2.2).
       for (unsigned S = Result.MII; S <= MaxII; ++S) {
+        if (Opts.Budget && Opts.Budget->cancelled())
+          break;
         if (std::optional<Schedule> Sched =
                 Impl.tryInterval(S, Result.Stats)) {
           Result.Success = true;
@@ -610,7 +650,8 @@ ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
       // are only ever probed speculatively.
       ThreadPool Pool(Threads);
       unsigned Base = Result.MII;
-      while (Base <= MaxII && !Result.Success) {
+      while (Base <= MaxII && !Result.Success &&
+             !(Opts.Budget && Opts.Budget->cancelled())) {
         unsigned Count = std::min(Threads, MaxII - Base + 1);
         SWP_TRACE_SPAN(WindowSpan, "searchWindow");
         if (WindowSpan.active()) {
@@ -622,6 +663,14 @@ ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
         std::vector<std::optional<Schedule>> Window(Count);
         std::vector<SchedulerStats> WindowStats(Count);
         Pool.parallelFor(Count, [&](size_t I) {
+          // Chaos: a stalled worker delays only its own window slot; a
+          // dying worker is contained by the pool and its slot reads as a
+          // failed attempt, so the search degrades to a larger interval
+          // instead of crashing.
+          if (faults::shouldFire(faults::Site::WorkerStall))
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          if (faults::shouldFire(faults::Site::WorkerDeath))
+            throw faults::InjectedFault(faults::Site::WorkerDeath);
           Window[I] = Impl.tryInterval(Base + static_cast<unsigned>(I),
                                        WindowStats[I]);
         });
@@ -663,6 +712,8 @@ ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
     }
   }
 
+  if (!Result.Success && Opts.Budget && Opts.Budget->expired())
+    Result.BudgetExhausted = true;
   Result.TriedIntervals = static_cast<unsigned>(Result.Stats.IntervalsTried);
   if (Result.Success)
     Result.Stages = (Result.Sched.issueLength() + Result.II - 1) / Result.II;

@@ -1,0 +1,23 @@
+//===- Budget.cpp - Compile budgets and cancellation ---------------------------===//
+//
+// Part of warp-swp. See Budget.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Support/Budget.h"
+
+using namespace swp;
+
+const char *swp::budgetCauseText(BudgetCause C) {
+  switch (C) {
+  case BudgetCause::None:
+    return "none";
+  case BudgetCause::WallClock:
+    return "wall-clock";
+  case BudgetCause::Intervals:
+    return "intervals-tried";
+  case BudgetCause::Nodes:
+    return "nodes-scheduled";
+  }
+  return "unknown";
+}

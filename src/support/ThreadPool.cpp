@@ -66,7 +66,15 @@ void ThreadPool::workerLoop() {
     std::function<void()> Task = std::move(Queue.front());
     Queue.pop_front();
     Lock.unlock();
-    Task();
+    try {
+      Task();
+    } catch (...) {
+      // Contain the failure: the task is charged as aborted and the
+      // worker keeps serving the queue. Its captured state is left
+      // however far the task got, which for speculative work (the
+      // parallel II search) reads as "this attempt failed".
+      Aborted.fetch_add(1, std::memory_order_relaxed);
+    }
     Lock.lock();
     if (--Outstanding == 0)
       AllDone.notify_all();

@@ -11,17 +11,22 @@
 //===----------------------------------------------------------------------===//
 
 #include "swp/Codegen/Compiler.h"
+#include "swp/Driver/W2CDriver.h"
 #include "swp/Interp/Interpreter.h"
 #include "swp/Sim/Simulator.h"
 
 #include "swp/IR/IRBuilder.h"
 #include "swp/IR/Printer.h"
 #include "swp/IR/Verifier.h"
+#include "swp/Support/FaultInject.h"
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <sstream>
+#include <vector>
 
 using namespace swp;
 
@@ -564,3 +569,101 @@ TEST(EndToEnd, DynamicUtilizationMatchesHandCount) {
 }
 
 } // namespace
+
+// ---------------------------------------------------------------------------
+// w2c exit-code contract.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Runs the driver in-process and returns (exit code, stdout, stderr).
+struct DriverRun {
+  int Exit;
+  std::string Out;
+  std::string Err;
+};
+
+DriverRun runDriver(std::vector<std::string> Args) {
+  std::ostringstream Out, Err;
+  int Exit = runW2C(Args, Out, Err);
+  return {Exit, Out.str(), Err.str()};
+}
+
+/// Writes \p Source to a unique file under the test's temp dir and
+/// returns the path (registered for no cleanup; the tree is ephemeral).
+std::string writeSource(const std::string &Stem, const std::string &Source) {
+  std::filesystem::path P =
+      std::filesystem::temp_directory_path() / ("w2c-exit-" + Stem + ".w2");
+  std::ofstream F(P);
+  F << Source;
+  return P.string();
+}
+
+const char GoodSource[] = R"(
+  var a: float[16];
+  begin
+    for i := 0 to 15 do
+      a[i] := a[i] + 1.0;
+  end
+)";
+
+} // namespace
+
+// The exit-code contract is API: scripts and the test driver branch on
+// it. 0 ok, 1 usage/IO, 2 frontend rejection, 3 compile/verify failure,
+// 4 compiled-but-degraded.
+TEST(W2CExitCodes, OkCompileIsZero) {
+  DriverRun R = runDriver({writeSource("ok", GoodSource)});
+  EXPECT_EQ(R.Exit, W2CExitOk) << R.Err;
+}
+
+TEST(W2CExitCodes, UsageAndIOFailuresAreOne) {
+  EXPECT_EQ(runDriver({"--definitely-not-a-flag"}).Exit, W2CExitUsage);
+  EXPECT_EQ(runDriver({"/nonexistent/dir/input.w2"}).Exit, W2CExitUsage);
+  EXPECT_EQ(runDriver({"--max-nodes=banana"}).Exit, W2CExitUsage);
+  EXPECT_EQ(runDriver({"--min-rung=3"}).Exit, W2CExitUsage);
+  EXPECT_EQ(runDriver({"--help"}).Exit, W2CExitOk);
+}
+
+TEST(W2CExitCodes, FrontendRejectionIsTwoWithAllDiagnostics) {
+  // Two distinct broken statements: recovery must surface both before
+  // the driver exits 2, proving one error no longer hides the next.
+  DriverRun R = runDriver({writeSource("parse", R"(
+    var a: float[16];
+    begin
+      a[0] := ;
+      a[1] := 1.0
+      a[2] := * 2.0;
+    end
+  )")});
+  EXPECT_EQ(R.Exit, W2CExitParse);
+  size_t Errors = 0;
+  for (size_t At = 0; (At = R.Err.find("error", At)) != std::string::npos;
+       ++At)
+    ++Errors;
+  EXPECT_GE(Errors, 2u) << "recovery lost diagnostics:\n" << R.Err;
+}
+
+TEST(W2CExitCodes, CompileFailureIsThree) {
+  if (!faults::compiledIn())
+    GTEST_SKIP() << "fault injection compiled out";
+  // Post-emission corruption is unrecoverable by design; with --verify
+  // the driver must report a compile/verify failure.
+  DriverRun R = runDriver(
+      {"--verify",
+       "--chaos-seed=" + std::to_string(faults::chaosSeed(
+                             faults::Site::CorruptEmission, 0)),
+       writeSource("chaos", GoodSource)});
+  EXPECT_EQ(R.Exit, W2CExitCompile) << R.Err;
+  EXPECT_NE(R.Err.find("error"), std::string::npos);
+}
+
+TEST(W2CExitCodes, BudgetDegradedCompileIsFour) {
+  DriverRun R = runDriver(
+      {"--json", "--max-nodes=1", writeSource("degraded", GoodSource)});
+  EXPECT_EQ(R.Exit, W2CExitDegraded) << R.Err;
+  // The JSON report must carry the structured cause alongside the code.
+  EXPECT_NE(R.Out.find("\"budget_tripped\""), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("compile budget exhausted"), std::string::npos)
+      << R.Out;
+}

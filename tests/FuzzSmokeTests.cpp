@@ -14,20 +14,37 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 using namespace swp;
+
+namespace {
+
+/// Seed count for the pinned campaign: 200 in the default suite, widened
+/// via SWP_FUZZ_COUNT (the nightly ctest configuration sets 1000).
+unsigned campaignCount() {
+  if (const char *E = std::getenv("SWP_FUZZ_COUNT"))
+    if (unsigned N = static_cast<unsigned>(std::atoi(E)))
+      return N;
+  return 200;
+}
+
+} // namespace
 
 TEST(FuzzSmoke, TwoHundredSeedsBitIdentical) {
   MachineDescription MD = MachineDescription::warpCell();
+  const unsigned Count = campaignCount();
   FuzzOptions Opts;
   Opts.Seed = 2026;
-  Opts.Count = 200;
+  Opts.Count = Count;
   FuzzSummary Sum = runDifferentialFuzz(Opts, MD);
-  EXPECT_EQ(Sum.Ran, 200u);
+  EXPECT_EQ(Sum.Ran, Count);
   EXPECT_TRUE(Sum.ok()) << Sum.str();
   // The generator must actually exercise the pipeliner, not just emit
   // loops that fall back to local compaction.
-  EXPECT_GT(Sum.Pipelined, 50u)
-      << "only " << Sum.Pipelined << "/200 random programs pipelined";
+  EXPECT_GT(Sum.Pipelined, Count / 4)
+      << "only " << Sum.Pipelined << "/" << Count
+      << " random programs pipelined";
 }
 
 TEST(FuzzSmoke, StraightLineFeaturesOnly) {

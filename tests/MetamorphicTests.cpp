@@ -1,0 +1,285 @@
+//===- MetamorphicTests.cpp - semantics-preserving rewrite checks --------------===//
+//
+// Part of warp-swp.
+//
+// Metamorphic testing of the whole compile-and-run stack: apply a
+// semantics-preserving rewrite to a generated program and demand that
+// (a) the rewritten program still passes the full differential check
+// (interpreter vs simulator, pipelined vs baseline, bit-identical), and
+// (b) the achieved II stays within +/-1 of the original's — the rewrites
+// below do not change the dependence structure (reorder, rename) or only
+// shrink the iteration space (trip nudge), so a bigger II swing would
+// mean the scheduler is sensitive to something it should be invariant to.
+//
+// Three rewrite families over RandomLoopGen programs:
+//   - independent-statement reordering inside loop bodies (conservative:
+//     only register- and memory-independent neighbors swap);
+//   - virtual-register renaming (permute all non-live-in vreg ids);
+//   - trip-count changes (upper bound minus one, staying >= 1 trip;
+//     subscripts stay in bounds because the iteration space shrinks).
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Verify/Differential.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace swp;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rewrite 1: independent-statement reordering.
+// ---------------------------------------------------------------------------
+
+bool usesReg(const Operation &Op, VReg R) {
+  for (VReg V : Op.Operands)
+    if (V.Id == R.Id)
+      return true;
+  if (Op.Mem.isValid() && Op.Mem.Index.hasAddend() &&
+      Op.Mem.Index.Addend.Id == R.Id)
+    return true;
+  return false;
+}
+
+/// Conservative independence: two adjacent operations may swap when
+/// neither reads or writes a register the other writes, and their memory
+/// references cannot alias (loads never conflict; anything involving a
+/// store requires distinct arrays). Queue ops never move.
+bool independentOps(const Operation &A, const Operation &B) {
+  if (A.Opc == Opcode::Send || A.Opc == Opcode::Recv ||
+      B.Opc == Opcode::Send || B.Opc == Opcode::Recv)
+    return false;
+  if (A.Def.isValid() && (usesReg(B, A.Def) ||
+                          (B.Def.isValid() && B.Def.Id == A.Def.Id)))
+    return false;
+  if (B.Def.isValid() && usesReg(A, B.Def))
+    return false;
+  if (A.Mem.isValid() && B.Mem.isValid() &&
+      (isStore(A.Opc) || isStore(B.Opc)) && A.Mem.ArrayId == B.Mem.ArrayId)
+    return false;
+  return true;
+}
+
+/// Swaps independent adjacent operation pairs (decided by \p Rng) in
+/// every statement list of the program, recursively. Returns the number
+/// of swaps applied.
+unsigned reorderStmts(StmtList &List, std::mt19937_64 &Rng) {
+  unsigned Swaps = 0;
+  for (StmtPtr &S : List) {
+    if (auto *For = dyn_cast<ForStmt>(S.get()))
+      Swaps += reorderStmts(For->Body, Rng);
+    else if (auto *If = dyn_cast<IfStmt>(S.get())) {
+      Swaps += reorderStmts(If->Then, Rng);
+      Swaps += reorderStmts(If->Else, Rng);
+    }
+  }
+  for (size_t I = 0; I + 1 < List.size(); ++I) {
+    auto *A = dyn_cast<OpStmt>(List[I].get());
+    auto *B = dyn_cast<OpStmt>(List[I + 1].get());
+    if (!A || !B || !independentOps(A->Op, B->Op))
+      continue;
+    if (Rng() % 2 == 0)
+      continue;
+    std::swap(List[I], List[I + 1]);
+    ++Swaps;
+    ++I; // Swapped pairs don't cascade; keep the walk simple.
+  }
+  return Swaps;
+}
+
+// ---------------------------------------------------------------------------
+// Rewrite 2: virtual-register renaming.
+// ---------------------------------------------------------------------------
+
+void renameInStmts(StmtList &List, const std::vector<unsigned> &Map) {
+  auto Ren = [&](VReg &R) {
+    if (R.isValid())
+      R = VReg(Map[R.Id]);
+  };
+  for (StmtPtr &S : List) {
+    if (auto *Op = dyn_cast<OpStmt>(S.get())) {
+      Ren(Op->Op.Def);
+      for (VReg &V : Op->Op.Operands)
+        Ren(V);
+      if (Op->Op.Mem.isValid())
+        Ren(Op->Op.Mem.Index.Addend);
+    } else if (auto *For = dyn_cast<ForStmt>(S.get())) {
+      Ren(For->IndVar);
+      if (!For->Lo.IsImm)
+        Ren(For->Lo.Reg);
+      if (!For->Hi.IsImm)
+        Ren(For->Hi.Reg);
+      renameInStmts(For->Body, Map);
+    } else if (auto *If = dyn_cast<IfStmt>(S.get())) {
+      Ren(If->Cond);
+      renameInStmts(If->Then, Map);
+      renameInStmts(If->Else, Map);
+    }
+  }
+}
+
+/// Permutes the ids of all non-live-in vregs (live-ins keep their ids so
+/// ProgramInput still addresses them) and rewrites every reference.
+/// Because Program's vreg table is positional, the table is permuted to
+/// match: vregInfo(new id) must describe the renamed register.
+void renameVRegs(Program &P, std::mt19937_64 &Rng) {
+  const unsigned N = P.numVRegs();
+  std::vector<unsigned> Renameable;
+  for (unsigned I = 0; I != N; ++I)
+    if (!P.vregInfo(VReg(I)).IsLiveIn)
+      Renameable.push_back(I);
+  std::vector<unsigned> Shuffled = Renameable;
+  std::shuffle(Shuffled.begin(), Shuffled.end(), Rng);
+
+  std::vector<unsigned> Map(N);
+  for (unsigned I = 0; I != N; ++I)
+    Map[I] = I;
+  for (size_t I = 0; I != Renameable.size(); ++I)
+    Map[Renameable[I]] = Shuffled[I];
+
+  // Permute the info table to match the new numbering.
+  std::vector<VRegInfo> NewInfo(N);
+  for (unsigned I = 0; I != N; ++I)
+    NewInfo[Map[I]] = P.vregInfo(VReg(I));
+  for (unsigned I = 0; I != N; ++I)
+    P.vregInfo(VReg(I)) = NewInfo[I];
+
+  renameInStmts(P.Body, Map);
+}
+
+// ---------------------------------------------------------------------------
+// Rewrite 3: trip-count nudge.
+// ---------------------------------------------------------------------------
+
+/// Shrinks every static loop bound by one iteration where at least one
+/// trip remains. Shrinking never moves a subscript out of bounds.
+unsigned nudgeTripCounts(StmtList &List) {
+  unsigned Changed = 0;
+  for (StmtPtr &S : List) {
+    if (auto *For = dyn_cast<ForStmt>(S.get())) {
+      std::optional<int64_t> N = For->staticTripCount();
+      if (N && *N >= 2) {
+        For->Hi.Imm -= 1;
+        ++Changed;
+      }
+      Changed += nudgeTripCounts(For->Body);
+    } else if (auto *If = dyn_cast<IfStmt>(S.get())) {
+      Changed += nudgeTripCounts(If->Then);
+      Changed += nudgeTripCounts(If->Else);
+    }
+  }
+  return Changed;
+}
+
+// ---------------------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------------------
+
+/// Achieved II of the primary loop under a plain pipelined compile, or 0
+/// when it did not pipeline. Compilation mutates the program, so callers
+/// pass a fresh instance.
+unsigned primaryII(Program &Prog, const MachineDescription &MD) {
+  CompilerOptions Opts;
+  DiagnosticEngine DE;
+  CompileResult CR = compileProgram(Prog, MD, Opts, &DE);
+  if (!CR.Ok)
+    return 0;
+  const LoopReport *L = CR.Report.primaryLoop();
+  return (L && L->pipelined()) ? L->II : 0;
+}
+
+enum class Rewrite { Reorder, Rename, TripNudge };
+
+const char *rewriteName(Rewrite R) {
+  switch (R) {
+  case Rewrite::Reorder:
+    return "reorder";
+  case Rewrite::Rename:
+    return "rename";
+  case Rewrite::TripNudge:
+    return "trip-nudge";
+  }
+  return "?";
+}
+
+/// Applies \p R to \p Prog (seeded by \p Seed); returns whether the
+/// rewrite changed anything.
+bool applyRewrite(Rewrite R, Program &Prog, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed ^ 0x9e3779b97f4a7c15ull);
+  switch (R) {
+  case Rewrite::Reorder:
+    return reorderStmts(Prog.Body, Rng) != 0;
+  case Rewrite::Rename:
+    renameVRegs(Prog, Rng);
+    return true;
+  case Rewrite::TripNudge:
+    return nudgeTripCounts(Prog.Body) != 0;
+  }
+  return false;
+}
+
+/// The metamorphic property for one (seed, rewrite): the rewritten
+/// program passes the full differential check, and when both versions
+/// pipeline their primary loop, achieved II moves by at most 1.
+void checkSeed(uint64_t Seed, Rewrite R, const MachineDescription &MD,
+               unsigned &Rewritten, unsigned &Compared) {
+  WorkloadSpec Spec;
+  Spec.Name = std::string("meta-") + rewriteName(R) + "-" +
+              std::to_string(Seed);
+  Spec.Make = [Seed, R] {
+    BuiltWorkload W = generateRandomLoop(Seed);
+    applyRewrite(R, *W.Prog, Seed);
+    return W;
+  };
+
+  {
+    BuiltWorkload Probe = generateRandomLoop(Seed);
+    if (!applyRewrite(R, *Probe.Prog, Seed))
+      return; // Rewrite was a no-op on this program; nothing to test.
+  }
+  ++Rewritten;
+
+  DiffOutcome D = runDifferential(Spec, MD);
+  EXPECT_TRUE(D.Ok) << Spec.Name << ": " << D.Error;
+
+  BuiltWorkload Orig = generateRandomLoop(Seed);
+  BuiltWorkload Rew = generateRandomLoop(Seed);
+  applyRewrite(R, *Rew.Prog, Seed);
+  unsigned IIOrig = primaryII(*Orig.Prog, MD);
+  unsigned IINew = primaryII(*Rew.Prog, MD);
+  if (IIOrig != 0 && IINew != 0) {
+    ++Compared;
+    int Delta = static_cast<int>(IINew) - static_cast<int>(IIOrig);
+    EXPECT_LE(std::abs(Delta), 1)
+        << Spec.Name << ": II " << IIOrig << " -> " << IINew;
+  }
+}
+
+void runFamily(Rewrite R, unsigned MinRewritten, unsigned MinCompared) {
+  MachineDescription MD = MachineDescription::warpCell();
+  unsigned Rewritten = 0, Compared = 0;
+  for (uint64_t Seed = 5000; Seed != 5040; ++Seed)
+    checkSeed(Seed, R, MD, Rewritten, Compared);
+  // The families must actually bite: enough programs rewritten, enough
+  // II comparisons made, or the suite is vacuously green.
+  EXPECT_GE(Rewritten, MinRewritten);
+  EXPECT_GE(Compared, MinCompared);
+}
+
+} // namespace
+
+TEST(Metamorphic, IndependentReorderPreservesSemanticsAndII) {
+  runFamily(Rewrite::Reorder, 15, 10);
+}
+
+TEST(Metamorphic, RegisterRenamePreservesSemanticsAndII) {
+  runFamily(Rewrite::Rename, 30, 20);
+}
+
+TEST(Metamorphic, TripCountNudgePreservesSemanticsAndII) {
+  runFamily(Rewrite::TripNudge, 30, 20);
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# coverage-report.sh - aggregate gcov line coverage and diff the floor.
+#
+# Part of warp-swp.
+#
+# Usage:
+#   cmake --preset coverage
+#   cmake --build --preset coverage -j
+#   ctest --preset coverage
+#   tools/coverage-report.sh [build-dir]
+#
+# Aggregates line coverage over src/ and include/ from the .gcda files
+# the test run left behind (gcov; gcovr is not assumed to exist), writes
+# the per-directory breakdown to <build-dir>/coverage.txt, and compares
+# the total against the checked-in floor in tests/coverage-baseline.txt.
+# A regression below the floor prints a prominent warning and exits 2 so
+# CI can surface it; raising the floor after genuinely new coverage is a
+# one-line baseline edit.
+
+set -u
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$REPO/build-cov}"
+BASELINE="$REPO/tests/coverage-baseline.txt"
+
+if ! find "$BUILD" -name '*.gcda' -print -quit 2>/dev/null | grep -q .; then
+  echo "error: no .gcda files under $BUILD" >&2
+  echo "build with --preset coverage and run ctest there first" >&2
+  exit 1
+fi
+
+GCOV=gcov
+command -v gcov >/dev/null 2>&1 || GCOV="llvm-cov gcov"
+
+# gcov -n prints, per source file reached from each .gcda:
+#   File '../src/sched/Foo.cpp'
+#   Lines executed:97.50% of 120
+# Dedup by file (the same source shows up once per including object) and
+# aggregate executed/total per top-level directory.
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+( cd "$BUILD" && find . -name '*.gcda' -exec $GCOV -n {} + 2>/dev/null ) \
+  > "$TMP"
+
+awk -v repo="$REPO" '
+  /^File / {
+    file = $0
+    sub(/^File \x27/, "", file); sub(/\x27$/, "", file)
+    # gcov prints absolute paths; keep only files under the repo.
+    if (index(file, repo "/") == 1)
+      file = substr(file, length(repo) + 2)
+    next
+  }
+  /^Lines executed:/ {
+    # Keep only project sources; drop system and third-party headers.
+    if (file !~ /^(src|include)\//) { file = ""; next }
+    if (file in seen) { file = ""; next }
+    seen[file] = 1
+    pct = $0; sub(/^Lines executed:/, "", pct); sub(/%.*/, "", pct)
+    n = $0; sub(/.* of /, "", n)
+    hit = pct * n / 100.0
+    split(file, parts, "/")
+    dir = parts[1] "/" parts[2]
+    dir_hit[dir] += hit; dir_n[dir] += n
+    tot_hit += hit; tot_n += n
+    file = ""
+  }
+  END {
+    if (tot_n == 0) { print "error: no project lines seen" > "/dev/stderr"; exit 1 }
+    for (d in dir_n)
+      printf "%-28s %7.2f%% of %6d lines\n", d, 100.0 * dir_hit[d] / dir_n[d], dir_n[d] | "sort"
+    close("sort")
+    printf "%-28s %7.2f%% of %6d lines\n", "total", 100.0 * tot_hit / tot_n, tot_n
+  }
+' "$TMP" | tee "$BUILD/coverage.txt"
+
+TOTAL="$(awk '$1 == "total" { sub(/%/, "", $2); print $2 }' "$BUILD/coverage.txt")"
+if [ ! -f "$BASELINE" ]; then
+  echo "note: no baseline at $BASELINE; writing one at $TOTAL%"
+  printf 'total_line_coverage_percent %s\n' "$TOTAL" > "$BASELINE"
+  exit 0
+fi
+
+FLOOR="$(awk '$1 == "total_line_coverage_percent" { print $2 }' "$BASELINE")"
+echo "total: ${TOTAL}%  (checked-in floor: ${FLOOR}%)"
+awk -v t="$TOTAL" -v f="$FLOOR" 'BEGIN { exit !(t + 0.25 < f) }' && {
+  echo "WARNING: line coverage ${TOTAL}% regressed below the floor ${FLOOR}%" >&2
+  echo "         (tests/coverage-baseline.txt; fix the gap or justify lowering it)" >&2
+  exit 2
+}
+exit 0
