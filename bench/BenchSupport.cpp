@@ -57,14 +57,24 @@ RunResult swp::bench::runWorkload(const WorkloadSpec &Spec,
 }
 
 std::vector<RunResult> swp::bench::runJobs(const std::vector<RunJob> &Jobs,
-                                           unsigned Threads) {
+                                           ThreadPool &Pool) {
   std::vector<RunResult> Results(Jobs.size());
-  ThreadPool Pool(Threads);
   Pool.parallelFor(Jobs.size(), [&](size_t I) {
     const RunJob &J = Jobs[I];
     Results[I] = runWorkload(*J.Spec, *J.MD, J.Opts, J.Verify);
   });
   return Results;
+}
+
+std::vector<RunResult> swp::bench::runJobs(const std::vector<RunJob> &Jobs,
+                                           unsigned Threads) {
+  // Default to the shared process-wide pool: harness invocations stop
+  // paying thread spawn/join per call. An explicit thread count still
+  // gets a private pool (thread-scaling sweeps need exact widths).
+  if (Threads == 0)
+    return runJobs(Jobs, ThreadPool::global());
+  ThreadPool Pool(Threads);
+  return runJobs(Jobs, Pool);
 }
 
 std::vector<RunResult>

@@ -22,6 +22,10 @@
 #include <string>
 #include <vector>
 
+namespace swp {
+class ThreadPool;
+} // namespace swp
+
 namespace swp::bench {
 
 /// Result of one compile+simulate run.
@@ -55,11 +59,17 @@ struct RunJob {
 };
 
 /// Compiles and simulates a batch of jobs concurrently on a thread pool
-/// (Threads == 0 picks the hardware count). Each job is independent --
-/// the compiler and simulator share no mutable state -- so results are
-/// identical to running the jobs serially, and come back in input order.
+/// (Threads == 0 reuses the process-wide ThreadPool::global(); an
+/// explicit count gets a private pool of exactly that width). Each job is
+/// independent -- the compiler and simulator share no mutable state -- so
+/// results are identical to running the jobs serially, and come back in
+/// input order.
 std::vector<RunResult> runJobs(const std::vector<RunJob> &Jobs,
                                unsigned Threads = 0);
+
+/// Same, on an explicit (injected) pool — tests pin pool identity/width.
+std::vector<RunResult> runJobs(const std::vector<RunJob> &Jobs,
+                               ThreadPool &Pool);
 
 /// Convenience wrapper: one machine and one policy across a whole
 /// population of specs, compiled in parallel, results in input order.

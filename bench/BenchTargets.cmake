@@ -30,6 +30,13 @@ target_link_libraries(bench_sched_micro PRIVATE benchmark::benchmark)
 target_compile_definitions(bench_sched_micro PRIVATE
   SWP_SOURCE_DIR="${CMAKE_SOURCE_DIR}")
 
+# The caching/batch-compile gate: warm-hit latency, batched throughput,
+# and cached-vs-uncached bit-identity (see bench_cache.cpp).
+swp_add_bench(bench_cache)
+target_link_libraries(bench_cache PRIVATE swp_service swp_difftest)
+target_compile_definitions(bench_cache PRIVATE
+  SWP_SOURCE_DIR="${CMAKE_SOURCE_DIR}")
+
 # `cmake --build build --target sched_micro_json` regenerates the
 # scheduler-throughput gate report against the checked-in seed baseline.
 add_custom_target(sched_micro_json

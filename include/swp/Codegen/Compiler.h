@@ -38,6 +38,8 @@
 
 namespace swp {
 
+class ScheduleCache;
+
 /// Compilation policy.
 struct CompilerOptions {
   /// Master switch: false gives the locally-compacted baseline everywhere.
@@ -87,6 +89,12 @@ struct CompilerOptions {
   /// schedule, 2 = sequential only. Nonzero values exist to prove every
   /// rung end-to-end (bit-identical to the interpreter).
   unsigned MinLadderRung = 0;
+  /// Content-addressed schedule cache shared across compilations (see
+  /// swp/Service/ScheduleCache.h). Not owned; null disables caching. The
+  /// cache only changes compile time, never emitted code: hits are
+  /// re-verified against the current graph, and chaos-armed or
+  /// budget-exhausted results are never inserted.
+  ScheduleCache *Cache = nullptr;
   /// Search options forwarded to the modulo scheduler.
   ModuloScheduleOptions Sched;
 

@@ -1,0 +1,177 @@
+//===- swp/Service/ScheduleCache.h - Content-addressed schedule cache -*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md section 10.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-addressed cache of modulo-scheduling results. Keys are the
+/// 128-bit fingerprints of swp/Support/Fingerprint.h (canonical DDG +
+/// machine + schedule-relevant options + search bounds); values are the
+/// winning ModuloScheduleResult with its schedule stored in canonical
+/// node space, so a hit from a renamed/reordered-but-isomorphic loop maps
+/// cleanly onto the current graph's numbering. Failed searches are cached
+/// too (a negative entry spares the cold search), budget-exhausted and
+/// chaos-armed runs never are.
+///
+/// Two tiers:
+///  - in-memory: N-way sharded LRU, one mutex per shard, bounded by entry
+///    count and byte budget;
+///  - optional on-disk: one versioned binary file per fingerprint under a
+///    directory. Disk entries are untrusted: structural validation
+///    (magic, version, key echo, length, checksum) rejects corruption,
+///    and surviving schedules are re-checked against the *current* graph
+///    with the independent ScheduleVerifier before use — a poisoned cache
+///    can degrade hit rate, never correctness.
+///
+/// Thread safety: all public methods are safe to call concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_SERVICE_SCHEDULECACHE_H
+#define SWP_SERVICE_SCHEDULECACHE_H
+
+#include "swp/Pipeliner/ModuloScheduler.h"
+#include "swp/Support/Fingerprint.h"
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace swp {
+
+class DepGraph;
+class MachineDescription;
+
+/// Aggregate cache counters (monotonic since construction or clear()).
+struct CacheStats {
+  uint64_t Hits = 0;          ///< Lookups served (memory or disk).
+  uint64_t Misses = 0;        ///< Lookups that found nothing usable.
+  uint64_t Evictions = 0;     ///< LRU entries displaced by inserts.
+  uint64_t VerifyRejects = 0; ///< Entries rejected by re-verification
+                              ///< (or structural disk validation).
+  uint64_t DiskHits = 0;      ///< Subset of Hits served from disk.
+  uint64_t DiskStores = 0;    ///< Entries written to the disk tier.
+  uint64_t Entries = 0;       ///< Current in-memory entry count.
+  uint64_t Bytes = 0;         ///< Current in-memory byte estimate.
+
+  /// Compact sorted-key JSON object (for reports and bench output).
+  std::string toJson() const;
+};
+
+/// Construction-time configuration.
+struct ScheduleCacheConfig {
+  unsigned Shards = 8;              ///< Concurrency width; floored to 1.
+  size_t MaxEntries = 4096;         ///< Whole-cache entry cap.
+  size_t MaxBytes = 32u << 20;      ///< Whole-cache byte budget.
+  std::string Dir;                  ///< Persistent tier root ("" = off).
+};
+
+class ScheduleCache {
+public:
+  explicit ScheduleCache(ScheduleCacheConfig Config = {});
+
+  ScheduleCache(const ScheduleCache &) = delete;
+  ScheduleCache &operator=(const ScheduleCache &) = delete;
+
+  /// Outcome of one lookup, with the per-lookup counters the caller folds
+  /// into its SchedulerStats.
+  struct LookupResult {
+    std::optional<ModuloScheduleResult> Result;
+    bool FromDisk = false;
+    uint64_t VerifyRejects = 0;
+  };
+
+  /// Looks up \p Key. On a hit the cached canonical schedule is permuted
+  /// onto \p G via \p CG.CanonOf and sanity-checked against \p G (memory
+  /// hits: precedence re-check; disk hits: full ScheduleVerifier run with
+  /// \p MD and \p MaxStages). An entry that fails its check is dropped
+  /// and counted as a verify-reject, and the lookup misses.
+  LookupResult lookup(const Fingerprint &Key, const CanonicalGraph &CG,
+                      const DepGraph &G, const MachineDescription &MD,
+                      unsigned MaxStages);
+
+  /// Inserts \p MS (canonicalized via \p CG) under \p Key; returns the
+  /// number of LRU entries evicted to make room. Budget-exhausted results
+  /// are refused (they are not the search's true answer).
+  uint64_t insert(const Fingerprint &Key, const CanonicalGraph &CG,
+                  const ModuloScheduleResult &MS);
+
+  CacheStats stats() const;
+
+  /// Drops every in-memory entry (the disk tier is left alone) and
+  /// resets the counters.
+  void clear();
+
+  const std::string &dir() const { return Config.Dir; }
+
+  /// On-disk entry format version (bumped on layout change; mismatched
+  /// files are rejected as stale).
+  static constexpr uint32_t DiskFormatVersion = 1;
+
+private:
+  /// One cached search outcome, schedule in canonical node space.
+  struct Entry {
+    bool Success = false;
+    uint32_t II = 0;
+    uint32_t MII = 0;
+    uint32_t ResMII = 0;
+    uint32_t RecMII = 0;
+    uint32_t TriedIntervals = 0;
+    std::vector<int32_t> Starts; ///< Indexed by canonical position.
+
+    size_t bytes() const {
+      return sizeof(Entry) + Starts.capacity() * sizeof(int32_t) +
+             sizeof(Fingerprint) * 3; // map + LRU bookkeeping estimate
+    }
+  };
+
+  struct Shard {
+    std::mutex Mu;
+    /// Front = most recently used.
+    std::list<std::pair<Fingerprint, Entry>> Lru;
+    std::unordered_map<Fingerprint,
+                       std::list<std::pair<Fingerprint, Entry>>::iterator,
+                       FingerprintHash>
+        Map;
+    size_t Bytes = 0;
+  };
+
+  Shard &shardFor(const Fingerprint &Key) {
+    return Shards[static_cast<size_t>(FingerprintHash()(Key)) %
+                  Shards.size()];
+  }
+
+  /// Reconstructs a result on the current graph's numbering; returns
+  /// nullopt when the entry does not fit \p G (collision or stale disk
+  /// data) — the caller counts a verify-reject.
+  std::optional<ModuloScheduleResult>
+  materialize(const Entry &E, const CanonicalGraph &CG, const DepGraph &G,
+              const MachineDescription &MD, bool FullVerify,
+              unsigned MaxStages) const;
+
+  uint64_t insertLocked(Shard &S, const Fingerprint &Key, Entry E);
+
+  std::optional<Entry> loadFromDisk(const Fingerprint &Key);
+  void storeToDisk(const Fingerprint &Key, const Entry &E);
+  std::string pathFor(const Fingerprint &Key) const;
+
+  ScheduleCacheConfig Config;
+  std::vector<Shard> Shards;
+
+  mutable std::atomic<uint64_t> Hits{0};
+  mutable std::atomic<uint64_t> Misses{0};
+  mutable std::atomic<uint64_t> Evictions{0};
+  mutable std::atomic<uint64_t> VerifyRejects{0};
+  mutable std::atomic<uint64_t> DiskHits{0};
+  mutable std::atomic<uint64_t> DiskStores{0};
+};
+
+} // namespace swp
+
+#endif // SWP_SERVICE_SCHEDULECACHE_H

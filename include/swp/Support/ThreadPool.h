@@ -6,19 +6,27 @@
 ///
 /// \file
 /// A small fixed-size thread pool used by the parallel layers: the
-/// speculative parallel II search in the modulo scheduler and the parallel
-/// workload compilation in the bench harness. Tasks are plain
-/// std::function<void()>; wait() blocks until every enqueued task has
-/// finished, so the pool can be reused round after round (the II search
-/// commits one window of candidate intervals per round).
+/// speculative parallel II search in the modulo scheduler, the parallel
+/// workload compilation in the bench harness, and the batched compile
+/// service. Tasks are plain std::function<void()>.
 ///
-/// Tasks must not enqueue into the pool they run on (no work stealing, a
-/// dependent task would deadlock waiting for its own worker). Schedule
-/// failures are reported through the task's captured state; an exception
-/// that does escape a task is contained — the worker survives, the task
-/// counts as aborted (tasksAborted()), and wait() still returns — so a
-/// dying speculative attempt degrades the search instead of taking the
-/// process down.
+/// Completion is tracked per TaskGroup: enqueue(Group, Task) charges the
+/// task to the group and wait(Group) blocks until that group alone has
+/// drained. While waiting, the caller *helps* — it pops and runs queued
+/// tasks (from any group) instead of sleeping — so nested parallelism is
+/// deadlock-free: a pool task may itself enqueue a group into the same
+/// pool and wait on it, which is what happens when the compile service
+/// runs a batch whose compiles each run a speculative parallel II search
+/// on the shared process-wide pool (see global()).
+///
+/// The groupless enqueue()/wait() pair is the legacy whole-pool barrier;
+/// it does not help and must not be used from inside a pool task.
+///
+/// Schedule failures are reported through the task's captured state; an
+/// exception that does escape a task is contained — the worker survives,
+/// the task counts as aborted (tasksAborted()), and waits still return —
+/// so a dying speculative attempt degrades the search instead of taking
+/// the process down.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +36,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -35,6 +44,18 @@
 #include <vector>
 
 namespace swp {
+
+class ThreadPool;
+
+/// Completion scope for a set of tasks on one ThreadPool. A group may be
+/// created anywhere (including inside a pool task), used for one round of
+/// enqueue/wait, and reused after wait() returns. A group must not be
+/// destroyed while tasks charged to it are still pending.
+class TaskGroup {
+  friend class ThreadPool;
+  size_t Pending = 0; ///< Guarded by the owning pool's mutex.
+  std::condition_variable Done;
+};
 
 class ThreadPool {
 public:
@@ -47,20 +68,38 @@ public:
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
+  /// The lazily-initialized process-wide pool (one worker per hardware
+  /// thread), shared by the speculative II search, runJobs, and the
+  /// compile service so repeated harness invocations stop paying thread
+  /// spawn cost. Never destroyed: workers idle until process exit.
+  static ThreadPool &global();
+
   /// Number of worker threads.
   unsigned size() const { return static_cast<unsigned>(Workers.size()); }
 
   /// Queues \p Task for execution on some worker.
   void enqueue(std::function<void()> Task);
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Queues \p Task charged to \p Group.
+  void enqueue(TaskGroup &Group, std::function<void()> Task);
+
+  /// Blocks until the queue is empty and no task is running. Whole-pool
+  /// barrier; never call from inside a pool task.
   void wait();
 
-  /// Runs F(0..N-1) across the pool and blocks until all are done.
+  /// Blocks until every task charged to \p Group has finished, running
+  /// queued tasks on the calling thread while it waits (helping), so
+  /// nesting group waits inside pool tasks cannot deadlock.
+  void wait(TaskGroup &Group);
+
+  /// Runs F(0..N-1) across the pool and blocks until all are done. Built
+  /// on a private TaskGroup with a helping wait, so it is safe to call
+  /// from inside a pool task (nested parallelism).
   template <typename Fn> void parallelFor(size_t N, Fn &&F) {
+    TaskGroup Group;
     for (size_t I = 0; I != N; ++I)
-      enqueue([&F, I] { F(I); });
-    wait();
+      enqueue(Group, [&F, I] { F(I); });
+    wait(Group);
   }
 
   /// Tasks whose exception was contained since construction. A nonzero
@@ -74,11 +113,18 @@ public:
   static unsigned hardwareThreads();
 
 private:
+  struct Item {
+    std::function<void()> Fn;
+    TaskGroup *Group; ///< Null for groupless tasks.
+  };
+
   void workerLoop();
+  /// Runs \p I (containing any exception) and retires it under Lock.
+  void runItem(Item I, std::unique_lock<std::mutex> &Lock);
 
   std::atomic<uint64_t> Aborted{0};
   std::vector<std::thread> Workers;
-  std::deque<std::function<void()>> Queue;
+  std::deque<Item> Queue;
   std::mutex Mu;
   std::condition_variable WorkReady; ///< Queue grew or Stop was set.
   std::condition_variable AllDone;   ///< Outstanding dropped to zero.

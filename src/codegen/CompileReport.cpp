@@ -139,6 +139,11 @@ void CompileReport::print(std::ostream &OS, bool WithStats) const {
            << L.Stats.FailBudget << " budget-cancelled\n";
     }
   }
+  if (SchedTotals.CacheHits != 0 || SchedTotals.CacheMisses != 0)
+    OS << "schedule cache: " << SchedTotals.CacheHits << " hits, "
+       << SchedTotals.CacheMisses << " misses, "
+       << SchedTotals.CacheEvictions << " evictions, "
+       << SchedTotals.CacheVerifyRejects << " verify rejects\n";
   if (BudgetTripped != BudgetCause::None)
     OS << "compile budget tripped: " << budgetCauseText(BudgetTripped)
        << "\n";
@@ -170,73 +175,80 @@ static void appendEscaped(std::ostream &OS, const std::string &S) {
   }
 }
 
+/// Failure-cause breakdown of \p S, keys sorted.
+static void appendFailCauses(std::ostream &OS, const SchedulerStats &S) {
+  OS << "{\"budget_cancelled\": " << S.FailBudget
+     << ", \"precedence_range\": " << S.FailPrecedence
+     << ", \"resource_conflict\": " << S.FailResource
+     << ", \"slot_abort\": " << S.FailSlotAbort
+     << ", \"stage_limit\": " << S.FailStageLimit << "}";
+}
+
+// Every object emits its keys in sorted order — the schema is canonical,
+// not an accident of member declaration order, and the golden snapshots
+// in tests/goldens/ lock exactly this shape.
 std::string CompileReport::toJson() const {
   std::ostringstream OS;
-  OS << "{\n  \"loops\": [\n";
+  OS << "{\n  \"budget_tripped\": \"" << budgetCauseText(BudgetTripped)
+     << "\",\n  \"loops\": [\n";
   for (size_t I = 0; I != Loops.size(); ++I) {
     const LoopReport &L = Loops[I];
-    OS << "    {\"loop_id\": " << L.LoopId
-       << ", \"decision\": \"" << decisionText(L.Decision) << "\""
-       << ", \"cause\": \"" << fallbackCauseText(L.Cause) << "\""
-       << ", \"num_units\": " << L.NumUnits
-       << ", \"has_conditionals\": " << (L.HasConditionals ? "true" : "false")
-       << ", \"has_recurrence\": " << (L.HasRecurrence ? "true" : "false")
-       << ", \"ii\": " << L.II << ", \"mii\": " << L.MII
-       << ", \"res_mii\": " << L.ResMII << ", \"rec_mii\": " << L.RecMII
-       << ", \"rung\": \"" << scheduleRungText(L.Rung) << "\""
-       << ", \"unpipelined_len\": " << L.UnpipelinedLen
-       << ", \"stages\": " << L.Stages << ", \"unroll\": " << L.Unroll
-       << ", \"kernel_insts\": " << L.KernelInsts
-       << ", \"total_loop_insts\": " << L.TotalLoopInsts
-       << ", \"tried_intervals\": " << L.TriedIntervals
-       << ", \"fail_causes\": {\"precedence_range\": "
-       << L.Stats.FailPrecedence
-       << ", \"resource_conflict\": " << L.Stats.FailResource
-       << ", \"slot_abort\": " << L.Stats.FailSlotAbort
-       << ", \"stage_limit\": " << L.Stats.FailStageLimit
-       << ", \"budget_cancelled\": " << L.Stats.FailBudget << "}";
-    if (L.pipelined() && L.KernelUtil.measured())
-      OS << ", \"kernel_util\": " << L.KernelUtil.toJson();
+    OS << "    {\"cause\": \"" << fallbackCauseText(L.Cause) << "\""
+       << ", \"decision\": \"" << decisionText(L.Decision) << "\"";
     if (!L.ExplainText.empty()) {
       OS << ", \"explain\": \"";
       appendEscaped(OS, L.ExplainText);
       OS << "\"";
     }
-    OS << "}" << (I + 1 != Loops.size() ? "," : "") << "\n";
+    OS << ", \"fail_causes\": ";
+    appendFailCauses(OS, L.Stats);
+    OS << ", \"has_conditionals\": " << (L.HasConditionals ? "true" : "false")
+       << ", \"has_recurrence\": " << (L.HasRecurrence ? "true" : "false")
+       << ", \"ii\": " << L.II
+       << ", \"kernel_insts\": " << L.KernelInsts;
+    if (L.pipelined() && L.KernelUtil.measured())
+      OS << ", \"kernel_util\": " << L.KernelUtil.toJson();
+    OS << ", \"loop_id\": " << L.LoopId << ", \"mii\": " << L.MII
+       << ", \"num_units\": " << L.NumUnits
+       << ", \"rec_mii\": " << L.RecMII << ", \"res_mii\": " << L.ResMII
+       << ", \"rung\": \"" << scheduleRungText(L.Rung) << "\""
+       << ", \"stages\": " << L.Stages
+       << ", \"total_loop_insts\": " << L.TotalLoopInsts
+       << ", \"tried_intervals\": " << L.TriedIntervals
+       << ", \"unpipelined_len\": " << L.UnpipelinedLen
+       << ", \"unroll\": " << L.Unroll
+       << "}" << (I + 1 != Loops.size() ? "," : "") << "\n";
   }
   OS << "  ],\n"
-     << "  \"num_pipelined\": " << numPipelined() << ",\n"
      << "  \"num_attempted\": " << numAttempted() << ",\n"
-     << "  \"budget_tripped\": \"" << budgetCauseText(BudgetTripped)
-     << "\",\n"
+     << "  \"num_pipelined\": " << numPipelined() << ",\n"
      << "  \"paranoid_verified\": " << (ParanoidVerified ? "true" : "false")
-     << ",\n  \"verify_errors\": [";
-  for (size_t I = 0; I != VerifyErrors.size(); ++I) {
-    OS << "\"";
-    appendEscaped(OS, VerifyErrors[I]);
-    OS << "\"" << (I + 1 != VerifyErrors.size() ? ", " : "");
-  }
-  OS << "],\n  \"recovered_errors\": [";
+     << ",\n  \"recovered_errors\": [";
   for (size_t I = 0; I != RecoveredErrors.size(); ++I) {
     OS << "\"";
     appendEscaped(OS, RecoveredErrors[I]);
     OS << "\"" << (I + 1 != RecoveredErrors.size() ? ", " : "");
   }
   OS << "],\n"
-     << "  \"sched_totals\": {\"intervals_tried\": "
-     << SchedTotals.IntervalsTried
-     << ", \"slots_probed\": " << SchedTotals.SlotsProbed
+     << "  \"sched_totals\": {\"cache\": {\"evictions\": "
+     << SchedTotals.CacheEvictions << ", \"hits\": " << SchedTotals.CacheHits
+     << ", \"misses\": " << SchedTotals.CacheMisses
+     << ", \"verify_rejects\": " << SchedTotals.CacheVerifyRejects << "}"
      << ", \"component_retries\": " << SchedTotals.ComponentRetries
-     << ", \"failed_intervals\": " << SchedTotals.failedIntervals()
-     << ", \"fail_causes\": {\"precedence_range\": "
-     << SchedTotals.FailPrecedence
-     << ", \"resource_conflict\": " << SchedTotals.FailResource
-     << ", \"slot_abort\": " << SchedTotals.FailSlotAbort
-     << ", \"stage_limit\": " << SchedTotals.FailStageLimit
-     << ", \"budget_cancelled\": " << SchedTotals.FailBudget << "}"
+     << ", \"fail_causes\": ";
+  appendFailCauses(OS, SchedTotals);
+  OS << ", \"failed_intervals\": " << SchedTotals.failedIntervals()
+     << ", \"intervals_tried\": " << SchedTotals.IntervalsTried
+     << ", \"slots_probed\": " << SchedTotals.SlotsProbed
      << ", \"total_seconds\": " << SchedTotals.TotalSeconds << "}";
   if (HasUtilization && Util.measured())
     OS << ",\n  \"utilization\": " << Util.toJson();
-  OS << "\n}\n";
+  OS << ",\n  \"verify_errors\": [";
+  for (size_t I = 0; I != VerifyErrors.size(); ++I) {
+    OS << "\"";
+    appendEscaped(OS, VerifyErrors[I]);
+    OS << "\"" << (I + 1 != VerifyErrors.size() ? ", " : "");
+  }
+  OS << "]\n}\n";
   return OS.str();
 }

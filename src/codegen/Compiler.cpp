@@ -28,6 +28,7 @@
 #include "swp/Sched/ListScheduler.h"
 #include "swp/Sched/ScheduleDump.h"
 #include "swp/Sched/Utilization.h"
+#include "swp/Service/ScheduleCache.h"
 #include "swp/Support/FaultInject.h"
 #include "swp/Support/Trace.h"
 #include "swp/Verify/ScheduleVerifier.h"
@@ -1005,7 +1006,35 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
     SOpts.MaxII = static_cast<unsigned>(UnpipelinedPeriod);
   if (BudgetStore)
     SOpts.Budget = &*BudgetStore;
-  ModuloScheduleResult MS = moduloSchedule(G, MD, SOpts);
+  ModuloScheduleResult MS;
+  if (Opts.Cache) {
+    // Content-addressed reuse: key = canonical DDG + machine + every
+    // schedule-relevant option + the resolved search ceiling. A hit is a
+    // finished search (positive or negative) re-verified against *this*
+    // graph; a miss runs the search and publishes the outcome. Chaos-armed
+    // compiles never publish — an injected fault must not poison shared
+    // state that outlives the compile.
+    SWP_TRACE_SPAN(CacheSpan, "scheduleCacheLookup");
+    CanonicalGraph CG = canonicalizeGraph(G);
+    Fingerprint Key = combineFingerprints(
+        {CG.FP, fingerprintMachine(MD), fingerprintScheduleOptions(Opts),
+         Fingerprint{SOpts.MaxII, SOpts.MaxStages}});
+    ScheduleCache::LookupResult LR =
+        Opts.Cache->lookup(Key, CG, G, MD, SOpts.MaxStages);
+    if (LR.Result) {
+      MS = std::move(*LR.Result);
+      MS.Stats.CacheHits = 1;
+      MS.Stats.CacheVerifyRejects = LR.VerifyRejects;
+    } else {
+      MS = moduloSchedule(G, MD, SOpts);
+      MS.Stats.CacheMisses = 1;
+      MS.Stats.CacheVerifyRejects += LR.VerifyRejects;
+      if (Opts.ChaosSeed == 0)
+        MS.Stats.CacheEvictions = Opts.Cache->insert(Key, CG, MS);
+    }
+  } else {
+    MS = moduloSchedule(G, MD, SOpts);
+  }
   Report.Decision = PipelineDecision::Fallback;
   Report.MII = MS.MII;
   Report.ResMII = MS.ResMII;

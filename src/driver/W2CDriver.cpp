@@ -9,12 +9,15 @@
 #include "swp/Codegen/Compiler.h"
 #include "swp/IR/Printer.h"
 #include "swp/Lang/Lowering.h"
+#include "swp/Service/CompileService.h"
+#include "swp/Service/ScheduleCache.h"
 #include "swp/Sim/Simulator.h"
 #include "swp/Support/Trace.h"
 
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 using namespace swp;
@@ -65,6 +68,14 @@ void printUsage(std::ostream &OS) {
         "the unrolled list schedule, 2 = sequential only\n"
         "  --chaos-seed=N      deterministic fault injection (testing; "
         "see swp/Support/FaultInject.h)\n"
+        "  --cache             content-addressed schedule cache (loops "
+        "with isomorphic DDGs share one search)\n"
+        "  --cache-dir=DIR     persistent cache tier under DIR (implies "
+        "--cache; entries are verified on load)\n"
+        "  --cache-bytes=N     in-memory cache byte budget (implies "
+        "--cache)\n"
+        "  --batch             compile every input file through the "
+        "compile service (dedup + shared cache)\n"
         "exit codes: 0 ok, 1 usage/IO, 2 frontend rejection, 3 compile "
         "failure, 4 ok-but-degraded\n";
 }
@@ -84,6 +95,155 @@ bool parseCount(const std::string &Arg, size_t PrefixLen, const char *Flag,
   return true;
 }
 
+/// Minimal JSON string escaping for file paths.
+std::string jsonEscape(const std::string &S) {
+  std::string R;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      R += '\\';
+    R += C;
+  }
+  return R;
+}
+
+/// The --batch path: every input file goes through the compile service
+/// (identical files coalesce into one compile; with --cache, isomorphic
+/// loops across distinct files share schedule searches).
+int runBatch(const std::vector<std::string> &Paths, bool Pipeline,
+             bool Verify, bool Stats, bool Json, bool Explain,
+             bool Utilization, unsigned SearchThreads,
+             const CompileBudget &Budget, uint64_t ChaosSeed,
+             unsigned MinLadderRung, const std::string &TracePath,
+             ScheduleCache *Cache, std::ostream &Out, std::ostream &Err) {
+  if (Paths.empty()) {
+    Err << "error: --batch needs at least one input file\n";
+    return W2CExitUsage;
+  }
+  if (Utilization) {
+    Err << "error: --utilization is not supported with --batch\n";
+    return W2CExitUsage;
+  }
+
+  // Read and front-end check every file up front, so frontend rejection
+  // stays a distinct exit code and the factories below cannot fail.
+  std::vector<std::string> Sources(Paths.size());
+  for (size_t I = 0; I != Paths.size(); ++I) {
+    std::ifstream File(Paths[I]);
+    if (!File) {
+      Err << "error: cannot open '" << Paths[I] << "'\n";
+      return W2CExitUsage;
+    }
+    std::stringstream SS;
+    SS << File.rdbuf();
+    Sources[I] = SS.str();
+    DiagnosticEngine DE;
+    if (!compileW2Source(Sources[I], DE)) {
+      Err << Paths[I] << ":\n" << DE.str();
+      return W2CExitParse;
+    }
+  }
+
+  if (!TracePath.empty()) {
+    if (!trace::compiledIn()) {
+      Err << "error: --trace requested but tracing was compiled out "
+             "(rebuild with SWP_TRACE_ENABLED=1)\n";
+      return W2CExitUsage;
+    }
+    trace::start(TracePath);
+    trace::setThreadName("w2c-main");
+  }
+
+  MachineDescription MD = MachineDescription::warpCell();
+  CompilerOptions Opts;
+  Opts.EnablePipelining = Pipeline;
+  Opts.ParanoidVerify = Verify;
+  Opts.Explain = Explain;
+  Opts.Budget = Budget;
+  Opts.ChaosSeed = ChaosSeed;
+  Opts.MinLadderRung = MinLadderRung;
+  Opts.Sched.SearchThreads = SearchThreads;
+
+  CompileService::Config SC;
+  SC.Cache = Cache;
+  CompileService Service(SC);
+  std::vector<CompileJob> Jobs(Paths.size());
+  for (size_t I = 0; I != Paths.size(); ++I) {
+    Jobs[I].MD = &MD;
+    Jobs[I].Opts = Opts;
+    Jobs[I].Make = [Source = Sources[I]]() {
+      DiagnosticEngine DE;
+      std::optional<W2Module> M = compileW2Source(Source, DE);
+      return std::make_unique<Program>(std::move(M->Prog));
+    };
+  }
+  std::vector<CompileResult> Results = Service.compileBatch(Jobs);
+
+  if (!TracePath.empty()) {
+    std::string TraceErr;
+    if (!trace::stop(&TraceErr)) {
+      Err << "error: writing trace: " << TraceErr << "\n";
+      return W2CExitUsage;
+    }
+    if (!Json)
+      Out << "(trace written to " << TracePath << ")\n";
+  }
+
+  bool AnyFailed = false;
+  bool AnyDegraded = false;
+  for (const CompileResult &CR : Results) {
+    if (!CR.Ok) {
+      AnyFailed = true;
+      continue;
+    }
+    for (const LoopReport &L : CR.Report.Loops)
+      AnyDegraded |= L.degraded();
+  }
+
+  if (Json) {
+    // Keys in sorted order: cache, files, service.
+    Out << "{";
+    if (Cache)
+      Out << "\"cache\":" << Cache->stats().toJson() << ",";
+    Out << "\"files\":[";
+    for (size_t I = 0; I != Results.size(); ++I) {
+      if (I)
+        Out << ",";
+      Out << "{\"file\":\"" << jsonEscape(Paths[I])
+          << "\",\"ok\":" << (Results[I].Ok ? "true" : "false")
+          << ",\"report\":" << Results[I].Report.toJson() << "}";
+    }
+    Out << "],\"service\":" << Service.stats().toJson() << "}";
+  } else {
+    Out << "=== batch (" << Paths.size() << " files) ===\n";
+    for (size_t I = 0; I != Results.size(); ++I) {
+      const CompileResult &CR = Results[I];
+      if (!CR.Ok) {
+        Out << Paths[I] << ": FAILED: " << CR.Error << "\n";
+        continue;
+      }
+      bool Degraded = false;
+      for (const LoopReport &L : CR.Report.Loops)
+        Degraded |= L.degraded();
+      Out << Paths[I] << ": " << (Degraded ? "degraded" : "ok") << ", "
+          << CR.Code.size() << " long instructions\n";
+    }
+    if (Stats) {
+      ServiceStats SS = Service.stats();
+      Out << "service: " << SS.Requests << " requests, " << SS.Compiles
+          << " compiles, " << SS.MemoHits << " memo hits, " << SS.Coalesced
+          << " coalesced\n";
+      if (Cache) {
+        CacheStats CS = Cache->stats();
+        Out << "cache: " << CS.Hits << " hits, " << CS.Misses
+            << " misses, " << CS.Evictions << " evictions, "
+            << CS.VerifyRejects << " verify rejects\n";
+      }
+    }
+  }
+  return AnyFailed ? W2CExitCompile
+                   : (AnyDegraded ? W2CExitDegraded : W2CExitOk);
+}
+
 } // namespace
 
 int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
@@ -99,8 +259,12 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
   CompileBudget Budget;
   uint64_t ChaosSeed = 0;
   unsigned MinLadderRung = 0;
+  bool UseCache = false;
+  std::string CacheDir;
+  uint64_t CacheBytes = 0;
+  bool Batch = false;
   std::string TracePath;
-  std::string Path;
+  std::vector<std::string> Paths;
   for (const std::string &Arg : Args) {
     uint64_t N = 0;
     if (Arg == "--no-pipeline") {
@@ -151,6 +315,26 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
       if (!parseCount(Arg, 13, "--chaos-seed", UINT64_MAX, N, Err))
         return W2CExitUsage;
       ChaosSeed = N;
+    } else if (Arg == "--cache") {
+      UseCache = true;
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      CacheDir = Arg.substr(12);
+      if (CacheDir.empty()) {
+        Err << "error: --cache-dir needs a directory (--cache-dir=DIR)\n";
+        return W2CExitUsage;
+      }
+      UseCache = true;
+    } else if (Arg.rfind("--cache-bytes=", 0) == 0) {
+      if (!parseCount(Arg, 14, "--cache-bytes", UINT64_MAX, N, Err))
+        return W2CExitUsage;
+      if (N == 0) {
+        Err << "error: --cache-bytes needs a nonzero byte budget\n";
+        return W2CExitUsage;
+      }
+      CacheBytes = N;
+      UseCache = true;
+    } else if (Arg == "--batch") {
+      Batch = true;
     } else if (Arg == "--help") {
       printUsage(Out);
       return W2CExitOk;
@@ -158,24 +342,40 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
       Err << "error: unknown option '" << Arg << "'\n";
       printUsage(Err);
       return W2CExitUsage;
-    } else if (!Path.empty()) {
-      Err << "error: multiple input files ('" << Path << "' and '" << Arg
-          << "')\n";
-      return W2CExitUsage;
     } else {
-      Path = Arg;
+      Paths.push_back(Arg);
     }
   }
+  if (!Batch && Paths.size() > 1) {
+    Err << "error: multiple input files ('" << Paths[0] << "' and '"
+        << Paths[1] << "'); use --batch to compile several\n";
+    return W2CExitUsage;
+  }
+
+  std::optional<ScheduleCache> Cache;
+  if (UseCache) {
+    ScheduleCacheConfig CC;
+    if (CacheBytes != 0)
+      CC.MaxBytes = static_cast<size_t>(CacheBytes);
+    CC.Dir = CacheDir;
+    Cache.emplace(CC);
+  }
+
+  if (Batch)
+    return runBatch(Paths, Pipeline, Verify, Stats, Json, Explain,
+                    Utilization, SearchThreads, Budget, ChaosSeed,
+                    MinLadderRung, TracePath,
+                    Cache ? &*Cache : nullptr, Out, Err);
 
   std::string Source;
-  if (Path.empty()) {
+  if (Paths.empty()) {
     if (!Json)
       Out << "(no input file: compiling the built-in demo)\n";
     Source = DemoSource;
   } else {
-    std::ifstream File(Path);
+    std::ifstream File(Paths[0]);
     if (!File) {
-      Err << "error: cannot open '" << Path << "'\n";
+      Err << "error: cannot open '" << Paths[0] << "'\n";
       return W2CExitUsage;
     }
     std::stringstream SS;
@@ -215,6 +415,7 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
   Opts.Budget = Budget;
   Opts.ChaosSeed = ChaosSeed;
   Opts.MinLadderRung = MinLadderRung;
+  Opts.Cache = Cache ? &*Cache : nullptr;
   Opts.Sched.SearchThreads = SearchThreads;
   CompileResult CR = compileProgram(Mod->Prog, MD, Opts, &DE);
   if (CR.Ok && Utilization) {

@@ -647,8 +647,10 @@ ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
       // intervals concurrently and commit the smallest successful one —
       // exactly what the serial scan would have returned, since the scan
       // stops at the first (i.e. smallest) success and later intervals
-      // are only ever probed speculatively.
-      ThreadPool Pool(Threads);
+      // are only ever probed speculatively. Work runs on the process-wide
+      // pool (the window width stays SearchThreads; the pool's group wait
+      // helps, so a search nested inside a pool task cannot deadlock).
+      ThreadPool &Pool = ThreadPool::global();
       unsigned Base = Result.MII;
       while (Base <= MaxII && !Result.Success &&
              !(Opts.Budget && Opts.Budget->cancelled())) {

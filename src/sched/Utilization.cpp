@@ -59,21 +59,23 @@ void UtilizationReport::print(std::ostream &OS) const {
 
 std::string UtilizationReport::toJson() const {
   std::ostringstream OS;
-  OS << "{\"cycles\": " << Cycles << ", \"exec_cycles\": " << ExecCycles
-     << ", \"stall_cycles\": " << StallCycles
+  // Keys in sorted order: the JSON schema is canonical, not declaration
+  // order (golden snapshots depend on it).
+  OS << "{\"bottleneck_occupancy\": " << bottleneckOccupancy()
+     << ", \"cycles\": " << Cycles << ", \"exec_cycles\": " << ExecCycles
      << ", \"input_stall_cycles\": " << InputStallCycles
+     << ", \"issue_fill\": " << issueFillRate()
+     << ", \"ops_issued\": " << OpsIssued
      << ", \"output_stall_cycles\": " << OutputStallCycles
-     << ", \"ops_issued\": " << OpsIssued << ", \"issue_fill\": "
-     << issueFillRate() << ", \"bottleneck_occupancy\": "
-     << bottleneckOccupancy() << ", \"resources\": [";
+     << ", \"resources\": [";
   for (size_t I = 0; I != Resources.size(); ++I) {
     const ResourceUtilization &R = Resources[I];
-    OS << (I ? ", " : "") << "{\"name\": \"" << R.Name
-       << "\", \"units\": " << R.Units
-       << ", \"busy_unit_cycles\": " << R.BusyUnitCycles
-       << ", \"occupancy\": " << R.occupancy(ExecCycles) << "}";
+    OS << (I ? ", " : "") << "{\"busy_unit_cycles\": " << R.BusyUnitCycles
+       << ", \"name\": \"" << R.Name << "\""
+       << ", \"occupancy\": " << R.occupancy(ExecCycles)
+       << ", \"units\": " << R.Units << "}";
   }
-  OS << "]}";
+  OS << "], \"stall_cycles\": " << StallCycles << "}";
   return OS.str();
 }
 

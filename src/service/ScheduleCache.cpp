@@ -1,0 +1,387 @@
+//===- ScheduleCache.cpp - Content-addressed schedule cache ---------------------===//
+//
+// Part of warp-swp. See ScheduleCache.h and DESIGN.md section 10.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Service/ScheduleCache.h"
+
+#include "swp/DDG/DepGraph.h"
+#include "swp/Support/FaultInject.h"
+#include "swp/Support/Trace.h"
+#include "swp/Verify/ScheduleVerifier.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace swp;
+
+std::string CacheStats::toJson() const {
+  std::ostringstream OS;
+  OS << "{\"bytes\": " << Bytes << ", \"disk_hits\": " << DiskHits
+     << ", \"disk_stores\": " << DiskStores << ", \"entries\": " << Entries
+     << ", \"evictions\": " << Evictions << ", \"hits\": " << Hits
+     << ", \"misses\": " << Misses << ", \"verify_rejects\": "
+     << VerifyRejects << "}";
+  return OS.str();
+}
+
+ScheduleCache::ScheduleCache(ScheduleCacheConfig C)
+    : Config(std::move(C)), Shards(std::max(1u, Config.Shards)) {
+  if (!Config.Dir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Config.Dir, EC);
+    // A failed mkdir degrades the disk tier to store-nothing/load-nothing;
+    // lookups and inserts keep working in memory.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// In-memory tier
+//===----------------------------------------------------------------------===//
+
+std::optional<ModuloScheduleResult>
+ScheduleCache::materialize(const Entry &E, const CanonicalGraph &CG,
+                           const DepGraph &G, const MachineDescription &MD,
+                           bool FullVerify, unsigned MaxStages) const {
+  ModuloScheduleResult MS;
+  MS.Success = E.Success;
+  MS.II = E.II;
+  MS.MII = E.MII;
+  MS.ResMII = E.ResMII;
+  MS.RecMII = E.RecMII;
+  MS.TriedIntervals = E.TriedIntervals;
+  MS.Stats.IntervalsTried = E.TriedIntervals;
+  if (!E.Success)
+    return MS; // Negative entry: the search's answer was "no schedule".
+
+  if (E.Starts.size() != G.numNodes() || E.II == 0)
+    return std::nullopt;
+  MS.Sched = Schedule(G.numNodes());
+  for (unsigned I = 0; I != G.numNodes(); ++I) {
+    int32_t T = E.Starts[CG.CanonOf[I]];
+    if (T < 0)
+      return std::nullopt;
+    MS.Sched.setStart(I, T);
+  }
+  MS.Stages = (MS.Sched.issueLength() + MS.II - 1) / MS.II;
+
+  if (FullVerify) {
+    // Disk entries are untrusted even after the structural checks pass:
+    // run the full independent verifier against the current graph and
+    // machine, so a poisoned or stale file can never emit a schedule.
+    if (!verifyModuloSchedule(G, MS.Sched, MS.II, MD, MaxStages).ok())
+      return std::nullopt;
+  } else {
+    // Memory entries were verified when compiled; a cheap precedence
+    // re-check against *this* graph guards the astronomically unlikely
+    // fingerprint collision (and costs O(edges), noise next to a search).
+    if (!MS.Sched.satisfiesPrecedence(G, static_cast<int>(MS.II)))
+      return std::nullopt;
+    if (MaxStages != 0 && MS.Stages > MaxStages)
+      return std::nullopt;
+  }
+  return MS;
+}
+
+ScheduleCache::LookupResult
+ScheduleCache::lookup(const Fingerprint &Key, const CanonicalGraph &CG,
+                      const DepGraph &G, const MachineDescription &MD,
+                      unsigned MaxStages) {
+  LookupResult R;
+  Shard &S = shardFor(Key);
+  std::optional<Entry> Found;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Map.find(Key);
+    if (It != S.Map.end()) {
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+      Found = It->second->second; // Copy out; entries are small.
+    }
+  }
+  if (Found) {
+    R.Result = materialize(*Found, CG, G, MD, /*FullVerify=*/false,
+                           MaxStages);
+    if (R.Result) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      SWP_TRACE_INSTANT("cacheHit", {});
+      return R;
+    }
+    // Collision or mismatch: drop the poisoned entry.
+    ++R.VerifyRejects;
+    VerifyRejects.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Map.find(Key);
+    if (It != S.Map.end()) {
+      S.Bytes -= It->second->second.bytes();
+      S.Lru.erase(It->second);
+      S.Map.erase(It);
+    }
+  }
+
+  if (!Config.Dir.empty()) {
+    if (std::optional<Entry> FromDisk = loadFromDisk(Key)) {
+      R.Result = materialize(*FromDisk, CG, G, MD, /*FullVerify=*/true,
+                             MaxStages);
+      if (R.Result) {
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        DiskHits.fetch_add(1, std::memory_order_relaxed);
+        R.FromDisk = true;
+        SWP_TRACE_INSTANT("cacheDiskHit", {});
+        // Promote into memory so the next hit skips the file system.
+        std::lock_guard<std::mutex> Lock(S.Mu);
+        uint64_t Ev = insertLocked(S, Key, std::move(*FromDisk));
+        Evictions.fetch_add(Ev, std::memory_order_relaxed);
+        return R;
+      }
+      // Structurally sound but semantically wrong for this graph (stale
+      // or poisoned content with a recomputed checksum): reject it.
+      ++R.VerifyRejects;
+      VerifyRejects.fetch_add(1, std::memory_order_relaxed);
+      SWP_TRACE_INSTANT("cacheVerifyReject", {});
+    }
+  }
+
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  return R;
+}
+
+uint64_t ScheduleCache::insertLocked(Shard &S, const Fingerprint &Key,
+                                     Entry E) {
+  uint64_t Evicted = 0;
+  auto It = S.Map.find(Key);
+  if (It != S.Map.end()) {
+    S.Bytes -= It->second->second.bytes();
+    S.Lru.erase(It->second);
+    S.Map.erase(It);
+  }
+  S.Lru.emplace_front(Key, std::move(E));
+  S.Bytes += S.Lru.front().second.bytes();
+  S.Map[Key] = S.Lru.begin();
+
+  // Budgets are whole-cache; each shard enforces its slice.
+  size_t ShardEntries = std::max<size_t>(1, Config.MaxEntries / Shards.size());
+  size_t ShardBytes = std::max<size_t>(1, Config.MaxBytes / Shards.size());
+  while (S.Lru.size() > 1 &&
+         (S.Lru.size() > ShardEntries || S.Bytes > ShardBytes)) {
+    auto &Victim = S.Lru.back();
+    S.Bytes -= Victim.second.bytes();
+    S.Map.erase(Victim.first);
+    S.Lru.pop_back();
+    ++Evicted;
+  }
+  return Evicted;
+}
+
+uint64_t ScheduleCache::insert(const Fingerprint &Key,
+                               const CanonicalGraph &CG,
+                               const ModuloScheduleResult &MS) {
+  if (MS.BudgetExhausted)
+    return 0;
+  Entry E;
+  E.Success = MS.Success;
+  E.II = MS.II;
+  E.MII = MS.MII;
+  E.ResMII = MS.ResMII;
+  E.RecMII = MS.RecMII;
+  E.TriedIntervals = MS.TriedIntervals;
+  if (MS.Success) {
+    E.Starts.assign(CG.CanonOf.size(), -1);
+    for (unsigned I = 0; I != CG.CanonOf.size(); ++I) {
+      if (!MS.Sched.isScheduled(I))
+        return 0; // Partial schedule: not cacheable.
+      E.Starts[CG.CanonOf[I]] = static_cast<int32_t>(MS.Sched.startOf(I));
+    }
+  }
+  if (!Config.Dir.empty())
+    storeToDisk(Key, E);
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  uint64_t Ev = insertLocked(S, Key, std::move(E));
+  Evictions.fetch_add(Ev, std::memory_order_relaxed);
+  return Ev;
+}
+
+CacheStats ScheduleCache::stats() const {
+  CacheStats St;
+  St.Hits = Hits.load(std::memory_order_relaxed);
+  St.Misses = Misses.load(std::memory_order_relaxed);
+  St.Evictions = Evictions.load(std::memory_order_relaxed);
+  St.VerifyRejects = VerifyRejects.load(std::memory_order_relaxed);
+  St.DiskHits = DiskHits.load(std::memory_order_relaxed);
+  St.DiskStores = DiskStores.load(std::memory_order_relaxed);
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(const_cast<Shard &>(S).Mu);
+    St.Entries += S.Lru.size();
+    St.Bytes += S.Bytes;
+  }
+  return St;
+}
+
+void ScheduleCache::clear() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Lru.clear();
+    S.Map.clear();
+    S.Bytes = 0;
+  }
+  Hits.store(0, std::memory_order_relaxed);
+  Misses.store(0, std::memory_order_relaxed);
+  Evictions.store(0, std::memory_order_relaxed);
+  VerifyRejects.store(0, std::memory_order_relaxed);
+  DiskHits.store(0, std::memory_order_relaxed);
+  DiskStores.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent tier
+//===----------------------------------------------------------------------===//
+//
+// One file per fingerprint: <dir>/<32 hex digits>.sched, little-endian
+// fixed-width fields:
+//
+//   magic "SWPC" | version u32 | key hi u64 | key lo u64 | success u32 |
+//   ii u32 | mii u32 | res_mii u32 | rec_mii u32 | tried u32 |
+//   num_starts u32 | starts i32[num_starts] | checksum u64
+//
+// The checksum (FNV-1a over everything before it) plus the key echo and
+// length checks reject truncation, bit flips, and misfiled entries; the
+// version field rejects stale layouts. Survivors are still re-verified
+// against the live graph (see materialize).
+
+namespace {
+
+uint64_t fnv1a(const unsigned char *Data, size_t Len) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t I = 0; I != Len; ++I) {
+    H ^= Data[I];
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+uint32_t getU32(const unsigned char *P) {
+  uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | P[I];
+  return V;
+}
+
+uint64_t getU64(const unsigned char *P) {
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | P[I];
+  return V;
+}
+
+constexpr char Magic[4] = {'S', 'W', 'P', 'C'};
+constexpr size_t HeaderBytes = 4 + 4 + 8 + 8 + 7 * 4;
+
+} // namespace
+
+std::string ScheduleCache::pathFor(const Fingerprint &Key) const {
+  return Config.Dir + "/" + Key.hex() + ".sched";
+}
+
+void ScheduleCache::storeToDisk(const Fingerprint &Key, const Entry &E) {
+  std::string Buf;
+  Buf.reserve(HeaderBytes + E.Starts.size() * 4 + 8);
+  Buf.append(Magic, 4);
+  putU32(Buf, DiskFormatVersion);
+  putU64(Buf, Key.Hi);
+  putU64(Buf, Key.Lo);
+  putU32(Buf, E.Success ? 1 : 0);
+  putU32(Buf, E.II);
+  putU32(Buf, E.MII);
+  putU32(Buf, E.ResMII);
+  putU32(Buf, E.RecMII);
+  putU32(Buf, E.TriedIntervals);
+  putU32(Buf, static_cast<uint32_t>(E.Starts.size()));
+  for (int32_t T : E.Starts)
+    putU32(Buf, static_cast<uint32_t>(T));
+  putU64(Buf, fnv1a(reinterpret_cast<const unsigned char *>(Buf.data()),
+                    Buf.size()));
+
+  // Write-then-rename so a concurrent reader never sees a torn file.
+  std::string Path = pathFor(Key);
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out.good())
+      return; // Disk tier is best-effort; memory tier still has the entry.
+    Out.write(Buf.data(), static_cast<std::streamsize>(Buf.size()));
+    if (!Out.good())
+      return;
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+  if (!EC)
+    DiskStores.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<ScheduleCache::Entry>
+ScheduleCache::loadFromDisk(const Fingerprint &Key) {
+  SWP_TRACE_SPAN(LoadSpan, "cacheDiskLoad");
+  std::ifstream In(pathFor(Key), std::ios::binary);
+  if (!In.good())
+    return std::nullopt;
+  std::string Buf((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
+
+  // Chaos: a corrupted persistent entry — flip a bit in the middle (or
+  // truncate). The structural validation below must reject it and the
+  // caller falls back to a clean compile.
+  if (faults::shouldFire(faults::Site::CorruptCacheEntry)) {
+    if (Buf.size() > 8)
+      Buf[Buf.size() / 2] = static_cast<char>(Buf[Buf.size() / 2] ^ 0x10);
+    else
+      Buf.clear();
+  }
+
+  auto Reject = [this]() -> std::optional<Entry> {
+    VerifyRejects.fetch_add(1, std::memory_order_relaxed);
+    SWP_TRACE_INSTANT("cacheDiskReject", {});
+    return std::nullopt;
+  };
+  const unsigned char *P =
+      reinterpret_cast<const unsigned char *>(Buf.data());
+  if (Buf.size() < HeaderBytes + 8 ||
+      std::memcmp(P, Magic, 4) != 0)
+    return Reject();
+  if (getU64(P + Buf.size() - 8) != fnv1a(P, Buf.size() - 8))
+    return Reject();
+  if (getU32(P + 4) != DiskFormatVersion)
+    return Reject();
+  if (getU64(P + 8) != Key.Hi || getU64(P + 16) != Key.Lo)
+    return Reject();
+
+  Entry E;
+  E.Success = getU32(P + 24) != 0;
+  E.II = getU32(P + 28);
+  E.MII = getU32(P + 32);
+  E.ResMII = getU32(P + 36);
+  E.RecMII = getU32(P + 40);
+  E.TriedIntervals = getU32(P + 44);
+  uint32_t NumStarts = getU32(P + 48);
+  if (Buf.size() != HeaderBytes + static_cast<size_t>(NumStarts) * 4 + 8)
+    return Reject();
+  E.Starts.resize(NumStarts);
+  for (uint32_t I = 0; I != NumStarts; ++I)
+    E.Starts[I] =
+        static_cast<int32_t>(getU32(P + HeaderBytes + 4 * static_cast<size_t>(I)));
+  return E;
+}

@@ -17,6 +17,14 @@ unsigned ThreadPool::hardwareThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+ThreadPool &ThreadPool::global() {
+  // Leaked on purpose: joining workers from a static destructor races
+  // with other teardown (tracing, sanitizer shutdown), and the singleton
+  // stays reachable so leak checkers do not report it.
+  static ThreadPool *Pool = new ThreadPool();
+  return *Pool;
+}
+
 ThreadPool::ThreadPool(unsigned NumThreads) {
   if (NumThreads == 0)
     NumThreads = hardwareThreads();
@@ -38,8 +46,18 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::enqueue(std::function<void()> Task) {
   {
     std::lock_guard<std::mutex> Lock(Mu);
-    Queue.push_back(std::move(Task));
+    Queue.push_back({std::move(Task), nullptr});
     ++Outstanding;
+  }
+  WorkReady.notify_one();
+}
+
+void ThreadPool::enqueue(TaskGroup &Group, std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back({std::move(Task), &Group});
+    ++Outstanding;
+    ++Group.Pending;
   }
   WorkReady.notify_one();
 }
@@ -49,11 +67,46 @@ void ThreadPool::wait() {
   AllDone.wait(Lock, [this] { return Outstanding == 0; });
 }
 
+void ThreadPool::wait(TaskGroup &Group) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (Group.Pending != 0) {
+    if (!Queue.empty()) {
+      // Help: run a queued task (any group) instead of sleeping, so a
+      // pool task waiting on a nested group cannot starve the pool.
+      Item I = std::move(Queue.front());
+      Queue.pop_front();
+      runItem(std::move(I), Lock);
+      continue;
+    }
+    // Everything charged to the group is running on other threads.
+    Group.Done.wait(Lock, [&] { return Group.Pending == 0 || !Queue.empty(); });
+  }
+}
+
+void ThreadPool::runItem(Item I, std::unique_lock<std::mutex> &Lock) {
+  Lock.unlock();
+  try {
+    I.Fn();
+  } catch (...) {
+    // Contain the failure: the task is charged as aborted and the
+    // executing thread keeps serving the queue. Its captured state is
+    // left however far the task got, which for speculative work (the
+    // parallel II search) reads as "this attempt failed".
+    Aborted.fetch_add(1, std::memory_order_relaxed);
+  }
+  Lock.lock();
+  if (--Outstanding == 0)
+    AllDone.notify_all();
+  if (I.Group && --I.Group->Pending == 0)
+    I.Group->Done.notify_all();
+}
+
 void ThreadPool::workerLoop() {
 #if SWP_TRACE_ENABLED
-  // Label this worker's trace track so speculative II-search work is
-  // attributable. The counter is process-wide: pools come and go (one per
-  // parallel search), and reusing names would merge unrelated tracks.
+  // Label this worker's trace track so speculative II-search and batch
+  // work is attributable. The counter is process-wide: beyond the global
+  // pool, tests still construct private pools, and reusing names would
+  // merge unrelated tracks.
   static std::atomic<unsigned> WorkerSeq{0};
   trace::setThreadName("swp-worker-" + std::to_string(WorkerSeq.fetch_add(
                            1, std::memory_order_relaxed)));
@@ -63,20 +116,8 @@ void ThreadPool::workerLoop() {
     WorkReady.wait(Lock, [this] { return Stop || !Queue.empty(); });
     if (Queue.empty())
       return; // Stop was set and nothing is left to run.
-    std::function<void()> Task = std::move(Queue.front());
+    Item I = std::move(Queue.front());
     Queue.pop_front();
-    Lock.unlock();
-    try {
-      Task();
-    } catch (...) {
-      // Contain the failure: the task is charged as aborted and the
-      // worker keeps serving the queue. Its captured state is left
-      // however far the task got, which for speculative work (the
-      // parallel II search) reads as "this attempt failed".
-      Aborted.fetch_add(1, std::memory_order_relaxed);
-    }
-    Lock.lock();
-    if (--Outstanding == 0)
-      AllDone.notify_all();
+    runItem(std::move(I), Lock);
   }
 }

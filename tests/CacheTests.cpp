@@ -1,0 +1,665 @@
+//===- CacheTests.cpp - content-addressed cache and compile service -------------===//
+//
+// Part of warp-swp.
+//
+// The caching subsystem's acceptance tests: fingerprint canonicalization
+// (rename/reorder metamorphics hit, every schedule-relevant input change
+// misses), the sharded LRU's budgets, the persistent tier's validation
+// (corruption and version staleness rejected, survivors re-verified),
+// single-flight dedup in the compile service, and the determinism
+// contract — cached, memoized, batched, and disk-served compiles are
+// bit-identical to bare compileProgram.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Codegen/Compiler.h"
+#include "swp/DDG/DDGBuilder.h"
+#include "swp/IR/IRBuilder.h"
+#include "swp/Pipeliner/HierarchicalReducer.h"
+#include "swp/Service/CompileService.h"
+#include "swp/Service/ScheduleCache.h"
+#include "swp/Support/FaultInject.h"
+#include "swp/Support/Fingerprint.h"
+#include "swp/Support/ThreadPool.h"
+#include "swp/Workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+using namespace swp;
+
+namespace {
+
+/// A pipelinable chain loop; \p SwapDecls reverses the declaration order
+/// of the arrays (ids permute, structure does not), \p Renamed only
+/// changes names.
+std::unique_ptr<Program> chainProgram(bool SwapDecls = false,
+                                      bool Renamed = false) {
+  auto P = std::make_unique<Program>();
+  IRBuilder B(*P);
+  unsigned A, C;
+  if (SwapDecls) {
+    C = P->createArray(Renamed ? "out" : "c", RegClass::Float, 4096);
+    A = P->createArray(Renamed ? "in" : "a", RegClass::Float, 4096);
+  } else {
+    A = P->createArray(Renamed ? "in" : "a", RegClass::Float, 4096);
+    C = P->createArray(Renamed ? "out" : "c", RegClass::Float, 4096);
+  }
+  VReg K = P->createVReg(RegClass::Float, Renamed ? "scale" : "k",
+                         /*LiveIn=*/true);
+  ForStmt *L = B.beginForImm(0, 1023);
+  VReg V = B.fload(A, B.ix(L));
+  V = B.fmul(V, K);
+  V = B.fadd(V, K);
+  V = B.fmul(V, K);
+  B.fstore(C, B.ix(L), V);
+  B.endFor();
+  return P;
+}
+
+DepGraph graphFor(Program &P, const MachineDescription &MD) {
+  auto *For = cast<ForStmt>(P.Body.back().get());
+  DDGBuildOptions Opts;
+  Opts.CurrentLoopId = For->LoopId;
+  return buildLoopDepGraph(reduceBodyToUnits(For->Body, MD, For->LoopId),
+                           MD, Opts);
+}
+
+/// A scratch directory under the test working dir, wiped on entry.
+std::string freshDir(const std::string &Name) {
+  std::filesystem::remove_all(Name);
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprint canonicalization
+//===----------------------------------------------------------------------===//
+
+TEST(Fingerprint, RenameAndReorderInvariant) {
+  MachineDescription MD = MachineDescription::warpCell();
+  auto P1 = chainProgram();
+  auto P2 = chainProgram(/*SwapDecls=*/true, /*Renamed=*/true);
+  DepGraph G1 = graphFor(*P1, MD);
+  DepGraph G2 = graphFor(*P2, MD);
+  EXPECT_EQ(canonicalizeGraph(G1).FP, canonicalizeGraph(G2).FP)
+      << "isomorphic loops must share a canonical fingerprint";
+  // The canonical whole-program fingerprint is id-insensitive too...
+  EXPECT_EQ(fingerprintProgram(*P1), fingerprintProgram(*P2));
+  // ...but the exact one (the result-memo key) must see the id swap:
+  // emitted code addresses arrays by id.
+  EXPECT_NE(fingerprintProgramExact(*P1), fingerprintProgramExact(*P2));
+  EXPECT_EQ(fingerprintProgramExact(*P1),
+            fingerprintProgramExact(*chainProgram(false, true)));
+}
+
+TEST(Fingerprint, StructuralChangeChangesGraphFingerprint) {
+  MachineDescription MD = MachineDescription::warpCell();
+  auto P1 = chainProgram();
+  auto P2 = std::make_unique<Program>();
+  {
+    IRBuilder B(*P2);
+    unsigned A = P2->createArray("a", RegClass::Float, 4096);
+    unsigned C = P2->createArray("c", RegClass::Float, 4096);
+    VReg K = P2->createVReg(RegClass::Float, "k", /*LiveIn=*/true);
+    ForStmt *L = B.beginForImm(0, 1023);
+    VReg V = B.fload(A, B.ix(L));
+    V = B.fmul(V, K);
+    V = B.fadd(V, K);
+    V = B.fadd(V, K); // one extra op
+    V = B.fmul(V, K);
+    B.fstore(C, B.ix(L), V);
+    B.endFor();
+  }
+  DepGraph G1 = graphFor(*P1, MD);
+  DepGraph G2 = graphFor(*P2, MD);
+  EXPECT_NE(canonicalizeGraph(G1).FP, canonicalizeGraph(G2).FP);
+}
+
+TEST(Fingerprint, EdgeAnnotationSensitivity) {
+  // Any change to an edge's (d, p) annotation is a different constraint
+  // system and must repel the fingerprint.
+  MachineDescription MD = MachineDescription::warpCell();
+  auto P = chainProgram();
+  DepGraph Base = graphFor(*P, MD);
+  Fingerprint FP0 = canonicalizeGraph(Base).FP;
+  for (auto [Delay, Omega] : {std::pair<int, unsigned>{3, 1},
+                              {4, 1},
+                              {3, 2}}) {
+    DepGraph G = graphFor(*P, MD);
+    G.addEdge({/*Src=*/0, /*Dst=*/static_cast<unsigned>(G.numNodes() - 1),
+               Delay, Omega, DepKind::Mem});
+    EXPECT_NE(canonicalizeGraph(G).FP, FP0)
+        << "added edge (d=" << Delay << ", p=" << Omega << ")";
+  }
+  // Same (d, p), different kind: same constraint system, same key.
+  DepGraph GA = graphFor(*P, MD);
+  GA.addEdge({0, static_cast<unsigned>(GA.numNodes() - 1), 3, 1,
+              DepKind::Mem});
+  DepGraph GB = graphFor(*P, MD);
+  GB.addEdge({0, static_cast<unsigned>(GB.numNodes() - 1), 3, 1,
+              DepKind::Anti});
+  EXPECT_EQ(canonicalizeGraph(GA).FP, canonicalizeGraph(GB).FP);
+}
+
+TEST(Fingerprint, MachineSensitivity) {
+  MachineDescription Base = MachineDescription::warpCell();
+  Fingerprint FP0 = fingerprintMachine(Base);
+
+  MachineDescription Lat = MachineDescription::warpCell();
+  OpcodeInfo Info = Lat.opcodeInfo(Opcode::FAdd);
+  Info.Latency += 1;
+  Lat.setOpcodeInfo(Opcode::FAdd, Info);
+  EXPECT_NE(fingerprintMachine(Lat), FP0) << "latency change must miss";
+
+  MachineDescription Res = MachineDescription::warpCell();
+  Res.addResource("extra", 2);
+  EXPECT_NE(fingerprintMachine(Res), FP0) << "resource change must miss";
+
+  MachineDescription Regs = MachineDescription::warpCell();
+  Regs.setRegisterFileSizes(Regs.registerFileSize(RegClass::Float) + 1,
+                            Regs.registerFileSize(RegClass::Int));
+  EXPECT_NE(fingerprintMachine(Regs), FP0) << "register file change must miss";
+
+  // Labels and clock scale reports, never schedules.
+  MachineDescription Cosmetic = MachineDescription::warpCell();
+  Cosmetic.setName("renamed");
+  Cosmetic.setClockMHz(123.0);
+  EXPECT_EQ(fingerprintMachine(Cosmetic), FP0);
+}
+
+TEST(Fingerprint, OptionSensitivity) {
+  CompilerOptions Base;
+  Fingerprint FP0 = fingerprintScheduleOptions(Base);
+  unsigned Changed = 0;
+  auto expectDiffers = [&](auto Mutate, const char *What) {
+    CompilerOptions O;
+    Mutate(O);
+    EXPECT_NE(fingerprintScheduleOptions(O), FP0) << What;
+    ++Changed;
+  };
+  expectDiffers([](CompilerOptions &O) { O.EnablePipelining = false; },
+                "EnablePipelining");
+  expectDiffers([](CompilerOptions &O) { O.MVE = MVEPolicy::MinRegisters; },
+                "MVE");
+  expectDiffers([](CompilerOptions &O) { O.MaxLoopLenToPipeline = 7; },
+                "MaxLoopLenToPipeline");
+  expectDiffers([](CompilerOptions &O) { O.EfficiencyThreshold = 0.5; },
+                "EfficiencyThreshold");
+  expectDiffers([](CompilerOptions &O) { O.MaxUnroll = 2; }, "MaxUnroll");
+  expectDiffers([](CompilerOptions &O) { O.ScalarOptimizations = false; },
+                "ScalarOptimizations");
+  expectDiffers([](CompilerOptions &O) { O.PipelineConditionalLoops = false; },
+                "PipelineConditionalLoops");
+  expectDiffers([](CompilerOptions &O) { O.MinLadderRung = 1; },
+                "MinLadderRung");
+  expectDiffers([](CompilerOptions &O) { O.Sched.BinarySearch = true; },
+                "Sched.BinarySearch");
+  expectDiffers([](CompilerOptions &O) { O.Sched.MaxStages = 3; },
+                "Sched.MaxStages");
+  expectDiffers([](CompilerOptions &O) { O.Sched.MaxII = 5; },
+                "Sched.MaxII");
+  EXPECT_EQ(Changed, 11u);
+
+  // Excluded knobs: execution strategy and report shape, not schedules.
+  CompilerOptions Same;
+  Same.Sched.SearchThreads = 4;
+  Same.ParanoidVerify = true;
+  Same.Explain = true;
+  Same.ChaosSeed = 42;
+  Same.Budget.WallMs = 1000;
+  EXPECT_EQ(fingerprintScheduleOptions(Same), FP0);
+}
+
+//===----------------------------------------------------------------------===//
+// ScheduleCache: LRU, budgets, persistence
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduleCache, HitRoundTripsTheSchedule) {
+  MachineDescription MD = MachineDescription::warpCell();
+  auto P = chainProgram();
+  DepGraph G = graphFor(*P, MD);
+  CanonicalGraph CG = canonicalizeGraph(G);
+  ModuloScheduleResult MS = moduloSchedule(G, MD);
+  ASSERT_TRUE(MS.Success);
+
+  ScheduleCache Cache;
+  Fingerprint Key = combineFingerprints({CG.FP, fingerprintMachine(MD)});
+  Cache.insert(Key, CG, MS);
+  auto LR = Cache.lookup(Key, CG, G, MD, /*MaxStages=*/0);
+  ASSERT_TRUE(LR.Result.has_value());
+  EXPECT_EQ(LR.Result->II, MS.II);
+  EXPECT_EQ(LR.Result->MII, MS.MII);
+  EXPECT_EQ(LR.Result->Stages, MS.Stages);
+  for (unsigned I = 0; I != G.numNodes(); ++I)
+    EXPECT_EQ(LR.Result->Sched.startOf(I), MS.Sched.startOf(I));
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+  EXPECT_EQ(Cache.stats().Misses, 0u);
+}
+
+TEST(ScheduleCache, LruEvictionUnderEntryCap) {
+  MachineDescription MD = MachineDescription::warpCell();
+  auto P = chainProgram();
+  DepGraph G = graphFor(*P, MD);
+  CanonicalGraph CG = canonicalizeGraph(G);
+  ModuloScheduleResult MS = moduloSchedule(G, MD);
+  ASSERT_TRUE(MS.Success);
+
+  ScheduleCacheConfig Config;
+  Config.Shards = 1;
+  Config.MaxEntries = 2;
+  ScheduleCache Cache(Config);
+  Fingerprint K1{1, 1}, K2{2, 2}, K3{3, 3};
+  Cache.insert(K1, CG, MS);
+  Cache.insert(K2, CG, MS);
+  // Touch K1 so K2 is the LRU victim.
+  EXPECT_TRUE(Cache.lookup(K1, CG, G, MD, 0).Result.has_value());
+  Cache.insert(K3, CG, MS);
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_EQ(Cache.stats().Entries, 2u);
+  EXPECT_TRUE(Cache.lookup(K1, CG, G, MD, 0).Result.has_value());
+  EXPECT_FALSE(Cache.lookup(K2, CG, G, MD, 0).Result.has_value());
+  EXPECT_TRUE(Cache.lookup(K3, CG, G, MD, 0).Result.has_value());
+}
+
+TEST(ScheduleCache, ByteBudgetEvicts) {
+  MachineDescription MD = MachineDescription::warpCell();
+  auto P = chainProgram();
+  DepGraph G = graphFor(*P, MD);
+  CanonicalGraph CG = canonicalizeGraph(G);
+  ModuloScheduleResult MS = moduloSchedule(G, MD);
+  ASSERT_TRUE(MS.Success);
+
+  ScheduleCacheConfig Config;
+  Config.Shards = 1;
+  Config.MaxBytes = 1; // one entry always over budget; floor keeps one
+  ScheduleCache Cache(Config);
+  Cache.insert(Fingerprint{1, 1}, CG, MS);
+  Cache.insert(Fingerprint{2, 2}, CG, MS);
+  EXPECT_GE(Cache.stats().Evictions, 1u);
+  EXPECT_EQ(Cache.stats().Entries, 1u);
+}
+
+TEST(ScheduleCache, BudgetExhaustedNeverInserted) {
+  MachineDescription MD = MachineDescription::warpCell();
+  auto P = chainProgram();
+  DepGraph G = graphFor(*P, MD);
+  CanonicalGraph CG = canonicalizeGraph(G);
+  ModuloScheduleResult MS = moduloSchedule(G, MD);
+  MS.BudgetExhausted = true;
+  ScheduleCache Cache;
+  Cache.insert(Fingerprint{9, 9}, CG, MS);
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+  EXPECT_FALSE(Cache.lookup(Fingerprint{9, 9}, CG, G, MD, 0)
+                   .Result.has_value());
+}
+
+TEST(ScheduleCache, NegativeEntriesCacheFailures) {
+  MachineDescription MD = MachineDescription::warpCell();
+  auto P = chainProgram();
+  DepGraph G = graphFor(*P, MD);
+  CanonicalGraph CG = canonicalizeGraph(G);
+  ModuloScheduleResult Fail;
+  Fail.Success = false;
+  Fail.MII = 4;
+  Fail.TriedIntervals = 7;
+  ScheduleCache Cache;
+  Cache.insert(Fingerprint{5, 5}, CG, Fail);
+  auto LR = Cache.lookup(Fingerprint{5, 5}, CG, G, MD, 0);
+  ASSERT_TRUE(LR.Result.has_value());
+  EXPECT_FALSE(LR.Result->Success);
+  EXPECT_EQ(LR.Result->MII, 4u);
+  EXPECT_EQ(LR.Result->TriedIntervals, 7u);
+}
+
+TEST(ScheduleCache, PersistentTierRoundTrip) {
+  MachineDescription MD = MachineDescription::warpCell();
+  auto P = chainProgram();
+  DepGraph G = graphFor(*P, MD);
+  CanonicalGraph CG = canonicalizeGraph(G);
+  ModuloScheduleResult MS = moduloSchedule(G, MD);
+  ASSERT_TRUE(MS.Success);
+  Fingerprint Key = combineFingerprints({CG.FP, fingerprintMachine(MD)});
+
+  ScheduleCacheConfig Config;
+  Config.Dir = freshDir("cache_test_roundtrip");
+  {
+    ScheduleCache Writer(Config);
+    Writer.insert(Key, CG, MS);
+    EXPECT_EQ(Writer.stats().DiskStores, 1u);
+  }
+  ScheduleCache Reader(Config); // fresh memory, same directory
+  auto LR = Reader.lookup(Key, CG, G, MD, 0);
+  ASSERT_TRUE(LR.Result.has_value());
+  EXPECT_TRUE(LR.FromDisk);
+  EXPECT_EQ(LR.Result->II, MS.II);
+  for (unsigned I = 0; I != G.numNodes(); ++I)
+    EXPECT_EQ(LR.Result->Sched.startOf(I), MS.Sched.startOf(I));
+  EXPECT_EQ(Reader.stats().DiskHits, 1u);
+  // The hit was promoted into memory: a second lookup is served there.
+  auto LR2 = Reader.lookup(Key, CG, G, MD, 0);
+  ASSERT_TRUE(LR2.Result.has_value());
+  EXPECT_FALSE(LR2.FromDisk);
+}
+
+TEST(ScheduleCache, CorruptDiskEntryRejected) {
+  MachineDescription MD = MachineDescription::warpCell();
+  auto P = chainProgram();
+  DepGraph G = graphFor(*P, MD);
+  CanonicalGraph CG = canonicalizeGraph(G);
+  ModuloScheduleResult MS = moduloSchedule(G, MD);
+  ASSERT_TRUE(MS.Success);
+  Fingerprint Key{0xabc, 0xdef};
+
+  ScheduleCacheConfig Config;
+  Config.Dir = freshDir("cache_test_corrupt");
+  { ScheduleCache(Config).insert(Key, CG, MS); }
+
+  // Flip one byte in the middle of the entry file.
+  std::string Path = Config.Dir + "/" + Key.hex() + ".sched";
+  {
+    std::fstream F(Path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(F.good()) << Path;
+    F.seekg(0, std::ios::end);
+    auto Size = static_cast<long>(F.tellg());
+    ASSERT_GT(Size, 12);
+    F.seekp(Size / 2);
+    char C = 0;
+    F.seekg(Size / 2);
+    F.read(&C, 1);
+    C = static_cast<char>(C ^ 0x40);
+    F.seekp(Size / 2);
+    F.write(&C, 1);
+  }
+  ScheduleCache Reader(Config);
+  auto LR = Reader.lookup(Key, CG, G, MD, 0);
+  EXPECT_FALSE(LR.Result.has_value());
+  EXPECT_GE(Reader.stats().VerifyRejects, 1u);
+  EXPECT_EQ(Reader.stats().DiskHits, 0u);
+
+  // Truncation is rejected too.
+  std::filesystem::resize_file(Path, 10);
+  ScheduleCache Reader2(Config);
+  EXPECT_FALSE(Reader2.lookup(Key, CG, G, MD, 0).Result.has_value());
+  EXPECT_GE(Reader2.stats().VerifyRejects, 1u);
+}
+
+TEST(ScheduleCache, StaleVersionRejected) {
+  MachineDescription MD = MachineDescription::warpCell();
+  auto P = chainProgram();
+  DepGraph G = graphFor(*P, MD);
+  CanonicalGraph CG = canonicalizeGraph(G);
+  ModuloScheduleResult MS = moduloSchedule(G, MD);
+  ASSERT_TRUE(MS.Success);
+  Fingerprint Key{0x11, 0x22};
+
+  ScheduleCacheConfig Config;
+  Config.Dir = freshDir("cache_test_stale");
+  { ScheduleCache(Config).insert(Key, CG, MS); }
+
+  // Bump the version field (offset 4, little-endian u32) and fix up the
+  // trailing checksum so only the version mismatches.
+  std::string Path = Config.Dir + "/" + Key.hex() + ".sched";
+  std::string Buf;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    Buf.assign(std::istreambuf_iterator<char>(In),
+               std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(Buf.size(), 16u);
+  Buf[4] = static_cast<char>(ScheduleCache::DiskFormatVersion + 1);
+  uint64_t Sum = 1469598103934665603ULL; // FNV-1a over all but the tail
+  for (size_t I = 0; I + 8 < Buf.size(); ++I) {
+    Sum ^= static_cast<unsigned char>(Buf[I]);
+    Sum *= 1099511628211ULL;
+  }
+  for (int I = 0; I != 8; ++I)
+    Buf[Buf.size() - 8 + static_cast<size_t>(I)] =
+        static_cast<char>((Sum >> (8 * I)) & 0xff);
+  {
+    std::ofstream OutF(Path, std::ios::binary | std::ios::trunc);
+    OutF.write(Buf.data(), static_cast<std::streamsize>(Buf.size()));
+  }
+  ScheduleCache Reader(Config);
+  EXPECT_FALSE(Reader.lookup(Key, CG, G, MD, 0).Result.has_value());
+  EXPECT_GE(Reader.stats().VerifyRejects, 1u);
+}
+
+TEST(ScheduleCache, StatsJsonKeysSorted) {
+  ScheduleCache Cache;
+  std::string J = Cache.stats().toJson();
+  const char *KeysInOrder[] = {"bytes",     "disk_hits", "disk_stores",
+                               "entries",   "evictions", "hits",
+                               "misses",    "verify_rejects"};
+  size_t Last = 0;
+  for (const char *K : KeysInOrder) {
+    size_t At = J.find(std::string("\"") + K + "\"");
+    ASSERT_NE(At, std::string::npos) << K;
+    EXPECT_GT(At, Last) << K << " out of order in " << J;
+    Last = At;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler integration
+//===----------------------------------------------------------------------===//
+
+TEST(CompilerCache, SecondCompileHitsAndMatches) {
+  MachineDescription MD = MachineDescription::warpCell();
+  CompilerOptions Opts;
+  auto Ref = chainProgram();
+  CompileResult R0 = compileProgram(*Ref, MD, Opts);
+  ASSERT_TRUE(R0.Ok);
+
+  ScheduleCache Cache;
+  Opts.Cache = &Cache;
+  auto P1 = chainProgram();
+  CompileResult R1 = compileProgram(*P1, MD, Opts);
+  ASSERT_TRUE(R1.Ok);
+  EXPECT_EQ(R1.Report.SchedTotals.CacheMisses, 1u);
+  EXPECT_EQ(R1.Report.SchedTotals.CacheHits, 0u);
+
+  auto P2 = chainProgram();
+  CompileResult R2 = compileProgram(*P2, MD, Opts);
+  ASSERT_TRUE(R2.Ok);
+  EXPECT_EQ(R2.Report.SchedTotals.CacheHits, 1u);
+  EXPECT_EQ(R2.Report.SchedTotals.CacheMisses, 0u);
+
+  std::string Expected = vliwProgramToString(R0.Code, MD);
+  EXPECT_EQ(vliwProgramToString(R1.Code, MD), Expected);
+  EXPECT_EQ(vliwProgramToString(R2.Code, MD), Expected);
+}
+
+TEST(CompilerCache, RenamedReorderedProgramHitsSameEntry) {
+  // The metamorphic end-to-end: a renamed, declaration-reordered copy of
+  // the loop reuses the cached search (DDG canonicalization at work) and
+  // still compiles to ITS OWN correct code — the schedule is permuted
+  // onto the requesting graph, the code generator uses the requesting
+  // program's ids.
+  MachineDescription MD = MachineDescription::warpCell();
+  ScheduleCache Cache;
+  CompilerOptions Opts;
+  Opts.Cache = &Cache;
+  auto P1 = chainProgram();
+  CompileResult R1 = compileProgram(*P1, MD, Opts);
+  ASSERT_TRUE(R1.Ok);
+  auto P2 = chainProgram(/*SwapDecls=*/true, /*Renamed=*/true);
+  CompileResult R2 = compileProgram(*P2, MD, Opts);
+  ASSERT_TRUE(R2.Ok);
+  EXPECT_EQ(R2.Report.SchedTotals.CacheHits, 1u);
+
+  // Same code as an uncached compile of the same reordered program.
+  auto P3 = chainProgram(/*SwapDecls=*/true, /*Renamed=*/true);
+  CompileResult R3 = compileProgram(*P3, MD, CompilerOptions{});
+  ASSERT_TRUE(R3.Ok);
+  EXPECT_EQ(vliwProgramToString(R2.Code, MD),
+            vliwProgramToString(R3.Code, MD));
+}
+
+TEST(CompilerCache, ChaosArmedCompileNeverPopulates) {
+  MachineDescription MD = MachineDescription::warpCell();
+  ScheduleCache Cache;
+  CompilerOptions Opts;
+  Opts.Cache = &Cache;
+  // A seed that names a site with no dynamic occurrences here still marks
+  // the compile as chaos-armed; its results must not be published.
+  Opts.ChaosSeed = faults::chaosSeed(faults::Site::WorkerDeath, 50);
+  auto P = chainProgram();
+  CompileResult R = compileProgram(*P, MD, Opts);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// CompileService
+//===----------------------------------------------------------------------===//
+
+CompileJob kernelJob(const WorkloadSpec &Spec, const MachineDescription &MD,
+                     const CompilerOptions &Opts) {
+  CompileJob J;
+  J.MD = &MD;
+  J.Opts = Opts;
+  J.Make = [&Spec] { return std::move(Spec.Make().Prog); };
+  return J;
+}
+
+TEST(CompileService, MemoizesRepeatRequests) {
+  MachineDescription MD = MachineDescription::warpCell();
+  CompilerOptions Opts;
+  CompileService Service;
+  CompileJob J;
+  J.MD = &MD;
+  J.Opts = Opts;
+  unsigned Built = 0;
+  J.Make = [&Built] {
+    ++Built;
+    return chainProgram();
+  };
+  CompileResult R1 = Service.compileOne(J);
+  CompileResult R2 = Service.compileOne(J);
+  ASSERT_TRUE(R1.Ok);
+  ASSERT_TRUE(R2.Ok);
+  EXPECT_EQ(Service.stats().Compiles, 1u);
+  EXPECT_EQ(Service.stats().MemoHits, 1u);
+  EXPECT_EQ(Built, 2u) << "without a key, each request fingerprints once";
+  EXPECT_EQ(vliwProgramToString(R1.Code, MD),
+            vliwProgramToString(R2.Code, MD));
+
+  // With a precomputed key the memo hit skips the factory entirely.
+  J.Key = CompileService::jobKey(*chainProgram(), MD, Opts);
+  CompileResult R3 = Service.compileOne(J);
+  ASSERT_TRUE(R3.Ok);
+  EXPECT_EQ(Built, 2u);
+  EXPECT_EQ(Service.stats().MemoHits, 2u);
+  EXPECT_EQ(vliwProgramToString(R3.Code, MD),
+            vliwProgramToString(R1.Code, MD));
+}
+
+TEST(CompileService, SingleFlightCoalescesConcurrentDuplicates) {
+  MachineDescription MD = MachineDescription::warpCell();
+  CompilerOptions Opts;
+  ThreadPool Pool(8); // one worker per job: every request starts
+  CompileService::Config SC;
+  SC.Pool = &Pool;
+  SC.MemoizeResults = false; // leave only single-flight dedup
+  CompileService Service(SC);
+  std::vector<CompileJob> Jobs;
+  Fingerprint Key = CompileService::jobKey(*chainProgram(), MD, Opts);
+  for (int I = 0; I != 8; ++I) {
+    CompileJob J;
+    J.MD = &MD;
+    J.Opts = Opts;
+    // The leader's factory holds the flight open until the other seven
+    // requests have registered as waiters, so the coalescing outcome is
+    // exact, not a race. Keyed jobs never call Make on the waiter path.
+    J.Make = [&Service] {
+      auto Deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(60);
+      while (Service.stats().Coalesced < 7 &&
+             std::chrono::steady_clock::now() < Deadline)
+        std::this_thread::yield();
+      return chainProgram();
+    };
+    J.Key = Key; // all 8 enter the flight map under one key
+    Jobs.push_back(J);
+  }
+  std::vector<CompileResult> Results = Service.compileBatch(Jobs);
+  ASSERT_EQ(Results.size(), 8u);
+  std::string Expected = vliwProgramToString(Results[0].Code, MD);
+  for (const CompileResult &R : Results) {
+    ASSERT_TRUE(R.Ok);
+    EXPECT_EQ(vliwProgramToString(R.Code, MD), Expected);
+  }
+  ServiceStats SS = Service.stats();
+  EXPECT_EQ(SS.Requests, 8u);
+  EXPECT_EQ(SS.Compiles, 1u);
+  EXPECT_EQ(SS.Coalesced, 7u);
+}
+
+TEST(CompileService, BatchBitIdenticalToSerialUncached) {
+  MachineDescription MD = MachineDescription::warpCell();
+  CompilerOptions Opts;
+  const std::vector<WorkloadSpec> &Kernels = livermoreKernels();
+  ASSERT_FALSE(Kernels.empty());
+  size_t N = std::min<size_t>(Kernels.size(), 6);
+
+  std::vector<std::string> Ref(N);
+  for (size_t I = 0; I != N; ++I) {
+    BuiltWorkload W = Kernels[I].Make();
+    CompileResult R = compileProgram(*W.Prog, MD, Opts);
+    ASSERT_TRUE(R.Ok) << Kernels[I].Name;
+    Ref[I] = vliwProgramToString(R.Code, MD);
+  }
+
+  ScheduleCache Cache;
+  CompileService::Config SC;
+  SC.Cache = &Cache;
+  CompileService Service(SC);
+  std::vector<CompileJob> Jobs;
+  for (unsigned Dup = 0; Dup != 3; ++Dup)
+    for (size_t I = 0; I != N; ++I)
+      Jobs.push_back(kernelJob(Kernels[I], MD, Opts));
+  std::vector<CompileResult> Results = Service.compileBatch(Jobs);
+  ASSERT_EQ(Results.size(), 3 * N);
+  for (size_t I = 0; I != Results.size(); ++I) {
+    ASSERT_TRUE(Results[I].Ok);
+    EXPECT_EQ(vliwProgramToString(Results[I].Code, MD), Ref[I % N])
+        << Kernels[I % N].Name;
+  }
+  EXPECT_EQ(Service.stats().Compiles, N);
+}
+
+TEST(CompileService, BudgetedJobsBypassTheMemo) {
+  MachineDescription MD = MachineDescription::warpCell();
+  CompilerOptions Opts;
+  Opts.Budget.MaxNodes = 1000000; // limited() => bypass
+  CompileService Service;
+  CompileJob J;
+  J.MD = &MD;
+  J.Opts = Opts;
+  J.Make = [] { return chainProgram(); };
+  Service.compileOne(J);
+  Service.compileOne(J);
+  EXPECT_EQ(Service.stats().Compiles, 2u);
+  EXPECT_EQ(Service.stats().MemoHits, 0u);
+}
+
+TEST(CompileService, StatsJsonKeysSorted) {
+  CompileService Service;
+  std::string J = Service.stats().toJson();
+  const char *KeysInOrder[] = {"coalesced", "compiles", "memo_hits",
+                               "requests"};
+  size_t Last = 0;
+  for (const char *K : KeysInOrder) {
+    size_t At = J.find(std::string("\"") + K + "\"");
+    ASSERT_NE(At, std::string::npos) << K;
+    EXPECT_GT(At, Last) << K;
+    Last = At;
+  }
+}
+
+} // namespace
