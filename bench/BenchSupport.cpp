@@ -6,6 +6,7 @@
 
 #include "BenchSupport.h"
 
+#include "swp/API/Session.h"
 #include "swp/Interp/Interpreter.h"
 #include "swp/Sim/Simulator.h"
 #include "swp/Support/ThreadPool.h"
@@ -13,6 +14,16 @@
 
 using namespace swp;
 using namespace swp::bench;
+
+/// One session for the whole bench harness: all runs share its id space,
+/// so a trace of a bench binary groups per-request spans under one
+/// session. The in-place compileNow path is what benches need — they
+/// simulate the mutated program — and it is thread-safe, so runJobs may
+/// call it from every pool worker at once.
+static Session &benchSession() {
+  static Session S;
+  return S;
+}
 
 RunResult swp::bench::runWorkload(const WorkloadSpec &Spec,
                                   const MachineDescription &MD,
@@ -22,7 +33,8 @@ RunResult swp::bench::runWorkload(const WorkloadSpec &Spec,
   if (JobSpan.active())
     JobSpan.args("\"workload\": \"" + Spec.Name + "\"");
   BuiltWorkload W = Spec.Make();
-  CompileResult CR = compileProgram(*W.Prog, MD, Opts);
+  CompileResponse Resp = benchSession().compileNow(*W.Prog, MD, &Opts);
+  CompileResult &CR = Resp.Result;
   if (!CR.Ok) {
     R.Error = Spec.Name + ": compile failed: " + CR.Error;
     return R;

@@ -4,7 +4,7 @@
 add_library(bench_support STATIC bench/BenchSupport.cpp)
 target_include_directories(bench_support PUBLIC ${CMAKE_SOURCE_DIR}/bench)
 target_link_libraries(bench_support PUBLIC
-  swp_workloads swp_sim swp_interp swp_codegen)
+  swp_workloads swp_sim swp_interp swp_api)
 
 function(swp_add_bench NAME)
   add_executable(${NAME} bench/${NAME}.cpp)

@@ -25,6 +25,7 @@
 
 #include "BenchSupport.h"
 
+#include "swp/API/Session.h"
 #include "swp/Service/CompileService.h"
 #include "swp/Service/ScheduleCache.h"
 #include "swp/Verify/Differential.h"
@@ -247,8 +248,87 @@ int runGate(const std::string &OutPath, const std::string &BaselinePath) {
       }
   }
 
+  //===--------------------------------------------------------------------===//
+  // Gate 4: one Session::submitBatch mixing targets — the built-in cell
+  // and a machine loaded from a JSON target file — must reproduce serial
+  // single-target compileProgram byte for byte per target, with cache
+  // keys separated per target (every (kernel, target) pair compiles
+  // exactly once; nothing is served across machines).
+  //===--------------------------------------------------------------------===//
+
+  bool MultiTargetOk = true;
+  bool TargetsDiffer = false;
+  {
+    TargetRegistry Reg;
+    TargetRegistry::registerBuiltins(Reg);
+    std::string LoadErr;
+#ifdef SWP_SOURCE_DIR
+    LoadErr = Reg.loadFile(std::string(SWP_SOURCE_DIR) +
+                           "/examples/targets/warp-cell-fast.json");
+#else
+    LoadErr = "bench built without SWP_SOURCE_DIR";
+#endif
+    if (!LoadErr.empty()) {
+      std::fprintf(stderr, "target file load failed: %s\n", LoadErr.c_str());
+      MultiTargetOk = false;
+    } else {
+      const std::vector<std::string> TargetNames = {"warp-cell",
+                                                    "warp-cell-fast"};
+      // Serial single-target reference, bare compileProgram.
+      std::vector<std::string> Ref(TargetNames.size() * Kernels.size());
+      for (size_t T = 0; T != TargetNames.size(); ++T) {
+        const MachineDescription &TMD = *Reg.lookup(TargetNames[T]);
+        for (size_t I = 0; I != Kernels.size(); ++I) {
+          BuiltWorkload W = Kernels[I].Make();
+          CompileResult R = compileProgram(*W.Prog, TMD, Opts);
+          MultiTargetOk &= R.Ok;
+          Ref[T * Kernels.size() + I] = vliwProgramToString(R.Code, TMD);
+        }
+      }
+
+      ScheduleCache Cache;
+      SessionConfig SC;
+      SC.Registry = &Reg;
+      SC.Cache = &Cache;
+      SC.DefaultOpts = Opts;
+      Session Sess(SC);
+      std::vector<CompileRequest> Reqs;
+      Reqs.reserve(Ref.size());
+      for (size_t T = 0; T != TargetNames.size(); ++T)
+        for (size_t I = 0; I != Kernels.size(); ++I) {
+          CompileRequest Req;
+          Req.Target = TargetNames[T];
+          Req.Label = Kernels[I].Name;
+          Req.Make = [Spec = &Kernels[I]] {
+            return std::move(Spec->Make().Prog);
+          };
+          Reqs.push_back(std::move(Req));
+        }
+      std::vector<CompileHandle> Handles = Sess.submitBatch(std::move(Reqs));
+      for (size_t J = 0; J != Handles.size(); ++J) {
+        const CompileResponse &R = Handles[J].get();
+        const MachineDescription &TMD =
+            *Reg.lookup(TargetNames[J / Kernels.size()]);
+        MultiTargetOk &= R.Ok;
+        MultiTargetOk &= vliwProgramToString(R.Result.Code, TMD) == Ref[J];
+      }
+      // Key separation, both layers: every (kernel, target) pair ran its
+      // own compile (no bogus cross-target memo hit)...
+      ServiceStats SS = Sess.stats();
+      MultiTargetOk &= SS.Compiles == Ref.size();
+      // ...and the machines genuinely schedule differently somewhere, so
+      // the bit-identity above actually discriminates.
+      for (size_t I = 0; I != Kernels.size() && !TargetsDiffer; ++I)
+        TargetsDiffer = Ref[I] != Ref[Kernels.size() + I];
+      MultiTargetOk &= TargetsDiffer;
+    }
+  }
+  if (!MultiTargetOk)
+    std::fprintf(stderr, "multi-target session gate failed\n");
+
   double Baseline = baselineColdMs(BaselinePath);
-  bool AllOk = WarmOk && BatchOk && BitIdentical && DiskOk && DifferentialOk;
+  bool AllOk = WarmOk && BatchOk && BitIdentical && DiskOk &&
+               DifferentialOk && MultiTargetOk;
   if (!WarmOk)
     std::fprintf(stderr, "warm gate failed: %.2fx < 10x (cold %.3fms, warm %.3fms)\n",
                  WarmSpeedup, ColdMs, WarmMs);
@@ -260,7 +340,7 @@ int runGate(const std::string &OutPath, const std::string &BaselinePath) {
   if (!DiskOk)
     std::fprintf(stderr, "disk tier served no hits\n");
 
-  char Buf[2048];
+  char Buf[3072];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\n"
@@ -280,6 +360,7 @@ int runGate(const std::string &OutPath, const std::string &BaselinePath) {
       "  \"bit_identical\": %s,\n"
       "  \"disk_hits\": %llu,\n"
       "  \"differential_ok\": %s,\n"
+      "  \"multi_target_ok\": %s,\n"
       "  \"cache\": %s,\n"
       "  \"service\": %s,\n"
       "  \"baseline_cold_ms\": %.4f,\n"
@@ -289,8 +370,8 @@ int runGate(const std::string &OutPath, const std::string &BaselinePath) {
       WarmOk ? "true" : "false", SerialMs, BatchMs, BatchSpeedup,
       BatchOk ? "true" : "false", BitIdentical ? "true" : "false",
       static_cast<unsigned long long>(DiskHits),
-      DifferentialOk ? "true" : "false", LastCache.toJson().c_str(),
-      LastService.toJson().c_str(), Baseline,
+      DifferentialOk ? "true" : "false", MultiTargetOk ? "true" : "false",
+      LastCache.toJson().c_str(), LastService.toJson().c_str(), Baseline,
       Baseline > 0 ? Baseline / ColdMs : 0.0);
   Out << Buf;
   std::printf("%s", Buf);

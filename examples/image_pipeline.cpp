@@ -11,7 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "swp/Codegen/Compiler.h"
+#include "swp/API/Session.h"
 #include "swp/Interp/Interpreter.h"
 #include "swp/Sim/Simulator.h"
 #include "swp/Workloads/Workloads.h"
@@ -82,13 +82,15 @@ int main() {
     In.FloatScalars[M.Params.at("thresh").Id] = 0.15f;
   };
 
-  MachineDescription MD = MachineDescription::warpCell();
+  Session Sess;
+  const MachineDescription &MD = *Sess.targets().lookup("warp-cell");
   uint64_t Cycles[2] = {0, 0};
   for (int Mode = 0; Mode != 2; ++Mode) {
     BuiltWorkload W = buildFromW2(pipelineSource(), Fill);
     CompilerOptions Opts;
     Opts.EnablePipelining = Mode == 0;
-    CompileResult CR = compileProgram(*W.Prog, MD, Opts);
+    CompileResponse Resp = Sess.compileNow(*W.Prog, "warp-cell", &Opts);
+    CompileResult &CR = Resp.Result;
     if (!CR.Ok) {
       std::cerr << "compile failed: " << CR.Error << "\n";
       return 1;

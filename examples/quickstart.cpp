@@ -12,7 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "swp/Codegen/Compiler.h"
+#include "swp/API/Session.h"
 #include "swp/IR/IRBuilder.h"
 #include "swp/IR/Printer.h"
 #include "swp/Interp/Interpreter.h"
@@ -37,13 +37,18 @@ int main() {
   std::cout << "=== source program ===\n";
   printProgram(P, std::cout);
 
-  // 2. Compile for the Warp cell (7-cycle pipelined FP units).
-  MachineDescription MD = MachineDescription::warpCell();
-  CompileResult CR = compileProgram(P, MD, CompilerOptions{});
+  // 2. Compile for the Warp cell (7-cycle pipelined FP units) through
+  // the public session API: targets are named (see also "toy-cell",
+  // "warp-cell-x2", and --target-file JSON machines), and the in-place
+  // compileNow keeps P mutated so the simulator below can run it.
+  Session Sess;
+  CompileResponse Resp = Sess.compileNow(P, "warp-cell");
+  CompileResult &CR = Resp.Result;
   if (!CR.Ok) {
     std::cerr << "compile failed: " << CR.Error << "\n";
     return 1;
   }
+  const MachineDescription &MD = *Sess.targets().lookup("warp-cell");
 
   // 3. The schedule report.
   std::cout << "\n=== schedule report ===\n";

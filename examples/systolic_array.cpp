@@ -12,7 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "swp/Codegen/Compiler.h"
+#include "swp/API/Session.h"
 #include "swp/IR/IRBuilder.h"
 #include "swp/Sim/ArraySimulator.h"
 
@@ -32,6 +32,7 @@ struct Cell {
   LoopReport Report;
 
   static std::unique_ptr<Cell> make(int64_t N, double Scale, double Bias,
+                                    Session &Sess,
                                     const MachineDescription &MD) {
     auto C = std::make_unique<Cell>();
     C->Prog = std::make_unique<Program>();
@@ -42,7 +43,8 @@ struct Cell {
     (void)L;
     B.send(0, B.fadd(B.fmul(B.recv(0), S), D));
     B.endFor();
-    CompileResult CR = compileProgram(*C->Prog, MD, CompilerOptions{});
+    CompileResponse Resp = Sess.compileNow(*C->Prog, MD);
+    CompileResult &CR = Resp.Result;
     if (!CR.Ok) {
       std::cerr << "cell failed to compile: " << CR.Error << "\n";
       return nullptr;
@@ -59,7 +61,8 @@ struct Cell {
 int main() {
   constexpr int NumCells = 10;
   constexpr int N = 2048;
-  MachineDescription MD = MachineDescription::warpCell();
+  Session Sess;
+  const MachineDescription &MD = *Sess.targets().lookup("warp-cell");
 
   std::cout << "=== " << NumCells << "-cell Warp array, " << N
             << "-word stream ===\n\n";
@@ -69,7 +72,7 @@ int main() {
   std::vector<std::unique_ptr<Cell>> Cells;
   std::vector<ArrayCell> Specs;
   for (int I = 0; I != NumCells; ++I) {
-    Cells.push_back(Cell::make(N, 0.5, 1.0, MD));
+    Cells.push_back(Cell::make(N, 0.5, 1.0, Sess, MD));
     if (!Cells.back())
       return 1;
     Specs.push_back({&Cells.back()->Code, Cells.back()->Prog.get(), {}});

@@ -1,0 +1,117 @@
+//===- swp/API/TargetRegistry.h - Named machine targets ---------*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md section 11.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine models as data: a registry of named, validated
+/// MachineDescriptions. The three built-in cells (the paper's Warp cell,
+/// the section 2 toy machine, and the section 6 scaled Warp cell) are
+/// registered at startup under "warp-cell", "toy-cell", and
+/// "warp-cell-x2"; additional targets arrive either programmatically
+/// (registerTarget) or as JSON machine-description files (loadFile), so
+/// one scheduler core retargets across machines the way SMT/ASP-based
+/// pipeliners parameterize over machine descriptions.
+///
+/// The JSON format round-trips: emitJson(MD) produces a file parseJson
+/// reloads into a machine with the identical resource / latency /
+/// register tables — bit-identical schedules and an identical
+/// fingerprintMachine (tests lock both). The schema is documented in
+/// README.md ("Machine-description JSON") and an example lives at
+/// examples/targets/.
+///
+/// Every registration path validates first: a target whose reservation
+/// patterns reference missing resources, demand more units than exist,
+/// or carry zero latencies is rejected with a description instead of
+/// failing deep inside the scheduler. Lookup returns stable pointers —
+/// a registered target is never moved or removed, so a
+/// const MachineDescription* may be held for the registry's lifetime
+/// (for the process-wide registry, forever).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_API_TARGETREGISTRY_H
+#define SWP_API_TARGETREGISTRY_H
+
+#include "swp/Machine/MachineDescription.h"
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace swp {
+
+class TargetRegistry {
+public:
+  /// An empty registry (no built-ins); sessions and tests can build
+  /// private registries with exactly the targets they mean to expose.
+  TargetRegistry() = default;
+
+  TargetRegistry(const TargetRegistry &) = delete;
+  TargetRegistry &operator=(const TargetRegistry &) = delete;
+
+  /// The process-wide registry, with the three built-in cells
+  /// ("warp-cell", "toy-cell", "warp-cell-x2") registered on first use.
+  /// Thread-safe; never destroyed.
+  static TargetRegistry &global();
+
+  /// Registers the built-in cells into \p R (used by global(), and by
+  /// tests that want a private registry with the standard targets).
+  static void registerBuiltins(TargetRegistry &R);
+
+  /// Validates and registers \p MD under \p Name. Returns an empty
+  /// string on success, or a description of why the target was rejected
+  /// (invalid machine, empty name, or a name collision — re-registering
+  /// an existing name is refused so held pointers stay meaningful).
+  std::string registerTarget(const std::string &Name,
+                             MachineDescription MD);
+
+  /// The registered target, or null. The pointer stays valid for the
+  /// registry's lifetime.
+  const MachineDescription *lookup(const std::string &Name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Parses a JSON machine description from \p Path, validates it, and
+  /// registers it under the file's "name" field. Returns an empty
+  /// string on success (with \p NameOut, when non-null, receiving the
+  /// registered name) or a description of the failure.
+  std::string loadFile(const std::string &Path,
+                       std::string *NameOut = nullptr);
+
+  /// Structural validity check used by every registration path: at
+  /// least one resource, unique nonempty resource names with nonzero
+  /// unit counts, nonzero register files and clock, a legal Nop, and
+  /// for every legal opcode a latency >= 1 and reservation uses that
+  /// name existing resources and demand no more units than the
+  /// resource has. Returns an empty string when valid.
+  static std::string validateMachine(const MachineDescription &MD);
+
+  /// Renders \p MD as the canonical (sorted-key) machine-description
+  /// JSON. Covers everything fingerprintMachine covers plus the display
+  /// name and clock rate, so a reloaded file reproduces the machine
+  /// exactly.
+  static std::string emitJson(const MachineDescription &MD);
+
+  /// Parses a machine-description JSON document. Returns the machine,
+  /// or std::nullopt with \p Err describing the first problem (syntax,
+  /// schema, unknown opcode/resource, or a validateMachine rejection).
+  static std::optional<MachineDescription>
+  parseJson(const std::string &Json, std::string &Err);
+
+private:
+  mutable std::mutex Mu;
+  /// Sorted by name; unique_ptr keeps lookup results stable across
+  /// rehash/reallocation.
+  std::vector<std::pair<std::string, std::unique_ptr<MachineDescription>>>
+      Targets;
+};
+
+} // namespace swp
+
+#endif // SWP_API_TARGETREGISTRY_H

@@ -125,6 +125,13 @@ struct LoopReport {
 
 /// Whole-program compilation report.
 struct CompileReport {
+  /// Identity of the swp::Session submission that produced this report
+  /// (0/0 outside a session). Stamped by the session after the compile;
+  /// the same ids label the session's trace spans, so a report can be
+  /// joined against a Perfetto trace of the serving process.
+  uint64_t SessionId = 0;
+  uint64_t RequestId = 0;
+
   std::vector<LoopReport> Loops;
   /// Scheduler counters summed over every attempted loop.
   SchedulerStats SchedTotals;

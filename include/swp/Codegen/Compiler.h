@@ -38,7 +38,33 @@
 
 namespace swp {
 
+class BudgetTracker;
 class ScheduleCache;
+
+/// Machine-checkable reasons CompilerOptions::validate() can reject an
+/// option set. Each kind names one contradictory (or meaningless) combo;
+/// the paired message explains it to a human. Stable: the public API
+/// surfaces these to remote callers.
+enum class OptionErrorKind : uint8_t {
+  BadMaxUnroll,          ///< MaxUnroll == 0.
+  BadLoopLenCap,         ///< MaxLoopLenToPipeline == 0.
+  BadEfficiencyThreshold,///< EfficiencyThreshold outside (0, 1].
+  ParallelBinarySearch,  ///< SearchThreads > 1 under BinarySearch.
+  BadLadderRung,         ///< MinLadderRung > 2.
+  ChaosCompiledOut,      ///< ChaosSeed set but faults compiled out.
+  ExplainWithoutPipelining, ///< Explain set but EnablePipelining off.
+  CacheWithoutPipelining,   ///< Cache set but EnablePipelining off.
+  DuplicateBudget,       ///< Both Tracker and Budget ceilings set.
+};
+
+/// Stable identifier string for an OptionErrorKind ("duplicate-budget").
+const char *optionErrorKindText(OptionErrorKind K);
+
+/// One typed option-validation finding.
+struct OptionDiag {
+  OptionErrorKind Kind;
+  std::string Message;
+};
 
 /// Compilation policy.
 struct CompilerOptions {
@@ -95,16 +121,34 @@ struct CompilerOptions {
   /// re-verified against the current graph, and chaos-armed or
   /// budget-exhausted results are never inserted.
   ScheduleCache *Cache = nullptr;
+  /// External budget/cancellation tracker (not owned; null = none). The
+  /// async session API arms one per request so a caller can cancel a
+  /// compile mid-flight: the scheduler polls the tracker's token exactly
+  /// as it does for an internal budget, and the compile backs out
+  /// cooperatively. Mutually exclusive with Budget ceilings — the
+  /// tracker carries its own CompileBudget; setting both is rejected by
+  /// validate() (OptionErrorKind::DuplicateBudget). A tracker whose
+  /// budget has no ceilings is a pure cancellation token and never
+  /// perturbs schedules unless tripped.
+  BudgetTracker *Tracker = nullptr;
   /// Search options forwarded to the modulo scheduler.
   ModuloScheduleOptions Sched;
 
-  /// Validates the combined option set, returning an empty string when
-  /// coherent or a description of the first rejected combination
-  /// (e.g. MaxUnroll == 0, a threshold outside (0, 1], or SearchThreads
-  /// parallelism requested under the binary-search strategy, whose probes
-  /// are sequentially dependent). compileProgram() runs this itself and
-  /// refuses incoherent options, so hand-assembled combos cannot skew an
-  /// experiment silently.
+  /// Validates the combined option set, returning every contradictory or
+  /// meaningless combination as a typed finding (empty when coherent):
+  /// degenerate knobs (MaxUnroll == 0, a threshold outside (0, 1]),
+  /// incompatible strategies (SearchThreads parallelism under the
+  /// binary-search strategy, whose probes are sequentially dependent),
+  /// silently-ignored combos the async API exposes (Explain or a
+  /// schedule cache with pipelining disabled, an external Tracker
+  /// alongside inline Budget ceilings), and knobs whose support was
+  /// compiled out (ChaosSeed without SWP_FAULTS_ENABLED).
+  std::vector<OptionDiag> validate() const;
+
+  /// Convenience wrapper over validate(): the first finding's message,
+  /// or an empty string when the option set is coherent. compileProgram()
+  /// runs this itself and refuses incoherent options, so hand-assembled
+  /// combos cannot skew an experiment silently.
   std::string finalize();
 };
 
@@ -121,6 +165,15 @@ struct CompileResult {
 /// induction-variable materialization); clone it first if the original
 /// matters. Programs must verify cleanly. \p Diags, when non-null,
 /// receives compile errors and ParanoidVerify findings.
+///
+/// This free function is the synchronous one-shot wrapper over the
+/// compiler core; swp::Session (swp/API/Session.h) is the primary public
+/// façade — it adds named targets, async submission with priorities and
+/// cancellation, per-session defaults, and result reuse, and produces
+/// results bit-identical to calling this function directly (tests
+/// enforce the equivalence). Use compileProgram for a single local
+/// compile; use a Session for anything repeated, concurrent, or
+/// multi-target.
 CompileResult compileProgram(Program &P, const MachineDescription &MD,
                              const CompilerOptions &Opts = {},
                              DiagnosticEngine *Diags = nullptr);

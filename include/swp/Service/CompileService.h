@@ -66,6 +66,14 @@ struct CompileJob {
   /// needed. The caller owns the contract that the key matches what Make
   /// produces; a wrong key returns the wrong program's code.
   std::optional<Fingerprint> Key;
+  /// Per-request budget/cancellation tracker (not owned; the session API
+  /// arms one per submission). A tracker-armed job still hits the memo
+  /// but never joins or leads a single-flight group — a cancelled leader
+  /// must not hand its aborted result to innocent followers — and its
+  /// result is memoized only when the tracker never tripped. A tracker
+  /// whose budget carries real ceilings makes the job wall-clock
+  /// dependent, so it compiles directly like an inline-budgeted one.
+  BudgetTracker *Tracker = nullptr;
 };
 
 /// Service counters (monotonic since construction).

@@ -95,6 +95,12 @@ public:
   /// Trips the token directly (driver-initiated cancellation).
   void cancel(BudgetCause C = BudgetCause::WallClock) { trip(C); }
 
+  /// The ceilings this tracker enforces. A tracker whose budget has no
+  /// ceilings is a pure cancellation token: it trips only via cancel(),
+  /// so an uncancelled compile under it is bit-identical to an
+  /// untracked one (and stays memoizable).
+  const CompileBudget &budget() const { return B; }
+
   uint64_t intervalsCharged() const {
     return Intervals.load(std::memory_order_relaxed);
   }

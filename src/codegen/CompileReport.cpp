@@ -241,6 +241,13 @@ std::string CompileReport::toJson() const {
      << ", \"intervals_tried\": " << SchedTotals.IntervalsTried
      << ", \"slots_probed\": " << SchedTotals.SlotsProbed
      << ", \"total_seconds\": " << SchedTotals.TotalSeconds << "}";
+  // Session identity appears only for session-submitted compiles, so the
+  // report shape of a plain compileProgram call is unchanged. Keys stay
+  // in sorted order ("session" lands between "sched_totals" and
+  // "utilization").
+  if (SessionId != 0 || RequestId != 0)
+    OS << ",\n  \"session\": {\"request_id\": " << RequestId
+       << ", \"session_id\": " << SessionId << "}";
   if (HasUtilization && Util.measured())
     OS << ",\n  \"utilization\": " << Util.toJson();
   OS << ",\n  \"verify_errors\": [";

@@ -97,8 +97,12 @@ public:
   CompilerImpl(Program &P, const MachineDescription &MD,
                const CompilerOptions &Opts, DiagnosticEngine *Diags)
       : P(P), MD(MD), Opts(Opts), Diags(Diags), RA(MD), Pad(drainPad(MD)) {
-    if (Opts.Budget.limited())
+    if (Opts.Tracker) {
+      Budget = Opts.Tracker;
+    } else if (Opts.Budget.limited()) {
       BudgetStore.emplace(Opts.Budget);
+      Budget = &*BudgetStore;
+    }
   }
 
   CompileResult run();
@@ -202,6 +206,10 @@ private:
   /// Live charge against CompilerOptions::Budget (engaged only when some
   /// ceiling is configured; the scheduler sees it via Sched.Budget).
   std::optional<BudgetTracker> BudgetStore;
+  /// The tracker this compile charges: CompilerOptions::Tracker when the
+  /// caller supplied one (async cancellation), else &*BudgetStore, else
+  /// null (the scheduler then never consults a tracker at all).
+  BudgetTracker *Budget = nullptr;
 
   bool Failed = false;
   std::string FirstError;
@@ -1004,8 +1012,8 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
   ModuloScheduleOptions SOpts = Opts.Sched;
   if (SOpts.MaxII == 0)
     SOpts.MaxII = static_cast<unsigned>(UnpipelinedPeriod);
-  if (BudgetStore)
-    SOpts.Budget = &*BudgetStore;
+  if (Budget)
+    SOpts.Budget = Budget;
   ModuloScheduleResult MS;
   if (Opts.Cache) {
     // Content-addressed reuse: key = canonical DDG + machine + every
@@ -1344,8 +1352,8 @@ CompileResult CompilerImpl::run() {
   if (!Failed)
     emitStmtList(P.Body);
   Result.Report.ParanoidVerified = Opts.ParanoidVerify;
-  if (BudgetStore)
-    Result.Report.BudgetTripped = BudgetStore->cause();
+  if (Budget)
+    Result.Report.BudgetTripped = Budget->cause();
   for (const LoopReport &L : Result.Report.Loops)
     if (L.attempted())
       Result.Report.SchedTotals.merge(L.Stats);
@@ -1366,23 +1374,73 @@ CompileResult CompilerImpl::run() {
 
 } // namespace
 
-std::string swp::CompilerOptions::finalize() {
+const char *swp::optionErrorKindText(OptionErrorKind K) {
+  switch (K) {
+  case OptionErrorKind::BadMaxUnroll:
+    return "bad-max-unroll";
+  case OptionErrorKind::BadLoopLenCap:
+    return "bad-loop-len-cap";
+  case OptionErrorKind::BadEfficiencyThreshold:
+    return "bad-efficiency-threshold";
+  case OptionErrorKind::ParallelBinarySearch:
+    return "parallel-binary-search";
+  case OptionErrorKind::BadLadderRung:
+    return "bad-ladder-rung";
+  case OptionErrorKind::ChaosCompiledOut:
+    return "chaos-compiled-out";
+  case OptionErrorKind::ExplainWithoutPipelining:
+    return "explain-without-pipelining";
+  case OptionErrorKind::CacheWithoutPipelining:
+    return "cache-without-pipelining";
+  case OptionErrorKind::DuplicateBudget:
+    return "duplicate-budget";
+  }
+  return "unknown";
+}
+
+std::vector<OptionDiag> swp::CompilerOptions::validate() const {
+  std::vector<OptionDiag> Diags;
+  auto Reject = [&](OptionErrorKind K, const char *Msg) {
+    Diags.push_back({K, std::string("CompilerOptions: ") + Msg});
+  };
   if (MaxUnroll == 0)
-    return "CompilerOptions: MaxUnroll must be at least 1";
+    Reject(OptionErrorKind::BadMaxUnroll, "MaxUnroll must be at least 1");
   if (MaxLoopLenToPipeline == 0)
-    return "CompilerOptions: MaxLoopLenToPipeline must be at least 1";
+    Reject(OptionErrorKind::BadLoopLenCap,
+           "MaxLoopLenToPipeline must be at least 1");
   if (!(EfficiencyThreshold > 0.0) || EfficiencyThreshold > 1.0)
-    return "CompilerOptions: EfficiencyThreshold must lie in (0, 1]";
+    Reject(OptionErrorKind::BadEfficiencyThreshold,
+           "EfficiencyThreshold must lie in (0, 1]");
   if (Sched.BinarySearch && Sched.SearchThreads > 1)
-    return "CompilerOptions: SearchThreads > 1 is incompatible with "
-           "BinarySearch (its probes are sequentially dependent)";
+    Reject(OptionErrorKind::ParallelBinarySearch,
+           "SearchThreads > 1 is incompatible with BinarySearch (its "
+           "probes are sequentially dependent)");
   if (MinLadderRung > 2)
-    return "CompilerOptions: MinLadderRung must be 0 (full), 1 (unrolled "
-           "list), or 2 (sequential)";
+    Reject(OptionErrorKind::BadLadderRung,
+           "MinLadderRung must be 0 (full), 1 (unrolled list), or 2 "
+           "(sequential)");
   if (ChaosSeed != 0 && !faults::compiledIn())
-    return "CompilerOptions: ChaosSeed set but fault injection was "
-           "compiled out (SWP_FAULTS_ENABLED=0)";
-  return "";
+    Reject(OptionErrorKind::ChaosCompiledOut,
+           "ChaosSeed set but fault injection was compiled out "
+           "(SWP_FAULTS_ENABLED=0)");
+  if (Explain && !EnablePipelining)
+    Reject(OptionErrorKind::ExplainWithoutPipelining,
+           "Explain renders pipelined kernels only; it is contradictory "
+           "with EnablePipelining = false");
+  if (Cache != nullptr && !EnablePipelining)
+    Reject(OptionErrorKind::CacheWithoutPipelining,
+           "the schedule cache stores modulo schedules; it is "
+           "contradictory with EnablePipelining = false");
+  if (Tracker != nullptr && Budget.limited())
+    Reject(OptionErrorKind::DuplicateBudget,
+           "an external Tracker and inline Budget ceilings are mutually "
+           "exclusive (give the tracker the budget instead)");
+  return Diags;
+}
+
+std::string swp::CompilerOptions::finalize() {
+  std::vector<OptionDiag> Diags = validate();
+  return Diags.empty() ? std::string() : Diags.front().Message;
 }
 
 CompileResult swp::compileProgram(Program &P, const MachineDescription &MD,

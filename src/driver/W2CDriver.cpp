@@ -6,10 +6,9 @@
 
 #include "swp/Driver/W2CDriver.h"
 
-#include "swp/Codegen/Compiler.h"
+#include "swp/API/Session.h"
 #include "swp/IR/Printer.h"
 #include "swp/Lang/Lowering.h"
-#include "swp/Service/CompileService.h"
 #include "swp/Service/ScheduleCache.h"
 #include "swp/Sim/Simulator.h"
 #include "swp/Support/Trace.h"
@@ -56,6 +55,13 @@ void printUsage(std::ostream &OS) {
         "inputs) and report FU occupancy, issue fill, and stalls\n"
         "  --trace=FILE   write a Chrome trace-event JSON of the "
         "compilation (open in Perfetto / chrome://tracing)\n"
+        "  --target=NAME       compile for a registered machine "
+        "(default warp-cell; see --list-targets)\n"
+        "  --target-file=F     register the machine described by the JSON "
+        "file F (compiled with --target=<its name>, or alone as the "
+        "target when no --target is given)\n"
+        "  --list-targets      print every registered target name and "
+        "exit\n"
         "  --search-threads=N  speculative parallel II search on N "
         "threads (same schedules; with --trace, one track per worker)\n"
         "  --budget-ms=N       compile wall-clock budget; on expiry loops "
@@ -74,8 +80,8 @@ void printUsage(std::ostream &OS) {
         "--cache; entries are verified on load)\n"
         "  --cache-bytes=N     in-memory cache byte budget (implies "
         "--cache)\n"
-        "  --batch             compile every input file through the "
-        "compile service (dedup + shared cache)\n"
+        "  --batch             compile every input file through one "
+        "compile session (dedup + shared cache)\n"
         "exit codes: 0 ok, 1 usage/IO, 2 frontend rejection, 3 compile "
         "failure, 4 ok-but-degraded\n";
 }
@@ -106,15 +112,14 @@ std::string jsonEscape(const std::string &S) {
   return R;
 }
 
-/// The --batch path: every input file goes through the compile service
+/// The --batch path: every input file goes through one Session
 /// (identical files coalesce into one compile; with --cache, isomorphic
 /// loops across distinct files share schedule searches).
-int runBatch(const std::vector<std::string> &Paths, bool Pipeline,
-             bool Verify, bool Stats, bool Json, bool Explain,
-             bool Utilization, unsigned SearchThreads,
-             const CompileBudget &Budget, uint64_t ChaosSeed,
-             unsigned MinLadderRung, const std::string &TracePath,
-             ScheduleCache *Cache, std::ostream &Out, std::ostream &Err) {
+int runBatch(const std::vector<std::string> &Paths, TargetRegistry &Reg,
+             const std::string &Target, const CompilerOptions &Opts,
+             bool Stats, bool Json, bool Utilization,
+             const std::string &TracePath, ScheduleCache *Cache,
+             std::ostream &Out, std::ostream &Err) {
   if (Paths.empty()) {
     Err << "error: --batch needs at least one input file\n";
     return W2CExitUsage;
@@ -153,30 +158,27 @@ int runBatch(const std::vector<std::string> &Paths, bool Pipeline,
     trace::setThreadName("w2c-main");
   }
 
-  MachineDescription MD = MachineDescription::warpCell();
-  CompilerOptions Opts;
-  Opts.EnablePipelining = Pipeline;
-  Opts.ParanoidVerify = Verify;
-  Opts.Explain = Explain;
-  Opts.Budget = Budget;
-  Opts.ChaosSeed = ChaosSeed;
-  Opts.MinLadderRung = MinLadderRung;
-  Opts.Sched.SearchThreads = SearchThreads;
-
-  CompileService::Config SC;
+  SessionConfig SC;
+  SC.DefaultTarget = Target;
+  SC.Registry = &Reg;
+  SC.DefaultOpts = Opts;
   SC.Cache = Cache;
-  CompileService Service(SC);
-  std::vector<CompileJob> Jobs(Paths.size());
+  Session Sess(SC);
+
+  std::vector<CompileRequest> Reqs(Paths.size());
   for (size_t I = 0; I != Paths.size(); ++I) {
-    Jobs[I].MD = &MD;
-    Jobs[I].Opts = Opts;
-    Jobs[I].Make = [Source = Sources[I]]() {
+    Reqs[I].Label = Paths[I];
+    Reqs[I].Make = [Source = Sources[I]]() {
       DiagnosticEngine DE;
       std::optional<W2Module> M = compileW2Source(Source, DE);
       return std::make_unique<Program>(std::move(M->Prog));
     };
   }
-  std::vector<CompileResult> Results = Service.compileBatch(Jobs);
+  std::vector<CompileHandle> Handles = Sess.submitBatch(std::move(Reqs));
+  std::vector<const CompileResponse *> Responses;
+  Responses.reserve(Handles.size());
+  for (const CompileHandle &H : Handles)
+    Responses.push_back(&H.get());
 
   if (!TracePath.empty()) {
     std::string TraceErr;
@@ -190,12 +192,12 @@ int runBatch(const std::vector<std::string> &Paths, bool Pipeline,
 
   bool AnyFailed = false;
   bool AnyDegraded = false;
-  for (const CompileResult &CR : Results) {
-    if (!CR.Ok) {
+  for (const CompileResponse *R : Responses) {
+    if (!R->Ok) {
       AnyFailed = true;
       continue;
     }
-    for (const LoopReport &L : CR.Report.Loops)
+    for (const LoopReport &L : R->Result.Report.Loops)
       AnyDegraded |= L.degraded();
   }
 
@@ -205,30 +207,30 @@ int runBatch(const std::vector<std::string> &Paths, bool Pipeline,
     if (Cache)
       Out << "\"cache\":" << Cache->stats().toJson() << ",";
     Out << "\"files\":[";
-    for (size_t I = 0; I != Results.size(); ++I) {
+    for (size_t I = 0; I != Responses.size(); ++I) {
       if (I)
         Out << ",";
       Out << "{\"file\":\"" << jsonEscape(Paths[I])
-          << "\",\"ok\":" << (Results[I].Ok ? "true" : "false")
-          << ",\"report\":" << Results[I].Report.toJson() << "}";
+          << "\",\"ok\":" << (Responses[I]->Ok ? "true" : "false")
+          << ",\"report\":" << Responses[I]->Result.Report.toJson() << "}";
     }
-    Out << "],\"service\":" << Service.stats().toJson() << "}";
+    Out << "],\"service\":" << Sess.stats().toJson() << "}";
   } else {
     Out << "=== batch (" << Paths.size() << " files) ===\n";
-    for (size_t I = 0; I != Results.size(); ++I) {
-      const CompileResult &CR = Results[I];
-      if (!CR.Ok) {
-        Out << Paths[I] << ": FAILED: " << CR.Error << "\n";
+    for (size_t I = 0; I != Responses.size(); ++I) {
+      const CompileResponse &R = *Responses[I];
+      if (!R.Ok) {
+        Out << Paths[I] << ": FAILED: " << R.Result.Error << "\n";
         continue;
       }
       bool Degraded = false;
-      for (const LoopReport &L : CR.Report.Loops)
+      for (const LoopReport &L : R.Result.Report.Loops)
         Degraded |= L.degraded();
       Out << Paths[I] << ": " << (Degraded ? "degraded" : "ok") << ", "
-          << CR.Code.size() << " long instructions\n";
+          << R.Result.Code.size() << " long instructions\n";
     }
     if (Stats) {
-      ServiceStats SS = Service.stats();
+      ServiceStats SS = Sess.stats();
       Out << "service: " << SS.Requests << " requests, " << SS.Compiles
           << " compiles, " << SS.MemoHits << " memo hits, " << SS.Coalesced
           << " coalesced\n";
@@ -264,6 +266,9 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
   uint64_t CacheBytes = 0;
   bool Batch = false;
   std::string TracePath;
+  std::string Target;
+  std::vector<std::string> TargetFiles;
+  bool ListTargets = false;
   std::vector<std::string> Paths;
   for (const std::string &Arg : Args) {
     uint64_t N = 0;
@@ -287,6 +292,20 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
         Err << "error: --trace needs a file name (--trace=FILE)\n";
         return W2CExitUsage;
       }
+    } else if (Arg.rfind("--target=", 0) == 0) {
+      Target = Arg.substr(9);
+      if (Target.empty()) {
+        Err << "error: --target needs a name (--target=NAME)\n";
+        return W2CExitUsage;
+      }
+    } else if (Arg.rfind("--target-file=", 0) == 0) {
+      TargetFiles.push_back(Arg.substr(14));
+      if (TargetFiles.back().empty()) {
+        Err << "error: --target-file needs a path (--target-file=F.json)\n";
+        return W2CExitUsage;
+      }
+    } else if (Arg == "--list-targets") {
+      ListTargets = true;
     } else if (Arg.rfind("--search-threads=", 0) == 0) {
       if (!parseCount(Arg, 17, "--search-threads", 64, N, Err))
         return W2CExitUsage;
@@ -351,6 +370,54 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
         << Paths[1] << "'); use --batch to compile several\n";
     return W2CExitUsage;
   }
+  // Contradictory combos are usage errors here (exit 1), mirroring the
+  // typed rejections CompilerOptions::validate() gives API callers.
+  if (Explain && !Pipeline) {
+    Err << "error: --explain renders pipelined kernels; it is "
+           "contradictory with --no-pipeline\n";
+    return W2CExitUsage;
+  }
+  if (UseCache && !Pipeline) {
+    Err << "error: the schedule cache stores modulo schedules; --cache is "
+           "contradictory with --no-pipeline\n";
+    return W2CExitUsage;
+  }
+
+  // The target namespace for this invocation: the built-in cells plus
+  // any --target-file machines. Private to the invocation so repeated
+  // in-process runs (tests) can reload the same file without "already
+  // registered" collisions.
+  TargetRegistry Reg;
+  TargetRegistry::registerBuiltins(Reg);
+  std::string LoadedName;
+  for (const std::string &F : TargetFiles) {
+    std::string LoadErr = Reg.loadFile(F, &LoadedName);
+    if (!LoadErr.empty()) {
+      Err << "error: " << LoadErr << "\n";
+      return W2CExitUsage;
+    }
+  }
+  // No explicit --target: the last file loaded is what the user meant to
+  // compile for; with no files either, the default cell.
+  if (Target.empty())
+    Target = LoadedName.empty() ? "warp-cell" : LoadedName;
+
+  if (ListTargets) {
+    for (const std::string &Name : Reg.names()) {
+      const MachineDescription *MD = Reg.lookup(Name);
+      Out << Name << "  (" << MD->numResources() << " resources, "
+          << MD->clockMHz() << " MHz)\n";
+    }
+    return W2CExitOk;
+  }
+
+  if (!Reg.lookup(Target)) {
+    Err << "error: unknown target '" << Target << "'; known:";
+    for (const std::string &Name : Reg.names())
+      Err << " " << Name;
+    Err << "\n";
+    return W2CExitUsage;
+  }
 
   std::optional<ScheduleCache> Cache;
   if (UseCache) {
@@ -361,11 +428,18 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
     Cache.emplace(CC);
   }
 
+  CompilerOptions Opts;
+  Opts.EnablePipelining = Pipeline;
+  Opts.ParanoidVerify = Verify;
+  Opts.Explain = Explain;
+  Opts.Budget = Budget;
+  Opts.ChaosSeed = ChaosSeed;
+  Opts.MinLadderRung = MinLadderRung;
+  Opts.Sched.SearchThreads = SearchThreads;
+
   if (Batch)
-    return runBatch(Paths, Pipeline, Verify, Stats, Json, Explain,
-                    Utilization, SearchThreads, Budget, ChaosSeed,
-                    MinLadderRung, TracePath,
-                    Cache ? &*Cache : nullptr, Out, Err);
+    return runBatch(Paths, Reg, Target, Opts, Stats, Json, Utilization,
+                    TracePath, Cache ? &*Cache : nullptr, Out, Err);
 
   std::string Source;
   if (Paths.empty()) {
@@ -407,17 +481,16 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
     trace::setThreadName("w2c-main");
   }
 
-  MachineDescription MD = MachineDescription::warpCell();
-  CompilerOptions Opts;
-  Opts.EnablePipelining = Pipeline;
-  Opts.ParanoidVerify = Verify;
-  Opts.Explain = Explain;
-  Opts.Budget = Budget;
-  Opts.ChaosSeed = ChaosSeed;
-  Opts.MinLadderRung = MinLadderRung;
-  Opts.Cache = Cache ? &*Cache : nullptr;
-  Opts.Sched.SearchThreads = SearchThreads;
-  CompileResult CR = compileProgram(Mod->Prog, MD, Opts, &DE);
+  // One session per invocation; the in-place compileNow path keeps the
+  // mutated program available for --utilization's simulation.
+  SessionConfig SC;
+  SC.DefaultTarget = Target;
+  SC.Registry = &Reg;
+  SC.Cache = Cache ? &*Cache : nullptr;
+  Session Sess(SC);
+  const MachineDescription &MD = *Reg.lookup(Target);
+  CompileResponse Resp = Sess.compileNow(Mod->Prog, Target, &Opts, &DE);
+  CompileResult &CR = Resp.Result;
   if (CR.Ok && Utilization) {
     // Dynamic occupancy: run the compiled code on the cycle-accurate
     // simulator with zero-filled arrays and scalars. Resource usage is

@@ -96,8 +96,12 @@ void CompileService::memoInsert(const Fingerprint &Key,
 CompileResult CompileService::runCompile(const CompileJob &Job, Program &P) {
   Compiles.fetch_add(1, std::memory_order_relaxed);
   CompilerOptions Opts = Job.Opts;
-  if (Opts.Cache == nullptr)
+  // Inject the shared cache only where it can matter: a cache with
+  // pipelining disabled is a contradiction compileProgram rejects.
+  if (Opts.Cache == nullptr && Opts.EnablePipelining)
     Opts.Cache = Cfg.Cache;
+  if (Opts.Tracker == nullptr)
+    Opts.Tracker = Job.Tracker;
   return compileProgram(P, *Job.MD, Opts);
 }
 
@@ -107,10 +111,19 @@ CompileResult CompileService::compileOne(const CompileJob &Job) {
   assert(Job.Make && Job.MD && "CompileJob needs a factory and a machine");
 
   // Budgeted or chaos-armed compiles are functions of wall-clock / injected
-  // faults, not content: compile directly, never share or memoize.
-  if (Job.Opts.Budget.limited() || Job.Opts.ChaosSeed != 0) {
+  // faults, not content: compile directly, never share or memoize. A
+  // tracker carrying real ceilings is a budgeted compile by another name.
+  if (Job.Opts.Budget.limited() || Job.Opts.ChaosSeed != 0 ||
+      (Job.Tracker && Job.Tracker->budget().limited())) {
     std::unique_ptr<Program> Direct = Job.Make();
     return runCompile(Job, *Direct);
+  }
+
+  // A cancelled request is answered without materializing the program.
+  if (Job.Tracker && Job.Tracker->cancelled()) {
+    CompileResult R;
+    R.Error = "compile cancelled";
+    return R;
   }
 
   // With a client-provided key the program is built lazily — a memo hit
@@ -131,6 +144,19 @@ CompileResult CompileService::compileOne(const CompileJob &Job) {
       SWP_TRACE_INSTANT("service.memoHit", {});
       return Hit;
     }
+  }
+
+  // Cancellable (tracker-armed) jobs bypass single-flight: a leader whose
+  // caller cancels it would publish an aborted result to followers who
+  // did not ask to cancel. They compile directly instead, and the result
+  // is shared through the memo only when the tracker never tripped.
+  if (Job.Tracker) {
+    if (!P)
+      P = Job.Make();
+    CompileResult R = runCompile(Job, *P);
+    if (Cfg.MemoizeResults && !Job.Tracker->expired())
+      memoInsert(Key, R);
+    return R;
   }
 
   // Single flight per fingerprint: the first requester compiles, identical

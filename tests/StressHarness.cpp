@@ -21,6 +21,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "swp/API/Session.h"
 #include "swp/Support/FaultInject.h"
 #include "swp/Verify/Differential.h"
 
@@ -117,7 +118,11 @@ std::string runIteration(uint64_t IterSeed, const MachineDescription &MD,
       Opts.Sched.SearchThreads = 2 + static_cast<unsigned>(Rng() % 2);
     BuiltWorkload W = Spec.Make();
     DiagnosticEngine DE;
-    CompileResult CR = compileProgram(*W.Prog, MD, Opts, &DE);
+    // Routed through the session façade (in-place path) so the soak also
+    // exercises the public API entry point under fault injection.
+    static Session Sess;
+    CompileResponse Resp = Sess.compileNow(*W.Prog, MD, &Opts, &DE);
+    CompileResult &CR = Resp.Result;
     if (CR.Ok && !CR.Report.VerifyErrors.empty())
       return std::string("chaos site ") + faults::siteName(Site) +
              ": compile reported Ok with verifier findings";

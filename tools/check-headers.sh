@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Compiles every public header standalone (-fsyntax-only) so each
+# include/swp/**/*.h carries its own includes: a header that only builds
+# when some other header happens to precede it is a latent break for API
+# consumers, who include headers in their own order.
+#
+# Usage: check-headers.sh <c++-compiler> <source-dir>
+# Wired as the `check_headers` ctest.
+set -u
+
+CXX="${1:?usage: check-headers.sh <c++-compiler> <source-dir>}"
+SRC="${2:?usage: check-headers.sh <c++-compiler> <source-dir>}"
+INC="$SRC/include"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fails=0
+count=0
+while IFS= read -r header; do
+  rel="${header#"$INC"/}"
+  printf '#include "%s"\n' "$rel" > "$TMP/tu.cpp"
+  count=$((count + 1))
+  if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -Werror \
+       -I "$INC" "$TMP/tu.cpp" 2> "$TMP/err"; then
+    echo "FAIL: $rel does not compile standalone:"
+    sed 's/^/    /' "$TMP/err"
+    fails=$((fails + 1))
+  fi
+done < <(find "$INC/swp" -name '*.h' | sort)
+
+if [ "$count" -eq 0 ]; then
+  echo "no headers found under $INC/swp"
+  exit 1
+fi
+echo "checked $count headers, $fails failure(s)"
+exit "$((fails != 0))"
