@@ -26,16 +26,19 @@ swp_add_bench(bench_ablation_search)
 swp_add_bench(bench_ablation_hier)
 swp_add_bench(bench_sched_micro)
 target_link_libraries(bench_sched_micro PRIVATE benchmark::benchmark)
-# --json resolves the checked-in seed baseline relative to the source tree.
+# --json resolves the checked-in seed baseline relative to the source
+# tree and drops its default report in the build tree.
 target_compile_definitions(bench_sched_micro PRIVATE
-  SWP_SOURCE_DIR="${CMAKE_SOURCE_DIR}")
+  SWP_SOURCE_DIR="${CMAKE_SOURCE_DIR}"
+  SWP_BINARY_DIR="${CMAKE_BINARY_DIR}")
 
 # The caching/batch-compile gate: warm-hit latency, batched throughput,
 # and cached-vs-uncached bit-identity (see bench_cache.cpp).
 swp_add_bench(bench_cache)
 target_link_libraries(bench_cache PRIVATE swp_service swp_difftest)
 target_compile_definitions(bench_cache PRIVATE
-  SWP_SOURCE_DIR="${CMAKE_SOURCE_DIR}")
+  SWP_SOURCE_DIR="${CMAKE_SOURCE_DIR}"
+  SWP_BINARY_DIR="${CMAKE_BINARY_DIR}")
 
 # `cmake --build build --target sched_micro_json` regenerates the
 # scheduler-throughput gate report against the checked-in seed baseline.

@@ -26,6 +26,7 @@
 #include "BenchSupport.h"
 
 #include "swp/API/Session.h"
+#include "swp/Metrics/Metrics.h"
 #include "swp/Service/CompileService.h"
 #include "swp/Service/ScheduleCache.h"
 #include "swp/Verify/Differential.h"
@@ -83,6 +84,11 @@ int runGate(const std::string &OutPath, const std::string &BaselinePath) {
   MachineDescription MD = MachineDescription::warpCell();
   const std::vector<WorkloadSpec> &Kernels = livermoreKernels();
   CompilerOptions Opts; // defaults: pipelining on, no verify overhead
+
+  // Telemetry rides along: the whole gate runs with recording enabled,
+  // and the final snapshot must be self-consistent (every cache lookup
+  // resolved as exactly one hit or miss; checked below).
+  metrics::setEnabled(true);
 
   // Uncached reference: every kernel compiled directly, and the code each
   // one must reproduce byte for byte below. Job keys are precomputed here
@@ -201,7 +207,12 @@ int runGate(const std::string &OutPath, const std::string &BaselinePath) {
 
   uint64_t DiskHits = 0;
   {
+    // The disk tier lives in the build tree, not the source checkout.
+#ifdef SWP_BINARY_DIR
+    const std::string Dir = std::string(SWP_BINARY_DIR) + "/bench_cache.dir";
+#else
     const std::string Dir = "bench_cache.dir";
+#endif
     {
       ScheduleCacheConfig CC;
       CC.Dir = Dir;
@@ -326,9 +337,25 @@ int runGate(const std::string &OutPath, const std::string &BaselinePath) {
   if (!MultiTargetOk)
     std::fprintf(stderr, "multi-target session gate failed\n");
 
+  // Metrics-consistency gate: the global snapshot's cache counters must
+  // balance — hits + misses == lookups — after everything above.
+  metrics::MetricsSnapshot Snap = metrics::MetricsRegistry::global().snapshot();
+  uint64_t MLookups = Snap.counterTotal("swp_cache_lookups_total");
+  uint64_t MHits = Snap.counterTotal("swp_cache_hits_total");
+  uint64_t MMisses = Snap.counterTotal("swp_cache_misses_total");
+  bool MetricsOk = !metrics::compiledIn() ||
+                   (MLookups > 0 && MHits + MMisses == MLookups);
+  if (!MetricsOk)
+    std::fprintf(stderr,
+                 "metrics inconsistent: hits %llu + misses %llu != "
+                 "lookups %llu\n",
+                 static_cast<unsigned long long>(MHits),
+                 static_cast<unsigned long long>(MMisses),
+                 static_cast<unsigned long long>(MLookups));
+
   double Baseline = baselineColdMs(BaselinePath);
   bool AllOk = WarmOk && BatchOk && BitIdentical && DiskOk &&
-               DifferentialOk && MultiTargetOk;
+               DifferentialOk && MultiTargetOk && MetricsOk;
   if (!WarmOk)
     std::fprintf(stderr, "warm gate failed: %.2fx < 10x (cold %.3fms, warm %.3fms)\n",
                  WarmSpeedup, ColdMs, WarmMs);
@@ -361,6 +388,8 @@ int runGate(const std::string &OutPath, const std::string &BaselinePath) {
       "  \"disk_hits\": %llu,\n"
       "  \"differential_ok\": %s,\n"
       "  \"multi_target_ok\": %s,\n"
+      "  \"metrics_lookups\": %llu,\n"
+      "  \"metrics_consistent_ok\": %s,\n"
       "  \"cache\": %s,\n"
       "  \"service\": %s,\n"
       "  \"baseline_cold_ms\": %.4f,\n"
@@ -371,6 +400,8 @@ int runGate(const std::string &OutPath, const std::string &BaselinePath) {
       BatchOk ? "true" : "false", BitIdentical ? "true" : "false",
       static_cast<unsigned long long>(DiskHits),
       DifferentialOk ? "true" : "false", MultiTargetOk ? "true" : "false",
+      static_cast<unsigned long long>(MLookups),
+      MetricsOk ? "true" : "false",
       LastCache.toJson().c_str(), LastService.toJson().c_str(), Baseline,
       Baseline > 0 ? Baseline / ColdMs : 0.0);
   Out << Buf;
@@ -382,7 +413,12 @@ int runGate(const std::string &OutPath, const std::string &BaselinePath) {
 } // namespace
 
 int main(int argc, char **argv) {
+  // Default outputs land in the build tree, never the source checkout.
+#ifdef SWP_BINARY_DIR
+  std::string Out = std::string(SWP_BINARY_DIR) + "/BENCH_cache.json";
+#else
   std::string Out = "BENCH_cache.json";
+#endif
   std::string Baseline;
 #ifdef SWP_SOURCE_DIR
   Baseline =

@@ -211,6 +211,16 @@ struct SessionConfig {
   /// — and rejected by validate() — when Service is injected.
   bool MemoizeResults = true;
 
+  /// Telemetry hook: when non-empty, the session enables the global
+  /// metrics registry and owns a MetricsSink streaming periodic JSONL
+  /// snapshots to this path for the session's lifetime (final flush on
+  /// destruction). See swp/Metrics/MetricsSink.h and DESIGN.md §12.
+  std::string MetricsJsonl;
+
+  /// Flush interval for MetricsJsonl in milliseconds; 0 writes only the
+  /// final snapshot.
+  unsigned MetricsFlushMs = 1000;
+
   /// First incoherence in this config ("" when coherent): an injected
   /// Service combined with Cache or MemoizeResults = false (both
   /// configure the private service the injection replaces — they would

@@ -1,0 +1,93 @@
+//===- swp/Metrics/MetricsSink.h - Periodic JSONL telemetry -----*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md §12.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A periodic telemetry sink: snapshots a MetricsRegistry on an interval
+/// thread and appends each snapshot as one JSON line to a file, so a
+/// long-running service (or the stress harness) leaves a time series a
+/// fleet tool can tail. Each line is a small envelope around the
+/// snapshot's canonical JSON:
+///
+///   {"seq":3,"uptime_ms":2741,"metrics":{"counters":{...},...}}
+///
+/// `seq` is the 1-based flush index and `uptime_ms` is steady-clock time
+/// since the sink was constructed (monotonic, restart-relative — fleet
+/// collectors stamp wall time at ingest). tools/metrics-report.sh
+/// summarizes these files.
+///
+/// flushNow() is safe from any thread and is how interval-free users
+/// (IntervalMs = 0) drive the sink, e.g. once per stress iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_METRICS_METRICSSINK_H
+#define SWP_METRICS_METRICSSINK_H
+
+#include "swp/Metrics/Metrics.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace swp {
+namespace metrics {
+
+class MetricsSink {
+public:
+  struct Config {
+    std::string Path;                   ///< JSONL output file (required).
+    unsigned IntervalMs = 1000;         ///< 0: no timer thread, flushNow only.
+    MetricsRegistry *Registry = nullptr; ///< Null: the global registry.
+    bool Append = false;                ///< Append instead of truncating.
+  };
+
+  /// Opens the file and starts the interval thread (when IntervalMs > 0).
+  /// Check ok() — a sink that failed to open drops every flush.
+  explicit MetricsSink(Config C);
+
+  /// Stops the timer, writes one final snapshot, closes the file.
+  ~MetricsSink();
+
+  MetricsSink(const MetricsSink &) = delete;
+  MetricsSink &operator=(const MetricsSink &) = delete;
+
+  bool ok() const;
+  std::string error() const;
+
+  /// Writes one snapshot line immediately. Returns false on I/O failure
+  /// or after stop().
+  bool flushNow();
+
+  /// Lines successfully written so far.
+  uint64_t flushes() const;
+
+  /// Joins the timer thread after one final flush. Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+private:
+  bool writeLine();
+  void timerLoop();
+
+  Config Cfg;
+  std::ofstream Out;
+  std::string Err;
+  mutable std::mutex Mu;
+  std::condition_variable TickOrStop;
+  std::thread Timer;
+  std::chrono::steady_clock::time_point Start;
+  uint64_t Seq = 0;       ///< Guarded by Mu.
+  bool Stopped = false;   ///< Guarded by Mu.
+};
+
+} // namespace metrics
+} // namespace swp
+
+#endif // SWP_METRICS_METRICSSINK_H

@@ -31,6 +31,7 @@
 #ifndef SWP_SERVICE_SCHEDULECACHE_H
 #define SWP_SERVICE_SCHEDULECACHE_H
 
+#include "swp/Metrics/Metrics.h"
 #include "swp/Pipeliner/ModuloScheduler.h"
 #include "swp/Support/Fingerprint.h"
 
@@ -75,6 +76,9 @@ struct ScheduleCacheConfig {
 class ScheduleCache {
 public:
   explicit ScheduleCache(ScheduleCacheConfig Config = {});
+
+  /// Retires this cache's occupancy from the fleet gauges.
+  ~ScheduleCache();
 
   ScheduleCache(const ScheduleCache &) = delete;
   ScheduleCache &operator=(const ScheduleCache &) = delete;
@@ -157,12 +161,23 @@ private:
 
   uint64_t insertLocked(Shard &S, const Fingerprint &Key, Entry E);
 
+  /// Publishes the (entries, bytes) change of shard \p S — whose
+  /// occupancy moved from \p OldEntries / \p OldBytes to its current
+  /// values — to the fleet occupancy gauges. Call under S.Mu.
+  void occupancyChanged(const Shard &S, size_t OldEntries, size_t OldBytes);
+
   std::optional<Entry> loadFromDisk(const Fingerprint &Key);
   void storeToDisk(const Fingerprint &Key, const Entry &E);
   std::string pathFor(const Fingerprint &Key) const;
 
   ScheduleCacheConfig Config;
   std::vector<Shard> Shards;
+
+  /// Fleet occupancy gauges (global registry; additive across every live
+  /// cache in the process). Per-shard series expose hot-shard skew.
+  metrics::Gauge EntriesGauge;
+  metrics::Gauge BytesGauge;
+  std::vector<metrics::Gauge> ShardEntryGauges; ///< One per shard.
 
   mutable std::atomic<uint64_t> Hits{0};
   mutable std::atomic<uint64_t> Misses{0};

@@ -77,6 +77,14 @@ public:
   /// Number of worker threads.
   unsigned size() const { return static_cast<unsigned>(Workers.size()); }
 
+  /// Tasks queued but not yet picked up. A point-in-time reading for
+  /// metrics/monitoring: the value may be stale by the time it returns.
+  size_t queueDepth() const;
+
+  /// Tasks currently executing (on workers or helping waiters). Same
+  /// point-in-time caveat as queueDepth().
+  size_t activeWorkers() const;
+
   /// Queues \p Task for execution on some worker.
   void enqueue(std::function<void()> Task);
 
@@ -125,10 +133,11 @@ private:
   std::atomic<uint64_t> Aborted{0};
   std::vector<std::thread> Workers;
   std::deque<Item> Queue;
-  std::mutex Mu;
+  mutable std::mutex Mu;
   std::condition_variable WorkReady; ///< Queue grew or Stop was set.
   std::condition_variable AllDone;   ///< Outstanding dropped to zero.
   size_t Outstanding = 0;            ///< Queued plus running tasks.
+  size_t Running = 0;                ///< Tasks inside runItem right now.
   bool Stop = false;
 };
 

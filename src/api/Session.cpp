@@ -6,16 +6,94 @@
 
 #include "swp/API/Session.h"
 
+#include "swp/Metrics/MetricsSink.h"
 #include "swp/Support/ThreadPool.h"
 #include "swp/Support/Trace.h"
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <sstream>
 #include <utility>
 
 using namespace swp;
+
+//===----------------------------------------------------------------------===//
+// Session fleet metrics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Request-level fleet metrics, aggregated over every session in the
+/// process. Latency is submit→complete (queue wait + compile) for async
+/// requests, call duration for the synchronous path; every request —
+/// including ones failed before compiling — lands in exactly one latency
+/// series and one outcome series, so histogram count == requests holds.
+struct SessionMetrics {
+  metrics::Counter Submit, CompileNow;
+  metrics::Counter OutOk, OutDegraded, OutError, OutCancelled, OutBudget;
+  metrics::Histogram LatLow, LatNormal, LatHigh, LatSync;
+  metrics::Gauge QueueDepth;
+
+  static const SessionMetrics &get() {
+    static SessionMetrics M = [] {
+      auto &R = metrics::MetricsRegistry::global();
+      SessionMetrics M;
+      const char *RN = "swp_session_requests_total";
+      const char *RH = "Session requests, by entry path";
+      M.Submit = R.counter(RN, "path=\"submit\"", RH);
+      M.CompileNow = R.counter(RN, "path=\"compile_now\"", RH);
+      const char *ON = "swp_session_outcomes_total";
+      const char *OH = "Completed session requests, by outcome";
+      M.OutOk = R.counter(ON, "outcome=\"ok\"", OH);
+      M.OutDegraded = R.counter(ON, "outcome=\"degraded\"", OH);
+      M.OutError = R.counter(ON, "outcome=\"error\"", OH);
+      M.OutCancelled = R.counter(ON, "outcome=\"cancelled\"", OH);
+      M.OutBudget = R.counter(ON, "outcome=\"budget_tripped\"", OH);
+      const char *LN = "swp_session_latency_us";
+      const char *LH = "Submit-to-complete microseconds, by priority class";
+      M.LatLow = R.histogram(LN, "priority=\"low\"", LH);
+      M.LatNormal = R.histogram(LN, "priority=\"normal\"", LH);
+      M.LatHigh = R.histogram(LN, "priority=\"high\"", LH);
+      M.LatSync = R.histogram(LN, "priority=\"sync\"", LH);
+      M.QueueDepth = R.gauge("swp_session_queue_depth", "",
+                             "Async requests queued but not yet running");
+      return M;
+    }();
+    return M;
+  }
+
+  /// Priority classes keep label cardinality fixed whatever ints callers
+  /// pick: negative = low, zero = normal, positive = high.
+  const metrics::Histogram &latency(int Priority) const {
+    return Priority < 0 ? LatLow : Priority > 0 ? LatHigh : LatNormal;
+  }
+
+  void recordOutcome(const CompileResponse &Resp) const {
+    if (Resp.Result.Report.BudgetTripped != BudgetCause::None)
+      OutBudget.inc();
+    else if (Resp.Cancelled)
+      OutCancelled.inc();
+    else if (!Resp.Ok)
+      OutError.inc();
+    else {
+      for (const LoopReport &L : Resp.Result.Report.Loops)
+        if (L.Decision == PipelineDecision::Degraded)
+          return OutDegraded.inc();
+      OutOk.inc();
+    }
+  }
+};
+
+uint64_t microsSince(std::chrono::steady_clock::time_point T0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // CompileResponse
@@ -108,6 +186,7 @@ struct PendingRequest {
   uint64_t ReqId = 0;
   int Priority = 0;
   uint64_t Seq = 0; ///< Submission order, for FIFO among equal priorities.
+  std::chrono::steady_clock::time_point SubmitTime; ///< For latency metrics.
   std::function<std::unique_ptr<Program>()> Make;
   const MachineDescription *MD = nullptr;
   CompilerOptions Opts; ///< Merged and budget-normalized.
@@ -147,6 +226,7 @@ struct Session::Impl {
   std::mutex QueueMu;
   std::vector<std::unique_ptr<PendingRequest>> Queue; ///< Heap (PendingLess).
   TaskGroup Outstanding;
+  std::optional<metrics::MetricsSink> Sink; ///< SessionConfig::MetricsJsonl.
 
   /// Pops and runs the highest-priority pending request. Each submit
   /// enqueues exactly one call, so pops never find the heap empty.
@@ -158,6 +238,7 @@ struct Session::Impl {
       P = std::move(Queue.back());
       Queue.pop_back();
     }
+    SessionMetrics::get().QueueDepth.sub(1);
 
     SWP_TRACE_SPAN(Span, "session.request");
     if (Span.active()) {
@@ -185,6 +266,9 @@ struct Session::Impl {
     R.Report.RequestId = P->ReqId;
     Resp.Ok = R.Ok;
     Resp.Result = std::move(R);
+    SessionMetrics::get().latency(P->Priority).record(
+        microsSince(P->SubmitTime));
+    SessionMetrics::get().recordOutcome(Resp);
     P->Promise.set_value(std::move(Resp));
   }
 
@@ -232,6 +316,8 @@ struct Session::Impl {
 
   CompileResponse compileNowImpl(Program &P, const CompileRequest &Req,
                                  DiagnosticEngine *Diags);
+  CompileResponse compileNowInner(Program &P, const CompileRequest &Req,
+                                  DiagnosticEngine *Diags);
 
   /// Applies session defaults and moves any budget ceilings into the
   /// request's tracker. Returns false with diagnostics on rejection.
@@ -278,6 +364,18 @@ Session::Session(SessionConfig Cfg) : I(std::make_unique<Impl>()) {
   if (I->ConfigError.empty() && !I->Reg->lookup(I->Cfg.DefaultTarget))
     I->ConfigError = "SessionConfig: DefaultTarget \"" + I->Cfg.DefaultTarget +
                      "\" is not registered (known: " + I->knownNames() + ")";
+  if (!I->Cfg.MetricsJsonl.empty()) {
+    // The telemetry hook implies the caller wants numbers: enable the
+    // global registry for the life of the process (cheap, and flipping
+    // it back off when one session dies would blind the others).
+    metrics::setEnabled(true);
+    metrics::MetricsSink::Config SC;
+    SC.Path = I->Cfg.MetricsJsonl;
+    SC.IntervalMs = I->Cfg.MetricsFlushMs;
+    I->Sink.emplace(std::move(SC));
+    if (!I->Sink->ok() && I->ConfigError.empty())
+      I->ConfigError = I->Sink->error();
+  }
   if (I->Cfg.Service) {
     I->Service = I->Cfg.Service;
   } else {
@@ -304,27 +402,41 @@ ServiceStats Session::stats() const { return I->Service->stats(); }
 
 CompileHandle Session::submit(CompileRequest Req) {
   uint64_t ReqId = I->NextReq.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto T0 = std::chrono::steady_clock::now();
+  SessionMetrics::get().Submit.inc();
+  // Requests failed before queueing still land one latency sample and
+  // one outcome, keeping count == requests. failNow's handle is already
+  // resolved, so get() below never blocks.
+  auto FailRecorded = [&](CompileHandle H) {
+    SessionMetrics::get().latency(Req.Priority).record(microsSince(T0));
+    SessionMetrics::get().recordOutcome(H.get());
+    return H;
+  };
 
   if (!I->ConfigError.empty())
-    return Impl::failNow(I->Id, ReqId, Req.Target, I->ConfigError, {});
+    return FailRecorded(
+        Impl::failNow(I->Id, ReqId, Req.Target, I->ConfigError, {}));
   if (!Req.Make)
-    return Impl::failNow(I->Id, ReqId, Req.Target,
-                         "CompileRequest: Make (the program factory) is "
-                         "required for async submission",
-                         {});
+    return FailRecorded(
+        Impl::failNow(I->Id, ReqId, Req.Target,
+                      "CompileRequest: Make (the program factory) is "
+                      "required for async submission",
+                      {}));
 
   std::string Target, Error;
   const MachineDescription *MD = I->resolveTarget(Req, Target, Error);
   if (!MD)
-    return Impl::failNow(I->Id, ReqId, Target, std::move(Error), {});
+    return FailRecorded(
+        Impl::failNow(I->Id, ReqId, Target, std::move(Error), {}));
 
   auto P = std::make_unique<PendingRequest>();
   std::vector<OptionDiag> OptionErrors;
   if (!I->mergeOptions(Req, P->Opts, P->Tracker, Error, OptionErrors))
-    return Impl::failNow(I->Id, ReqId, Target, std::move(Error),
-                         std::move(OptionErrors));
+    return FailRecorded(Impl::failNow(I->Id, ReqId, Target, std::move(Error),
+                                      std::move(OptionErrors)));
 
   P->ReqId = ReqId;
+  P->SubmitTime = T0;
   P->Priority = Req.Priority;
   P->Make = std::move(Req.Make);
   P->MD = MD;
@@ -343,6 +455,7 @@ CompileHandle Session::submit(CompileRequest Req) {
     I->Queue.push_back(std::move(P));
     std::push_heap(I->Queue.begin(), I->Queue.end(), PendingLess());
   }
+  SessionMetrics::get().QueueDepth.add(1);
   Impl *Ip = I.get();
   I->Pool->enqueue(I->Outstanding, [Ip] { Ip->runNext(); });
   return H;
@@ -381,6 +494,17 @@ CompileResponse Session::compileNow(Program &P, const MachineDescription &MD,
 CompileResponse Session::Impl::compileNowImpl(Program &P,
                                               const CompileRequest &Req,
                                               DiagnosticEngine *Diags) {
+  auto T0 = std::chrono::steady_clock::now();
+  SessionMetrics::get().CompileNow.inc();
+  CompileResponse Resp = compileNowInner(P, Req, Diags);
+  SessionMetrics::get().LatSync.record(microsSince(T0));
+  SessionMetrics::get().recordOutcome(Resp);
+  return Resp;
+}
+
+CompileResponse Session::Impl::compileNowInner(Program &P,
+                                               const CompileRequest &Req,
+                                               DiagnosticEngine *Diags) {
   uint64_t ReqId = NextReq.fetch_add(1, std::memory_order_relaxed) + 1;
   CompileResponse Resp;
   Resp.SessionId = Id;

@@ -19,6 +19,7 @@
 #include "swp/Codegen/Compiler.h"
 
 #include "swp/Codegen/RegAlloc.h"
+#include "swp/Metrics/Metrics.h"
 #include "swp/DDG/DDGBuilder.h"
 #include "swp/IR/Expansion.h"
 #include "swp/IR/Transforms.h"
@@ -1443,6 +1444,54 @@ std::string swp::CompilerOptions::finalize() {
   return Diags.empty() ? std::string() : Diags.front().Message;
 }
 
+namespace {
+
+/// Folds one finished compile into the fleet registry: outcome, per-loop
+/// decision and ladder-rung distributions, budget trips. Registration is
+/// one-time; the per-compile cost is a handful of relaxed adds.
+void recordCompileMetrics(const CompileResult &R) {
+  struct CompileMetrics {
+    metrics::Counter Outcome[2];                ///< [ok, error]
+    metrics::Counter Decision[5];               ///< PipelineDecision order.
+    metrics::Counter Rung[5];                   ///< ScheduleRung order.
+    metrics::Counter BudgetTrips;
+  };
+  static const CompileMetrics CM = [] {
+    auto &R = metrics::MetricsRegistry::global();
+    CompileMetrics M;
+    M.Outcome[0] = R.counter("swp_compile_total", "outcome=\"ok\"",
+                             "Whole-program compiles, by outcome");
+    M.Outcome[1] = R.counter("swp_compile_total", "outcome=\"error\"",
+                             "Whole-program compiles, by outcome");
+    for (unsigned I = 0; I != 5; ++I) {
+      M.Decision[I] = R.counter(
+          "swp_compile_loops_total",
+          "decision=\"" +
+              std::string(decisionText(static_cast<PipelineDecision>(I))) +
+              "\"",
+          "Loops compiled, by pipelining decision");
+      M.Rung[I] = R.counter(
+          "swp_compile_rungs_total",
+          "rung=\"" +
+              std::string(scheduleRungText(static_cast<ScheduleRung>(I))) +
+              "\"",
+          "Loops compiled, by degradation-ladder rung");
+    }
+    M.BudgetTrips = R.counter("swp_compile_budget_trips_total", "",
+                              "Compiles whose budget tripped");
+    return M;
+  }();
+  CM.Outcome[R.Ok ? 0 : 1].inc();
+  for (const LoopReport &L : R.Report.Loops) {
+    CM.Decision[static_cast<unsigned>(L.Decision) % 5].inc();
+    CM.Rung[static_cast<unsigned>(L.Rung) % 5].inc();
+  }
+  if (R.Report.BudgetTripped != BudgetCause::None)
+    CM.BudgetTrips.inc();
+}
+
+} // namespace
+
 CompileResult swp::compileProgram(Program &P, const MachineDescription &MD,
                                   const CompilerOptions &Opts,
                                   DiagnosticEngine *Diags) {
@@ -1476,5 +1525,6 @@ CompileResult swp::compileProgram(Program &P, const MachineDescription &MD,
         "\"ok\": " + std::string(R.Ok ? "true" : "false") +
         ", \"loops\": " + std::to_string(R.Report.Loops.size()) +
         ", \"pipelined\": " + std::to_string(R.Report.numPipelined()));
+  recordCompileMetrics(R);
   return R;
 }

@@ -9,6 +9,7 @@
 #include "swp/API/Session.h"
 #include "swp/IR/Printer.h"
 #include "swp/Lang/Lowering.h"
+#include "swp/Metrics/Metrics.h"
 #include "swp/Service/ScheduleCache.h"
 #include "swp/Sim/Simulator.h"
 #include "swp/Support/Trace.h"
@@ -82,6 +83,11 @@ void printUsage(std::ostream &OS) {
         "--cache)\n"
         "  --batch             compile every input file through one "
         "compile session (dedup + shared cache)\n"
+        "  --metrics           enable service telemetry and print the "
+        "final snapshot as Prometheus text (with --json, requires "
+        "--metrics-out)\n"
+        "  --metrics-out=FILE  write the snapshot to FILE instead of "
+        "stdout (implies --metrics)\n"
         "exit codes: 0 ok, 1 usage/IO, 2 frontend rejection, 3 compile "
         "failure, 4 ok-but-degraded\n";
 }
@@ -98,6 +104,26 @@ bool parseCount(const std::string &Arg, size_t PrefixLen, const char *Flag,
     return false;
   }
   Out = N;
+  return true;
+}
+
+/// Emits the global metrics snapshot: Prometheus text to \p Path when
+/// nonempty, otherwise appended to \p Out as an "=== metrics ===="
+/// section. Returns false (with a diagnostic) on I/O failure.
+bool emitMetricsSnapshot(const std::string &Path, std::ostream &Out,
+                         std::ostream &Err) {
+  std::string Text =
+      metrics::MetricsRegistry::global().snapshot().toPrometheusText();
+  if (Path.empty()) {
+    Out << "\n=== metrics ===\n" << Text;
+    return true;
+  }
+  std::ofstream F(Path);
+  if (!F) {
+    Err << "error: cannot open '" << Path << "' for --metrics-out\n";
+    return false;
+  }
+  F << Text;
   return true;
 }
 
@@ -119,7 +145,8 @@ int runBatch(const std::vector<std::string> &Paths, TargetRegistry &Reg,
              const std::string &Target, const CompilerOptions &Opts,
              bool Stats, bool Json, bool Utilization,
              const std::string &TracePath, ScheduleCache *Cache,
-             std::ostream &Out, std::ostream &Err) {
+             bool Metrics, const std::string &MetricsOut, std::ostream &Out,
+             std::ostream &Err) {
   if (Paths.empty()) {
     Err << "error: --batch needs at least one input file\n";
     return W2CExitUsage;
@@ -242,6 +269,8 @@ int runBatch(const std::vector<std::string> &Paths, TargetRegistry &Reg,
       }
     }
   }
+  if (Metrics && !emitMetricsSnapshot(MetricsOut, Out, Err))
+    return W2CExitUsage;
   return AnyFailed ? W2CExitCompile
                    : (AnyDegraded ? W2CExitDegraded : W2CExitOk);
 }
@@ -265,6 +294,8 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
   std::string CacheDir;
   uint64_t CacheBytes = 0;
   bool Batch = false;
+  bool Metrics = false;
+  std::string MetricsOut;
   std::string TracePath;
   std::string Target;
   std::vector<std::string> TargetFiles;
@@ -354,6 +385,16 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
       UseCache = true;
     } else if (Arg == "--batch") {
       Batch = true;
+    } else if (Arg == "--metrics") {
+      Metrics = true;
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      MetricsOut = Arg.substr(14);
+      if (MetricsOut.empty()) {
+        Err << "error: --metrics-out needs a file name "
+               "(--metrics-out=FILE)\n";
+        return W2CExitUsage;
+      }
+      Metrics = true;
     } else if (Arg == "--help") {
       printUsage(Out);
       return W2CExitOk;
@@ -381,6 +422,19 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
     Err << "error: the schedule cache stores modulo schedules; --cache is "
            "contradictory with --no-pipeline\n";
     return W2CExitUsage;
+  }
+  if (Metrics) {
+    if (!metrics::compiledIn()) {
+      Err << "error: --metrics requested but metrics were compiled out "
+             "(rebuild with SWP_METRICS_ENABLED=1)\n";
+      return W2CExitUsage;
+    }
+    if (Json && MetricsOut.empty()) {
+      Err << "error: --json prints a JSON document on stdout; --metrics "
+             "needs --metrics-out=FILE to keep it parseable\n";
+      return W2CExitUsage;
+    }
+    metrics::setEnabled(true);
   }
 
   // The target namespace for this invocation: the built-in cells plus
@@ -439,7 +493,8 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
 
   if (Batch)
     return runBatch(Paths, Reg, Target, Opts, Stats, Json, Utilization,
-                    TracePath, Cache ? &*Cache : nullptr, Out, Err);
+                    TracePath, Cache ? &*Cache : nullptr, Metrics,
+                    MetricsOut, Out, Err);
 
   std::string Source;
   if (Paths.empty()) {
@@ -517,6 +572,8 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
     Err << "codegen error: " << CR.Error << "\n";
     for (const std::string &E : CR.Report.VerifyErrors)
       Err << "verifier: " << E << "\n";
+    if (Metrics) // Snapshot the failure too; counters explain it.
+      emitMetricsSnapshot(MetricsOut, Out, Err);
     return W2CExitCompile;
   }
 
@@ -528,6 +585,8 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
 
   if (Json) {
     Out << CR.Report.toJson();
+    if (Metrics && !emitMetricsSnapshot(MetricsOut, Out, Err))
+      return W2CExitUsage;
     return Degraded ? W2CExitDegraded : W2CExitOk;
   }
 
@@ -548,5 +607,7 @@ int swp::runW2C(const std::vector<std::string> &Args, std::ostream &Out,
   if (DumpCode) {
     Out << "\n=== VLIW code ===\n" << vliwProgramToString(CR.Code, MD);
   }
+  if (Metrics && !emitMetricsSnapshot(MetricsOut, Out, Err))
+    return W2CExitUsage;
   return Degraded ? W2CExitDegraded : W2CExitOk;
 }

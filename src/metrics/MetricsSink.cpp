@@ -1,0 +1,115 @@
+//===- MetricsSink.cpp - Periodic JSONL telemetry -------------------------===//
+//
+// Part of warp-swp. See DESIGN.md §12.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Metrics/MetricsSink.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace swp;
+using namespace swp::metrics;
+
+MetricsSink::MetricsSink(Config C)
+    : Cfg(std::move(C)), Start(std::chrono::steady_clock::now()) {
+  if (Cfg.Path.empty()) {
+    Err = "metrics sink: empty path";
+    Stopped = true;
+    return;
+  }
+  auto Mode = std::ios::out | (Cfg.Append ? std::ios::app : std::ios::trunc);
+  Out.open(Cfg.Path, Mode);
+  if (!Out) {
+    Err = "metrics sink: cannot open " + Cfg.Path;
+    Stopped = true;
+    return;
+  }
+  if (Cfg.IntervalMs > 0)
+    Timer = std::thread([this] { timerLoop(); });
+}
+
+MetricsSink::~MetricsSink() { stop(); }
+
+bool MetricsSink::ok() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Err.empty();
+}
+
+std::string MetricsSink::error() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Err;
+}
+
+uint64_t MetricsSink::flushes() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Seq;
+}
+
+bool MetricsSink::writeLine() {
+  // Snapshot outside Mu: snapshot() takes the registry's own lock and may
+  // run callback gauges; holding our lock for it would stretch the
+  // flushNow() critical section for no benefit (writes are serialized
+  // below regardless).
+  MetricsRegistry &R =
+      Cfg.Registry ? *Cfg.Registry : MetricsRegistry::global();
+  std::string Body = R.snapshot().toJson();
+  auto UpMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Err.empty())
+    return false;
+  char Head[96];
+  std::snprintf(Head, sizeof(Head), "{\"seq\":%" PRIu64 ",\"uptime_ms\":%lld",
+                Seq + 1, static_cast<long long>(UpMs));
+  Out << Head << ",\"metrics\":" << Body << "}\n";
+  Out.flush();
+  if (!Out) {
+    Err = "metrics sink: write failed on " + Cfg.Path;
+    return false;
+  }
+  ++Seq;
+  return true;
+}
+
+bool MetricsSink::flushNow() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopped || !Err.empty())
+      return false;
+  }
+  return writeLine();
+}
+
+void MetricsSink::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopped)
+      return;
+    Stopped = true;
+  }
+  TickOrStop.notify_all();
+  if (Timer.joinable())
+    Timer.join();
+  // Final snapshot so short-lived processes still leave one line.
+  if (Err.empty())
+    writeLine();
+  if (Out.is_open())
+    Out.close();
+}
+
+void MetricsSink::timerLoop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (!Stopped) {
+    TickOrStop.wait_for(Lock, std::chrono::milliseconds(Cfg.IntervalMs),
+                        [this] { return Stopped; });
+    if (Stopped)
+      return;
+    Lock.unlock();
+    writeLine();
+    Lock.lock();
+  }
+}

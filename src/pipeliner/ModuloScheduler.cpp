@@ -16,6 +16,7 @@
 
 #include "swp/Pipeliner/ModuloScheduler.h"
 
+#include "swp/Metrics/Metrics.h"
 #include "swp/Sched/ListScheduler.h"
 #include "swp/Sched/ReservationTables.h"
 #include "swp/Support/FaultInject.h"
@@ -720,6 +721,49 @@ ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
   if (Result.Success)
     Result.Stages = (Result.Sched.issueLength() + Result.II - 1) / Result.II;
   Result.Stats.TotalSeconds = secondsSince(TotalStart);
+  {
+    // Scheduler-quality fleet metrics: recorded only for real searches
+    // (cache hits short-circuit before reaching here), so the II-gap
+    // distribution measures what the scheduler achieves, not what the
+    // cache replays.
+    struct SchedMetrics {
+      metrics::Counter Searches, IntervalsTried;
+      metrics::Counter FailPrecedence, FailResource, FailSlotAbort,
+          FailStageLimit, FailBudget;
+      metrics::Histogram IIGap, SearchUs;
+    };
+    static const SchedMetrics SM = [] {
+      auto &R = metrics::MetricsRegistry::global();
+      SchedMetrics M;
+      M.Searches = R.counter("swp_sched_searches_total", "",
+                             "Modulo-schedule II searches run");
+      M.IntervalsTried = R.counter("swp_sched_intervals_tried_total", "",
+                                   "Candidate IIs attempted across searches");
+      const char *N = "swp_sched_interval_failures_total";
+      const char *H = "Failed candidate IIs, by cause";
+      M.FailPrecedence = R.counter(N, "cause=\"precedence\"", H);
+      M.FailResource = R.counter(N, "cause=\"resource\"", H);
+      M.FailSlotAbort = R.counter(N, "cause=\"slot_abort\"", H);
+      M.FailStageLimit = R.counter(N, "cause=\"stage_limit\"", H);
+      M.FailBudget = R.counter(N, "cause=\"budget\"", H);
+      M.IIGap = R.histogram(
+          "swp_sched_ii_gap", "",
+          "Achieved II minus max(ResMII, RecMII) on successful searches");
+      M.SearchUs = R.histogram("swp_sched_search_us", "",
+                               "Wall microseconds per II search");
+      return M;
+    }();
+    SM.Searches.inc();
+    SM.IntervalsTried.inc(Result.Stats.IntervalsTried);
+    SM.FailPrecedence.inc(Result.Stats.FailPrecedence);
+    SM.FailResource.inc(Result.Stats.FailResource);
+    SM.FailSlotAbort.inc(Result.Stats.FailSlotAbort);
+    SM.FailStageLimit.inc(Result.Stats.FailStageLimit);
+    SM.FailBudget.inc(Result.Stats.FailBudget);
+    if (Result.Success)
+      SM.IIGap.record(Result.II - Result.MII);
+    SM.SearchUs.recordSeconds(Result.Stats.TotalSeconds);
+  }
   if (SearchSpan.active()) {
     char Buf[160];
     std::snprintf(Buf, sizeof(Buf),

@@ -6,6 +6,7 @@
 
 #include "swp/Service/CompileService.h"
 
+#include "swp/Metrics/Metrics.h"
 #include "swp/Service/ScheduleCache.h"
 #include "swp/Support/ThreadPool.h"
 #include "swp/Support/Trace.h"
@@ -15,6 +16,33 @@
 #include <utility>
 
 using namespace swp;
+
+namespace {
+
+/// Fleet counters mirroring ServiceStats, aggregated over every
+/// CompileService in the process.
+struct ServiceMetrics {
+  metrics::Counter Requests, Compiles, MemoHits, Coalesced;
+  static const ServiceMetrics &get() {
+    static ServiceMetrics M = [] {
+      auto &R = metrics::MetricsRegistry::global();
+      ServiceMetrics M;
+      M.Requests = R.counter("swp_service_requests_total", "",
+                             "Compile requests reaching the service");
+      M.Compiles = R.counter("swp_service_compiles_total", "",
+                             "Requests that ran a real compile");
+      M.MemoHits = R.counter("swp_service_memo_hits_total", "",
+                             "Requests served from the whole-result memo");
+      M.Coalesced = R.counter(
+          "swp_service_coalesced_total", "",
+          "Requests coalesced onto another request's in-flight compile");
+      return M;
+    }();
+    return M;
+  }
+};
+
+} // namespace
 
 std::string ServiceStats::toJson() const {
   std::ostringstream OS;
@@ -95,6 +123,7 @@ void CompileService::memoInsert(const Fingerprint &Key,
 
 CompileResult CompileService::runCompile(const CompileJob &Job, Program &P) {
   Compiles.fetch_add(1, std::memory_order_relaxed);
+  ServiceMetrics::get().Compiles.inc();
   CompilerOptions Opts = Job.Opts;
   // Inject the shared cache only where it can matter: a cache with
   // pipelining disabled is a contradiction compileProgram rejects.
@@ -108,6 +137,7 @@ CompileResult CompileService::runCompile(const CompileJob &Job, Program &P) {
 CompileResult CompileService::compileOne(const CompileJob &Job) {
   SWP_TRACE_SPAN(Span, "service.compileOne");
   Requests.fetch_add(1, std::memory_order_relaxed);
+  ServiceMetrics::get().Requests.inc();
   assert(Job.Make && Job.MD && "CompileJob needs a factory and a machine");
 
   // Budgeted or chaos-armed compiles are functions of wall-clock / injected
@@ -141,6 +171,7 @@ CompileResult CompileService::compileOne(const CompileJob &Job) {
     CompileResult Hit;
     if (memoLookup(Key, Hit)) {
       MemoHits.fetch_add(1, std::memory_order_relaxed);
+      ServiceMetrics::get().MemoHits.inc();
       SWP_TRACE_INSTANT("service.memoHit", {});
       return Hit;
     }
@@ -177,6 +208,7 @@ CompileResult CompileService::compileOne(const CompileJob &Job) {
 
   if (!Leader) {
     Coalesced.fetch_add(1, std::memory_order_relaxed);
+    ServiceMetrics::get().Coalesced.inc();
     SWP_TRACE_INSTANT("service.coalesced", {});
     std::unique_lock<std::mutex> Lock(F->Mu);
     F->Ready.wait(Lock, [&] { return F->Done; });

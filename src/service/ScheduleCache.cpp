@@ -20,6 +20,43 @@
 
 using namespace swp;
 
+namespace {
+
+/// Fleet counters, shared by every ScheduleCache in the process (a
+/// service may run several; the dashboard wants the aggregate, the
+/// per-instance split stays available via stats()).
+struct CacheMetrics {
+  metrics::Counter Lookups, Hits, Misses, DiskHits, DiskStores, Inserts,
+      Evictions, VerifyRejects;
+  static const CacheMetrics &get() {
+    static CacheMetrics M = [] {
+      auto &R = metrics::MetricsRegistry::global();
+      CacheMetrics M;
+      M.Lookups = R.counter("swp_cache_lookups_total", "",
+                            "Schedule-cache lookups");
+      M.Hits = R.counter("swp_cache_hits_total", "",
+                         "Lookups served from the cache (memory or disk)");
+      M.Misses = R.counter("swp_cache_misses_total", "",
+                           "Lookups that found nothing usable");
+      M.DiskHits = R.counter("swp_cache_disk_hits_total", "",
+                             "Hits served from the persistent tier");
+      M.DiskStores = R.counter("swp_cache_disk_stores_total", "",
+                               "Entries written to the persistent tier");
+      M.Inserts = R.counter("swp_cache_inserts_total", "",
+                            "Entries inserted (memory tier)");
+      M.Evictions = R.counter("swp_cache_evictions_total", "",
+                              "LRU entries displaced by inserts");
+      M.VerifyRejects =
+          R.counter("swp_cache_verify_rejects_total", "",
+                    "Cached entries rejected by re-verification");
+      return M;
+    }();
+    return M;
+  }
+};
+
+} // namespace
+
 std::string CacheStats::toJson() const {
   std::ostringstream OS;
   OS << "{\"bytes\": " << Bytes << ", \"disk_hits\": " << DiskHits
@@ -38,6 +75,45 @@ ScheduleCache::ScheduleCache(ScheduleCacheConfig C)
     // A failed mkdir degrades the disk tier to store-nothing/load-nothing;
     // lookups and inserts keep working in memory.
   }
+  // Occupancy gauges live in the global registry; registration is
+  // idempotent on (name, labels), so every instance shares the same
+  // series and the merged value is the process-wide level.
+  auto &R = metrics::MetricsRegistry::global();
+  EntriesGauge = R.gauge("swp_cache_entries", "",
+                         "Schedule-cache entries resident in memory");
+  BytesGauge = R.gauge("swp_cache_bytes", "",
+                       "Schedule-cache bytes resident in memory");
+  ShardEntryGauges.reserve(Shards.size());
+  for (size_t I = 0; I != Shards.size(); ++I)
+    ShardEntryGauges.push_back(
+        R.gauge("swp_cache_shard_entries", "shard=\"" + std::to_string(I) +
+                                               "\"",
+                "Schedule-cache entries per LRU shard"));
+}
+
+ScheduleCache::~ScheduleCache() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    size_t OldEntries = S.Lru.size(), OldBytes = S.Bytes;
+    S.Lru.clear();
+    S.Map.clear();
+    S.Bytes = 0;
+    occupancyChanged(S, OldEntries, OldBytes);
+  }
+}
+
+void ScheduleCache::occupancyChanged(const Shard &S, size_t OldEntries,
+                                     size_t OldBytes) {
+  int64_t EntryDelta = static_cast<int64_t>(S.Lru.size()) -
+                       static_cast<int64_t>(OldEntries);
+  int64_t ByteDelta =
+      static_cast<int64_t>(S.Bytes) - static_cast<int64_t>(OldBytes);
+  if (EntryDelta != 0) {
+    EntriesGauge.add(EntryDelta);
+    ShardEntryGauges[static_cast<size_t>(&S - Shards.data())].add(EntryDelta);
+  }
+  if (ByteDelta != 0)
+    BytesGauge.add(ByteDelta);
 }
 
 //===----------------------------------------------------------------------===//
@@ -93,6 +169,7 @@ ScheduleCache::lookup(const Fingerprint &Key, const CanonicalGraph &CG,
                       const DepGraph &G, const MachineDescription &MD,
                       unsigned MaxStages) {
   LookupResult R;
+  CacheMetrics::get().Lookups.inc();
   Shard &S = shardFor(Key);
   std::optional<Entry> Found;
   {
@@ -108,18 +185,22 @@ ScheduleCache::lookup(const Fingerprint &Key, const CanonicalGraph &CG,
                            MaxStages);
     if (R.Result) {
       Hits.fetch_add(1, std::memory_order_relaxed);
+      CacheMetrics::get().Hits.inc();
       SWP_TRACE_INSTANT("cacheHit", {});
       return R;
     }
     // Collision or mismatch: drop the poisoned entry.
     ++R.VerifyRejects;
     VerifyRejects.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().VerifyRejects.inc();
     std::lock_guard<std::mutex> Lock(S.Mu);
     auto It = S.Map.find(Key);
     if (It != S.Map.end()) {
+      size_t OldEntries = S.Lru.size(), OldBytes = S.Bytes;
       S.Bytes -= It->second->second.bytes();
       S.Lru.erase(It->second);
       S.Map.erase(It);
+      occupancyChanged(S, OldEntries, OldBytes);
     }
   }
 
@@ -130,29 +211,35 @@ ScheduleCache::lookup(const Fingerprint &Key, const CanonicalGraph &CG,
       if (R.Result) {
         Hits.fetch_add(1, std::memory_order_relaxed);
         DiskHits.fetch_add(1, std::memory_order_relaxed);
+        CacheMetrics::get().Hits.inc();
+        CacheMetrics::get().DiskHits.inc();
         R.FromDisk = true;
         SWP_TRACE_INSTANT("cacheDiskHit", {});
         // Promote into memory so the next hit skips the file system.
         std::lock_guard<std::mutex> Lock(S.Mu);
         uint64_t Ev = insertLocked(S, Key, std::move(*FromDisk));
         Evictions.fetch_add(Ev, std::memory_order_relaxed);
+        CacheMetrics::get().Evictions.inc(Ev);
         return R;
       }
       // Structurally sound but semantically wrong for this graph (stale
       // or poisoned content with a recomputed checksum): reject it.
       ++R.VerifyRejects;
       VerifyRejects.fetch_add(1, std::memory_order_relaxed);
+      CacheMetrics::get().VerifyRejects.inc();
       SWP_TRACE_INSTANT("cacheVerifyReject", {});
     }
   }
 
   Misses.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::get().Misses.inc();
   return R;
 }
 
 uint64_t ScheduleCache::insertLocked(Shard &S, const Fingerprint &Key,
                                      Entry E) {
   uint64_t Evicted = 0;
+  size_t OldEntries = S.Lru.size(), OldBytes = S.Bytes;
   auto It = S.Map.find(Key);
   if (It != S.Map.end()) {
     S.Bytes -= It->second->second.bytes();
@@ -174,6 +261,7 @@ uint64_t ScheduleCache::insertLocked(Shard &S, const Fingerprint &Key,
     S.Lru.pop_back();
     ++Evicted;
   }
+  occupancyChanged(S, OldEntries, OldBytes);
   return Evicted;
 }
 
@@ -203,6 +291,8 @@ uint64_t ScheduleCache::insert(const Fingerprint &Key,
   std::lock_guard<std::mutex> Lock(S.Mu);
   uint64_t Ev = insertLocked(S, Key, std::move(E));
   Evictions.fetch_add(Ev, std::memory_order_relaxed);
+  CacheMetrics::get().Inserts.inc();
+  CacheMetrics::get().Evictions.inc(Ev);
   return Ev;
 }
 
@@ -225,9 +315,11 @@ CacheStats ScheduleCache::stats() const {
 void ScheduleCache::clear() {
   for (Shard &S : Shards) {
     std::lock_guard<std::mutex> Lock(S.Mu);
+    size_t OldEntries = S.Lru.size(), OldBytes = S.Bytes;
     S.Lru.clear();
     S.Map.clear();
     S.Bytes = 0;
+    occupancyChanged(S, OldEntries, OldBytes);
   }
   Hits.store(0, std::memory_order_relaxed);
   Misses.store(0, std::memory_order_relaxed);
@@ -329,8 +421,10 @@ void ScheduleCache::storeToDisk(const Fingerprint &Key, const Entry &E) {
   }
   std::error_code EC;
   std::filesystem::rename(Tmp, Path, EC);
-  if (!EC)
+  if (!EC) {
     DiskStores.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().DiskStores.inc();
+  }
 }
 
 std::optional<ScheduleCache::Entry>
@@ -354,6 +448,7 @@ ScheduleCache::loadFromDisk(const Fingerprint &Key) {
 
   auto Reject = [this]() -> std::optional<Entry> {
     VerifyRejects.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().VerifyRejects.inc();
     SWP_TRACE_INSTANT("cacheDiskReject", {});
     return std::nullopt;
   };

@@ -6,7 +6,10 @@
 
 #include "swp/Support/FaultInject.h"
 
+#include "swp/Metrics/Metrics.h"
+
 #include <atomic>
+#include <mutex>
 #include <string>
 
 using namespace swp;
@@ -73,6 +76,21 @@ bool swp::faults::shouldFire(Site S) {
   if (Seed != chaosSeed(S, static_cast<unsigned>(Occ)))
     return false;
   Fired.store(true, std::memory_order_relaxed);
+  {
+    // Firing is rare (once per armed compile); registration cost here is
+    // one-time per site, the record is the usual relaxed add.
+    static metrics::Counter PerSite[NumSites];
+    static std::once_flag Once;
+    std::call_once(Once, [] {
+      auto &R = metrics::MetricsRegistry::global();
+      for (unsigned I = 0; I != NumSites; ++I)
+        PerSite[I] = R.counter(
+            "swp_faults_injected_total",
+            "site=\"" + std::string(siteName(static_cast<Site>(I))) + "\"",
+            "Injected faults that fired, by site");
+    });
+    PerSite[static_cast<unsigned>(S)].inc();
+  }
   return true;
 }
 

@@ -6,12 +6,39 @@
 
 #include "swp/Support/ThreadPool.h"
 
+#include "swp/Metrics/Metrics.h"
 #include "swp/Support/Trace.h"
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 using namespace swp;
+
+namespace {
+
+/// Fleet counters for pool work, shared by every pool in the process
+/// (the callback gauges below are global-pool-only; counters aggregate,
+/// which is what a throughput dashboard wants).
+struct PoolMetrics {
+  metrics::Counter Tasks, BusyUs, TasksAborted;
+  static const PoolMetrics &get() {
+    static PoolMetrics M = [] {
+      auto &R = metrics::MetricsRegistry::global();
+      PoolMetrics M;
+      M.Tasks = R.counter("swp_pool_tasks_total", "",
+                          "Tasks completed by thread pools");
+      M.BusyUs = R.counter("swp_pool_busy_us_total", "",
+                           "Microseconds spent executing pool tasks");
+      M.TasksAborted = R.counter("swp_pool_tasks_aborted_total", "",
+                                 "Pool tasks whose exception was contained");
+      return M;
+    }();
+    return M;
+  }
+};
+
+} // namespace
 
 unsigned ThreadPool::hardwareThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
@@ -22,7 +49,33 @@ ThreadPool &ThreadPool::global() {
   // with other teardown (tracing, sanitizer shutdown), and the singleton
   // stays reachable so leak checkers do not report it.
   static ThreadPool *Pool = new ThreadPool();
+  // Queue depth / active workers are levels owned by the pool; sample
+  // them at snapshot time instead of tracking deltas. Registered once,
+  // for the shared pool only (private test pools would multi-count).
+  [[maybe_unused]] static bool GaugesRegistered = [] {
+    auto &R = metrics::MetricsRegistry::global();
+    R.registerGauge("swp_pool_queue_depth", "",
+                    "Tasks queued on the shared pool",
+                    [] { return static_cast<double>(Pool->queueDepth()); });
+    R.registerGauge("swp_pool_active_workers", "",
+                    "Tasks executing on the shared pool",
+                    [] { return static_cast<double>(Pool->activeWorkers()); });
+    R.registerGauge("swp_pool_workers", "",
+                    "Worker threads in the shared pool",
+                    [] { return static_cast<double>(Pool->size()); });
+    return true;
+  }();
   return *Pool;
+}
+
+size_t ThreadPool::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Queue.size();
+}
+
+size_t ThreadPool::activeWorkers() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Running;
 }
 
 ThreadPool::ThreadPool(unsigned NumThreads) {
@@ -84,17 +137,31 @@ void ThreadPool::wait(TaskGroup &Group) {
 }
 
 void ThreadPool::runItem(Item I, std::unique_lock<std::mutex> &Lock) {
+  ++Running;
   Lock.unlock();
+  // Busy-time costs two clock reads; pay them only when someone is
+  // watching. The counters themselves are cheap either way.
+  const bool Timed = metrics::enabled();
+  auto T0 = Timed ? std::chrono::steady_clock::now()
+                  : std::chrono::steady_clock::time_point{};
   try {
     I.Fn();
+    PoolMetrics::get().Tasks.inc();
   } catch (...) {
     // Contain the failure: the task is charged as aborted and the
     // executing thread keeps serving the queue. Its captured state is
     // left however far the task got, which for speculative work (the
     // parallel II search) reads as "this attempt failed".
     Aborted.fetch_add(1, std::memory_order_relaxed);
+    PoolMetrics::get().TasksAborted.inc();
   }
+  if (Timed)
+    PoolMetrics::get().BusyUs.inc(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count()));
   Lock.lock();
+  --Running;
   if (--Outstanding == 0)
     AllDone.notify_all();
   if (I.Group && --I.Group->Pending == 0)

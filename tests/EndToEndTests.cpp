@@ -13,6 +13,7 @@
 #include "swp/Codegen/Compiler.h"
 #include "swp/Driver/W2CDriver.h"
 #include "swp/Interp/Interpreter.h"
+#include "swp/Metrics/Metrics.h"
 #include "swp/Sim/Simulator.h"
 
 #include "swp/IR/IRBuilder.h"
@@ -666,4 +667,70 @@ TEST(W2CExitCodes, BudgetDegradedCompileIsFour) {
   EXPECT_NE(R.Out.find("\"budget_tripped\""), std::string::npos) << R.Out;
   EXPECT_NE(R.Out.find("compile budget exhausted"), std::string::npos)
       << R.Out;
+}
+
+// ---------------------------------------------------------------------------
+// Service telemetry through the driver (see swp/Metrics/Metrics.h).
+// ---------------------------------------------------------------------------
+
+// --metrics must emit a self-consistent snapshot: one latency sample per
+// session request, every cache lookup resolved as a hit or a miss, and
+// the II-optimality-gap histogram populated by the real searches. The
+// global registry accumulates across tests in this binary, so the
+// assertions compare before/after deltas.
+TEST(W2CMetrics, SnapshotIsSelfConsistent) {
+  if (!metrics::compiledIn())
+    GTEST_SKIP() << "metrics compiled out";
+  metrics::MetricsRegistry &Reg = metrics::MetricsRegistry::global();
+  metrics::MetricsSnapshot Before = Reg.snapshot();
+  DriverRun R = runDriver({"--metrics", "--cache",
+                           writeSource("metrics", GoodSource)});
+  metrics::MetricsSnapshot After = Reg.snapshot();
+  metrics::setEnabled(false); // Leave the process as this test found it.
+  EXPECT_EQ(R.Exit, W2CExitOk) << R.Err;
+  EXPECT_NE(R.Out.find("=== metrics ==="), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("swp_session_latency_us_count"), std::string::npos);
+
+  auto CounterDelta = [&](const char *Name) {
+    return After.counterTotal(Name) - Before.counterTotal(Name);
+  };
+  auto HistDelta = [&](const char *Name) {
+    return After.histogramCountTotal(Name) - Before.histogramCountTotal(Name);
+  };
+  uint64_t Requests = CounterDelta("swp_session_requests_total");
+  EXPECT_GT(Requests, 0u);
+  EXPECT_EQ(HistDelta("swp_session_latency_us"), Requests);
+  uint64_t Lookups = CounterDelta("swp_cache_lookups_total");
+  EXPECT_GT(Lookups, 0u);
+  EXPECT_EQ(CounterDelta("swp_cache_hits_total") +
+                CounterDelta("swp_cache_misses_total"),
+            Lookups);
+  EXPECT_GT(HistDelta("swp_sched_ii_gap"), 0u);
+  EXPECT_GT(CounterDelta("swp_compile_total"), 0u);
+}
+
+// --json owns stdout; combining it with --metrics requires a file sink.
+TEST(W2CMetrics, JsonModeRequiresMetricsOut) {
+  DriverRun R = runDriver({"--json", "--metrics",
+                           writeSource("metrics-json", GoodSource)});
+  EXPECT_EQ(R.Exit, W2CExitUsage);
+  metrics::setEnabled(false);
+
+  std::filesystem::path OutFile =
+      std::filesystem::temp_directory_path() / "w2c-metrics-out.prom";
+  std::filesystem::remove(OutFile);
+  DriverRun R2 = runDriver({"--json",
+                            "--metrics-out=" + OutFile.string(),
+                            writeSource("metrics-json", GoodSource)});
+  metrics::setEnabled(false);
+  EXPECT_EQ(R2.Exit, W2CExitOk) << R2.Err;
+  // stdout stayed pure JSON; the exposition went to the file.
+  EXPECT_EQ(R2.Out.find("=== metrics ==="), std::string::npos);
+  std::ifstream In(OutFile);
+  ASSERT_TRUE(In.good());
+  std::stringstream SS;
+  SS << In.rdbuf();
+  EXPECT_NE(SS.str().find("# TYPE swp_session_latency_us histogram"),
+            std::string::npos);
+  std::filesystem::remove(OutFile);
 }

@@ -1,0 +1,379 @@
+//===- MetricsTests.cpp - metrics registry / exposition tests -------------------===//
+//
+// Part of warp-swp.
+//
+// The telemetry suite (ctest label "metrics"; also run under the tsan
+// preset): registry semantics on private instances — idempotent
+// registration, enable/disable, additive gauges, callback gauges, slot
+// exhaustion — plus the histogram math against a brute-force reference,
+// an N-thread exactness check for the sharded recording path, the
+// MetricsSink JSONL stream, the Session telemetry hook, and golden
+// snapshots locking both exposition formats (update with
+// SWP_UPDATE_GOLDENS=1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/API/Session.h"
+#include "swp/IR/IRBuilder.h"
+#include "swp/Metrics/Metrics.h"
+#include "swp/Metrics/MetricsSink.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#ifndef SWP_GOLDEN_DIR
+#error "SWP_GOLDEN_DIR must point at tests/goldens"
+#endif
+
+using namespace swp;
+using namespace swp::metrics;
+
+namespace {
+
+/// A fresh enabled registry for deterministic counting.
+struct EnabledRegistry {
+  MetricsRegistry Reg;
+  EnabledRegistry() { Reg.setEnabled(true); }
+};
+
+TEST(Metrics, CounterBasicsAndIdempotentRegistration) {
+  EnabledRegistry E;
+  Counter A = E.Reg.counter("swp_test_total", "", "help");
+  A.inc();
+  A.inc(4);
+  // Same (name, labels) resolves to the same cells.
+  Counter B = E.Reg.counter("swp_test_total");
+  B.inc(5);
+  MetricsSnapshot S = E.Reg.snapshot();
+  const SnapshotCounter *C = S.counter("swp_test_total");
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Value, 10u);
+  EXPECT_EQ(C->Help, "help");
+  // Distinct labels are distinct series; counterTotal sums them.
+  E.Reg.counter("swp_test_total", "k=\"v\"").inc(7);
+  EXPECT_EQ(E.Reg.snapshot().counterTotal("swp_test_total"), 17u);
+}
+
+TEST(Metrics, DisabledRecordsAreDropped) {
+  MetricsRegistry Reg; // Disabled by default.
+  EXPECT_FALSE(Reg.enabled());
+  Counter C = Reg.counter("swp_test_total");
+  Histogram H = Reg.histogram("swp_test_us");
+  C.inc(3);
+  H.record(100);
+  MetricsSnapshot S = Reg.snapshot();
+  EXPECT_EQ(S.counter("swp_test_total")->Value, 0u);
+  EXPECT_EQ(S.histogram("swp_test_us")->Count, 0u);
+  Reg.setEnabled(true);
+  C.inc(3);
+  H.record(100);
+  S = Reg.snapshot();
+  EXPECT_EQ(S.counter("swp_test_total")->Value, 3u);
+  EXPECT_EQ(S.histogram("swp_test_us")->Count, 1u);
+  // Default-constructed handles are inert everywhere.
+  Counter{}.inc();
+  Gauge{}.add(1);
+  Histogram{}.record(1);
+}
+
+TEST(Metrics, GaugeTracksSignedLevel) {
+  EnabledRegistry E;
+  Gauge G = E.Reg.gauge("swp_test_depth");
+  G.add(10);
+  G.sub(3);
+  EXPECT_DOUBLE_EQ(E.Reg.snapshot().gauge("swp_test_depth")->Value, 7.0);
+  G.sub(9); // Levels may legitimately read negative transiently.
+  EXPECT_DOUBLE_EQ(E.Reg.snapshot().gauge("swp_test_depth")->Value, -2.0);
+}
+
+TEST(Metrics, CallbackGauge) {
+  EnabledRegistry E;
+  double Level = 41.5;
+  ASSERT_TRUE(E.Reg.registerGauge("swp_test_sampled", "", "sampled",
+                                  [&Level] { return Level; }));
+  Level = 42.5;
+  EXPECT_DOUBLE_EQ(E.Reg.snapshot().gauge("swp_test_sampled")->Value, 42.5);
+  // Same (name, labels) again is a conflict.
+  EXPECT_FALSE(
+      E.Reg.registerGauge("swp_test_sampled", "", "", [] { return 0.0; }));
+}
+
+TEST(Metrics, BucketMath) {
+  EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::bucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::bucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::bucketIndex(uint64_t{1} << 30), 31u);
+  EXPECT_EQ(Histogram::bucketIndex(UINT64_MAX), 31u);
+  EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::bucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::bucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::bucketUpperBound(30), (uint64_t{1} << 30) - 1);
+  EXPECT_EQ(Histogram::bucketUpperBound(31), UINT64_MAX);
+  // Every value lands in the bucket whose range covers it.
+  for (uint64_t V : {0ull, 1ull, 2ull, 7ull, 8ull, 1023ull, 1024ull,
+                     (1ull << 30) - 1, 1ull << 30, 1ull << 40}) {
+    unsigned I = Histogram::bucketIndex(V);
+    EXPECT_LE(V, Histogram::bucketUpperBound(I)) << V;
+    if (I > 0)
+      EXPECT_GT(V, Histogram::bucketUpperBound(I - 1)) << V;
+  }
+}
+
+TEST(Metrics, PercentileMatchesBruteForce) {
+  EnabledRegistry E;
+  Histogram H = E.Reg.histogram("swp_test_us");
+  // Deterministic samples spanning many magnitudes, including zeros and
+  // overflow-bucket values.
+  std::mt19937_64 Rng(12345);
+  std::vector<uint64_t> Samples;
+  for (int I = 0; I != 5000; ++I) {
+    unsigned Mag = static_cast<unsigned>(Rng() % 34); // 0..33 bits
+    uint64_t V = Mag == 0 ? 0 : (Rng() & ((uint64_t{1} << Mag) - 1));
+    Samples.push_back(V);
+    H.record(V);
+  }
+  MetricsSnapshot Snap = E.Reg.snapshot();
+  const SnapshotHistogram *S = Snap.histogram("swp_test_us");
+  ASSERT_NE(S, nullptr);
+  ASSERT_EQ(S->Count, Samples.size());
+
+  std::vector<uint64_t> Sorted = Samples;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (double P : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    // Reference: the true rank-ceil(P*N) sample, quantized to its bucket's
+    // upper bound — exactly what the histogram stores about it.
+    size_t Rank = static_cast<size_t>(std::ceil(P * Sorted.size()));
+    Rank = std::min(std::max<size_t>(Rank, 1), Sorted.size());
+    uint64_t Expect = Histogram::bucketUpperBound(
+        Histogram::bucketIndex(Sorted[Rank - 1]));
+    EXPECT_EQ(S->percentile(P), Expect) << "P=" << P;
+  }
+  // Empty histograms report 0 for every percentile.
+  EXPECT_EQ(E.Reg.snapshot().histogram("swp_test_us2"), nullptr);
+  (void)E.Reg.histogram("swp_test_us2");
+  EXPECT_EQ(E.Reg.snapshot().histogram("swp_test_us2")->percentile(0.5), 0u);
+}
+
+// The sharded recording path must lose nothing under contention: N
+// threads hammer one histogram and one counter; the merged totals are
+// exact. This is the test the tsan preset re-runs for data races.
+TEST(Metrics, ConcurrentRecordingIsExact) {
+  EnabledRegistry E;
+  Histogram H = E.Reg.histogram("swp_test_us");
+  Counter C = E.Reg.counter("swp_test_total");
+  constexpr unsigned Threads = 8;
+  constexpr uint64_t PerThread = 20000;
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T != Threads; ++T)
+    Ts.emplace_back([&, T] {
+      for (uint64_t I = 0; I != PerThread; ++I) {
+        H.record((T * PerThread + I) % 1000);
+        C.inc();
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+
+  MetricsSnapshot S = E.Reg.snapshot();
+  EXPECT_EQ(S.counter("swp_test_total")->Value, Threads * PerThread);
+  const SnapshotHistogram *HS = S.histogram("swp_test_us");
+  ASSERT_NE(HS, nullptr);
+  EXPECT_EQ(HS->Count, Threads * PerThread);
+  // Expected sum and per-bucket counts, computed serially.
+  uint64_t Sum = 0;
+  std::array<uint64_t, Histogram::NumBuckets> Buckets{};
+  for (unsigned T = 0; T != Threads; ++T)
+    for (uint64_t I = 0; I != PerThread; ++I) {
+      uint64_t V = (T * PerThread + I) % 1000;
+      Sum += V;
+      ++Buckets[Histogram::bucketIndex(V)];
+    }
+  EXPECT_EQ(HS->Sum, Sum);
+  for (unsigned B = 0; B != Histogram::NumBuckets; ++B)
+    EXPECT_EQ(HS->Buckets[B], Buckets[B]) << "bucket " << B;
+}
+
+TEST(Metrics, SlotExhaustionYieldsInertHandles) {
+  EnabledRegistry E;
+  // Histograms burn 33 slots each; 2048/33 = 62 fit.
+  std::vector<Histogram> Hs;
+  for (int I = 0; I != 70; ++I)
+    Hs.push_back(E.Reg.histogram("swp_test_us", "i=\"" + std::to_string(I) +
+                                                    "\""));
+  EXPECT_GT(E.Reg.droppedRegistrations(), 0u);
+  for (Histogram &H : Hs)
+    H.record(1); // Inert tail handles must be safe to record into.
+  // A kind conflict is also refused: same key, different type.
+  uint64_t Before = E.Reg.droppedRegistrations();
+  E.Reg.counter("swp_test_us", "i=\"0\"").inc();
+  EXPECT_GT(E.Reg.droppedRegistrations(), Before);
+  // The registry still answers snapshots.
+  EXPECT_GT(E.Reg.snapshot().Histograms.size(), 0u);
+}
+
+TEST(Metrics, ResetZeroesValuesKeepsRegistrations) {
+  EnabledRegistry E;
+  Counter C = E.Reg.counter("swp_test_total");
+  C.inc(9);
+  E.Reg.reset();
+  EXPECT_EQ(E.Reg.snapshot().counter("swp_test_total")->Value, 0u);
+  C.inc(2); // Handle survives reset.
+  EXPECT_EQ(E.Reg.snapshot().counter("swp_test_total")->Value, 2u);
+}
+
+TEST(Metrics, SinkWritesJsonl) {
+  EnabledRegistry E;
+  Counter C = E.Reg.counter("swp_test_total");
+  std::string Path = ::testing::TempDir() + "metrics-sink-test.jsonl";
+  std::remove(Path.c_str());
+  {
+    MetricsSink::Config SC;
+    SC.Path = Path;
+    SC.IntervalMs = 0; // flushNow-only; dtor adds the final line.
+    SC.Registry = &E.Reg;
+    MetricsSink Sink(SC);
+    ASSERT_TRUE(Sink.ok()) << Sink.error();
+    C.inc();
+    Sink.flushNow();
+    C.inc();
+    Sink.flushNow();
+  }
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::vector<std::string> Lines;
+  for (std::string L; std::getline(In, L);)
+    Lines.push_back(L);
+  ASSERT_EQ(Lines.size(), 3u); // 2 explicit flushes + final on stop.
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    EXPECT_NE(Lines[I].find("\"seq\":" + std::to_string(I + 1)),
+              std::string::npos);
+    EXPECT_NE(Lines[I].find("\"uptime_ms\":"), std::string::npos);
+    EXPECT_NE(Lines[I].find("\"metrics\":{"), std::string::npos);
+  }
+  EXPECT_NE(Lines[0].find("\"swp_test_total\":1"), std::string::npos);
+  EXPECT_NE(Lines[2].find("\"swp_test_total\":2"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Metrics, SinkReportsUnwritablePath) {
+  MetricsSink::Config SC;
+  SC.Path = "/nonexistent-dir-swp/metrics.jsonl";
+  SC.IntervalMs = 0;
+  MetricsSink Sink(SC);
+  EXPECT_FALSE(Sink.ok());
+  EXPECT_FALSE(Sink.error().empty());
+}
+
+/// A two-statement single-loop program for the Session hook test.
+std::unique_ptr<Program> tinyProgram() {
+  auto P = std::make_unique<Program>();
+  IRBuilder B(*P);
+  unsigned A = P->createArray("a", RegClass::Float, 64);
+  VReg K = P->createVReg(RegClass::Float, "k", /*LiveIn=*/true);
+  ForStmt *L = B.beginForImm(0, 63);
+  B.fstore(A, B.ix(L), B.fadd(B.fload(A, B.ix(L)), K));
+  B.endFor();
+  return P;
+}
+
+TEST(Metrics, SessionMetricsJsonlHook) {
+  const bool WasEnabled = metrics::enabled();
+  std::string Path = ::testing::TempDir() + "session-metrics-test.jsonl";
+  std::remove(Path.c_str());
+  {
+    SessionConfig SC;
+    SC.MetricsJsonl = Path;
+    SC.MetricsFlushMs = 0; // Final snapshot only.
+    Session Sess(SC);
+    ASSERT_EQ(Sess.configError(), "");
+    EXPECT_TRUE(metrics::enabled()); // The hook switches recording on.
+    auto P = tinyProgram();
+    CompileResponse R = Sess.compileNow(*P);
+    EXPECT_TRUE(R.Ok) << R.Result.Error;
+  }
+  metrics::setEnabled(WasEnabled);
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  ASSERT_TRUE(std::getline(In, Line));
+  EXPECT_NE(Line.find("swp_session_requests_total"), std::string::npos);
+  std::remove(Path.c_str());
+
+  // An unopenable sink path surfaces as the session's config error.
+  SessionConfig Bad;
+  Bad.MetricsJsonl = "/nonexistent-dir-swp/metrics.jsonl";
+  Session BadSess(Bad);
+  EXPECT_NE(BadSess.configError(), "");
+  metrics::setEnabled(WasEnabled);
+}
+
+//===----------------------------------------------------------------------===//
+// Exposition goldens.
+//===----------------------------------------------------------------------===//
+
+bool updateRequested() {
+  const char *E = std::getenv("SWP_UPDATE_GOLDENS");
+  return E && *E && std::string(E) != "0";
+}
+
+void checkGolden(const std::string &FileName, const std::string &Text) {
+  std::string Path = std::string(SWP_GOLDEN_DIR) + "/" + FileName;
+  if (updateRequested()) {
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    Out << Text;
+    return;
+  }
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "missing golden " << Path
+                         << " (run with SWP_UPDATE_GOLDENS=1 to create it)";
+  std::stringstream SS;
+  SS << In.rdbuf();
+  EXPECT_EQ(SS.str(), Text)
+      << FileName
+      << ": exposition drifted from its golden. If the change is "
+         "intentional, rerun with SWP_UPDATE_GOLDENS=1 and review the diff.";
+}
+
+/// A registry with one of everything, fully deterministic values.
+void populateGoldenRegistry(MetricsRegistry &Reg) {
+  Reg.setEnabled(true);
+  Reg.counter("swp_demo_requests_total", "", "Requests served").inc(42);
+  Reg.counter("swp_demo_requests_total", "priority=\"high\"",
+              "Requests served")
+      .inc(7);
+  Reg.gauge("swp_demo_queue_depth", "", "Queued requests").add(3);
+  Reg.registerGauge("swp_demo_temperature", "", "Sampled level",
+                    [] { return 21.5; });
+  Histogram H =
+      Reg.histogram("swp_demo_latency_us", "", "Request latency");
+  for (uint64_t V : {0ull, 1ull, 2ull, 3ull, 100ull, 5000ull, 5000ull,
+                     1ull << 31})
+    H.record(V);
+}
+
+TEST(Metrics, PrometheusGolden) {
+  MetricsRegistry Reg;
+  populateGoldenRegistry(Reg);
+  checkGolden("metrics-snapshot.prom", Reg.snapshot().toPrometheusText());
+}
+
+TEST(Metrics, JsonGolden) {
+  MetricsRegistry Reg;
+  populateGoldenRegistry(Reg);
+  std::string Json = Reg.snapshot().toJson();
+  EXPECT_EQ(Json.find('\n'), std::string::npos); // Single line.
+  checkGolden("metrics-snapshot.json", Json);
+}
+
+} // namespace

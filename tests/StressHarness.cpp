@@ -11,6 +11,12 @@
 // one-line repro that re-runs exactly that iteration.
 //
 //   swp_stress [--iterations=N] [--seed=S] [--quiet]
+//              [--metrics-jsonl=FILE]
+//
+// --metrics-jsonl enables the global metrics registry, registers a
+// process-RSS gauge, and appends one JSONL snapshot per iteration —
+// the soak's resource trajectory, summarizable with
+// tools/metrics-report.sh.
 //
 // ctest wires two instances: `stress_smoke` (a few dozen iterations, part
 // of the default suite) and `stress_soak` (500 iterations, label "soak",
@@ -22,12 +28,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "swp/API/Session.h"
+#include "swp/Metrics/Metrics.h"
+#include "swp/Metrics/MetricsSink.h"
 #include "swp/Support/FaultInject.h"
 #include "swp/Verify/Differential.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <random>
 #include <string>
 
@@ -153,6 +162,7 @@ int main(int argc, char **argv) {
   unsigned Iterations = 100;
   uint64_t Seed = 9000;
   bool Quiet = false;
+  std::string MetricsJsonl;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--iterations=", 0) == 0) {
@@ -162,10 +172,32 @@ int main(int argc, char **argv) {
       Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
     } else if (Arg == "--quiet") {
       Quiet = true;
+    } else if (Arg.rfind("--metrics-jsonl=", 0) == 0 &&
+               Arg.size() > 16) {
+      MetricsJsonl = Arg.substr(16);
     } else {
       std::fprintf(stderr,
                    "usage: swp_stress [--iterations=N] [--seed=S] "
-                   "[--quiet]\n");
+                   "[--quiet] [--metrics-jsonl=FILE]\n");
+      return 1;
+    }
+  }
+
+  // Telemetry: one snapshot line per iteration, plus a live RSS gauge so
+  // the JSONL doubles as the soak's memory trajectory.
+  std::optional<metrics::MetricsSink> Sink;
+  if (!MetricsJsonl.empty()) {
+    metrics::setEnabled(true);
+    metrics::MetricsRegistry::global().registerGauge(
+        "swp_process_rss_mib", "", "Resident set size of this process",
+        [] { return rssMiB(); });
+    metrics::MetricsSink::Config MC;
+    MC.Path = MetricsJsonl;
+    MC.IntervalMs = 0; // Explicit flushNow() per iteration below.
+    Sink.emplace(MC);
+    if (!Sink->ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", MetricsJsonl.c_str(),
+                   Sink->error().c_str());
       return 1;
     }
   }
@@ -196,6 +228,8 @@ int main(int argc, char **argv) {
       std::printf("swp_stress: %u/%u iterations, %u failures, rss %.1f "
                   "MiB\n",
                   I + 1, Iterations, Failures, rssMiB());
+    if (Sink)
+      Sink->flushNow();
   }
 
   double FinalRss = rssMiB();

@@ -8,10 +8,12 @@
 #include "swp/Support/MathUtils.h"
 #include "swp/Support/RNG.h"
 #include "swp/Support/TablePrinter.h"
+#include "swp/Support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <future>
 #include <set>
 #include <sstream>
 
@@ -148,4 +150,30 @@ TEST(TablePrinter, FormatsNumbers) {
   EXPECT_EQ(TablePrinter::num(1.234, 2), "1.23");
   EXPECT_EQ(TablePrinter::num(100.0, 1), "100.0");
   EXPECT_EQ(TablePrinter::num(0.5, 0), "0" /* banker-free snprintf */);
+}
+
+// Saturating a 1-worker pool pins both monitoring accessors to exact
+// values: the single worker is inside the blocker (activeWorkers == 1)
+// and nothing can drain the two queued tasks (queueDepth == 2).
+TEST(ThreadPool, QueueDepthAndActiveWorkers) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.queueDepth(), 0u);
+  EXPECT_EQ(Pool.activeWorkers(), 0u);
+
+  std::promise<void> Started, Release;
+  std::future<void> ReleaseF = Release.get_future();
+  Pool.enqueue([&Started, &ReleaseF] {
+    Started.set_value();
+    ReleaseF.wait();
+  });
+  Started.get_future().wait();
+  Pool.enqueue([] {});
+  Pool.enqueue([] {});
+  EXPECT_EQ(Pool.activeWorkers(), 1u);
+  EXPECT_EQ(Pool.queueDepth(), 2u);
+
+  Release.set_value();
+  Pool.wait();
+  EXPECT_EQ(Pool.queueDepth(), 0u);
+  EXPECT_EQ(Pool.activeWorkers(), 0u);
 }

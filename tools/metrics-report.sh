@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+#===- tools/metrics-report.sh - summarize a metrics JSONL stream ----------===#
+#
+# Part of warp-swp. Reads the JSONL written by MetricsSink — e.g.
+# `swp_stress --metrics-jsonl=FILE` or SessionConfig::MetricsJsonl — and
+# prints a human summary: snapshot count, uptime span, headline counters
+# from the final snapshot, and the RSS trajectory when the process-RSS
+# gauge is present (awk only; no JSON tooling required).
+#
+# usage: tools/metrics-report.sh FILE.jsonl
+#
+#===-----------------------------------------------------------------------===#
+set -euo pipefail
+
+if [ $# -ne 1 ] || [ ! -r "$1" ]; then
+  echo "usage: $(basename "$0") FILE.jsonl" >&2
+  exit 1
+fi
+
+awk '
+# First numeric value following "key": on the current line; "" if absent.
+# index() is a plain substring search, so keys may contain the escaped
+# quotes of labeled metrics without regex escaping.
+function val(key,    i, s) {
+  i = index($0, "\"" key "\":")
+  if (i == 0)
+    return ""
+  s = substr($0, i + length(key) + 3, 32)
+  if (match(s, /^-?[0-9.]+/) != 1)
+    return ""
+  return substr(s, 1, RLENGTH)
+}
+
+NF {
+  ++Lines
+  if (Lines == 1)
+    FirstUp = val("uptime_ms")
+  LastUp = val("uptime_ms")
+  Rss = val("swp_process_rss_mib")
+  if (Rss != "") {
+    if (RssSeen == 0 || Rss + 0 < RssMin)
+      RssMin = Rss + 0
+    if (RssSeen == 0 || Rss + 0 > RssMax)
+      RssMax = Rss + 0
+    RssSeen = 1
+    RssLast = Rss + 0
+  }
+  Last = $0
+}
+
+END {
+  if (Lines == 0) {
+    print "metrics-report: empty stream" > "/dev/stderr"
+    exit 1
+  }
+  printf "snapshots:        %d (uptime %s -> %s ms)\n", Lines, FirstUp, LastUp
+  $0 = Last
+  n = split("swp_compile_total{outcome=\\\"ok\\\"} compiles_ok " \
+            "swp_compile_total{outcome=\\\"error\\\"} compiles_error " \
+            "swp_compile_budget_trips_total budget_trips " \
+            "swp_sched_searches_total sched_searches " \
+            "swp_sched_intervals_tried_total intervals_tried " \
+            "swp_cache_lookups_total cache_lookups " \
+            "swp_cache_hits_total cache_hits " \
+            "swp_cache_misses_total cache_misses " \
+            "swp_cache_evictions_total cache_evictions " \
+            "swp_pool_tasks_total pool_tasks", Pairs, " ")
+  for (i = 1; i + 1 <= n; i += 2) {
+    v = val(Pairs[i])
+    if (v != "")
+      printf "%-17s %s\n", Pairs[i + 1] ":", v
+  }
+  if (RssSeen)
+    printf "rss_mib:          min %.1f  max %.1f  last %.1f\n", \
+           RssMin, RssMax, RssLast
+}
+' "$1"
