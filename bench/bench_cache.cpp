@@ -337,6 +337,78 @@ int runGate(const std::string &OutPath, const std::string &BaselinePath) {
   if (!MultiTargetOk)
     std::fprintf(stderr, "multi-target session gate failed\n");
 
+  //===--------------------------------------------------------------------===//
+  // Gate 5: the AdaptivePolicy controller must earn its keep. Same
+  // undersized starting budget, same scripted traffic (the kernel suite
+  // cycled round-robin — a classic LRU-thrash shape when the working set
+  // overflows the budget): the adaptive cache, allowed to grow toward a
+  // ceiling on a scripted clock, must reach a warm hit rate >= the static
+  // budget's, and its code must stay bit-identical to the uncached
+  // reference.
+  //===--------------------------------------------------------------------===//
+
+  double StaticHitRate = 0.0, AdaptiveHitRate = 0.0;
+  uint64_t Adaptations = 0;
+  bool AdaptiveOk = true;
+  {
+    constexpr int Rounds = 8;
+    constexpr size_t SmallBudget = 4; // well under the kernel count
+    auto runRounds = [&](ScheduleCache &Cache, uint64_t *ClockMs) {
+      CompilerOptions CO = Opts;
+      CO.Cache = &Cache;
+      for (int Round = 0; Round != Rounds; ++Round) {
+        for (size_t I = 0; I != Kernels.size(); ++I) {
+          BuiltWorkload W = Kernels[I].Make();
+          CompileResult R = compileProgram(*W.Prog, MD, CO);
+          AdaptiveOk &= R.Ok;
+          AdaptiveOk &= vliwProgramToString(R.Code, MD) == RefCode[I];
+        }
+        if (ClockMs)
+          *ClockMs += 10; // One controller window per round.
+      }
+    };
+
+    ScheduleCacheConfig StaticCC;
+    StaticCC.MaxEntries = SmallBudget;
+    ScheduleCache StaticCache(StaticCC);
+    runRounds(StaticCache, nullptr);
+    CacheStats SS = StaticCache.stats();
+    StaticHitRate = SS.Hits + SS.Misses > 0
+                        ? double(SS.Hits) / double(SS.Hits + SS.Misses)
+                        : 0.0;
+
+    uint64_t ClockMs = 0;
+    ScheduleCacheConfig AdCC;
+    AdCC.MaxEntries = SmallBudget;
+    AdCC.Adaptive.Enabled = true;
+    AdCC.Adaptive.ClockMs = [&ClockMs] { return ClockMs; };
+    AdCC.Adaptive.IntervalMs = 10;
+    AdCC.Adaptive.MinSamples = 4;
+    AdCC.Adaptive.FloorEntries = SmallBudget;
+    AdCC.Adaptive.CeilingEntries = 256;
+    AdCC.Adaptive.StepPercent = 100; // Double per window under pressure.
+    ScheduleCache AdCache(AdCC);
+    runRounds(AdCache, &ClockMs);
+    CacheStats AS = AdCache.stats();
+    AdaptiveHitRate = AS.Hits + AS.Misses > 0
+                          ? double(AS.Hits) / double(AS.Hits + AS.Misses)
+                          : 0.0;
+    Adaptations = AdCache.adaptations();
+
+    // The controller may later hand memory back once the working set is
+    // resident (hits stop generating evictions), so the gate is on what
+    // the user observes — hit rate — not on the transient budget level.
+    AdaptiveOk &= AdaptiveHitRate >= StaticHitRate;
+    AdaptiveOk &= AdaptiveHitRate >= 0.5; // warm rounds genuinely hit
+    AdaptiveOk &= Adaptations > 0;
+  }
+  if (!AdaptiveOk)
+    std::fprintf(stderr,
+                 "adaptive gate failed: warm hit rate %.3f vs static %.3f "
+                 "(%llu adaptations)\n",
+                 AdaptiveHitRate, StaticHitRate,
+                 static_cast<unsigned long long>(Adaptations));
+
   // Metrics-consistency gate: the global snapshot's cache counters must
   // balance — hits + misses == lookups — after everything above.
   metrics::MetricsSnapshot Snap = metrics::MetricsRegistry::global().snapshot();
@@ -355,7 +427,7 @@ int runGate(const std::string &OutPath, const std::string &BaselinePath) {
 
   double Baseline = baselineColdMs(BaselinePath);
   bool AllOk = WarmOk && BatchOk && BitIdentical && DiskOk &&
-               DifferentialOk && MultiTargetOk && MetricsOk;
+               DifferentialOk && MultiTargetOk && AdaptiveOk && MetricsOk;
   if (!WarmOk)
     std::fprintf(stderr, "warm gate failed: %.2fx < 10x (cold %.3fms, warm %.3fms)\n",
                  WarmSpeedup, ColdMs, WarmMs);
@@ -388,6 +460,10 @@ int runGate(const std::string &OutPath, const std::string &BaselinePath) {
       "  \"disk_hits\": %llu,\n"
       "  \"differential_ok\": %s,\n"
       "  \"multi_target_ok\": %s,\n"
+      "  \"static_hit_rate\": %.4f,\n"
+      "  \"adaptive_hit_rate\": %.4f,\n"
+      "  \"adaptations\": %llu,\n"
+      "  \"adaptive_gate_ok\": %s,\n"
       "  \"metrics_lookups\": %llu,\n"
       "  \"metrics_consistent_ok\": %s,\n"
       "  \"cache\": %s,\n"
@@ -400,6 +476,9 @@ int runGate(const std::string &OutPath, const std::string &BaselinePath) {
       BatchOk ? "true" : "false", BitIdentical ? "true" : "false",
       static_cast<unsigned long long>(DiskHits),
       DifferentialOk ? "true" : "false", MultiTargetOk ? "true" : "false",
+      StaticHitRate, AdaptiveHitRate,
+      static_cast<unsigned long long>(Adaptations),
+      AdaptiveOk ? "true" : "false",
       static_cast<unsigned long long>(MLookups),
       MetricsOk ? "true" : "false",
       LastCache.toJson().c_str(), LastService.toJson().c_str(), Baseline,

@@ -221,6 +221,14 @@ struct SessionConfig {
   /// final snapshot.
   unsigned MetricsFlushMs = 1000;
 
+  /// Scrape hook: when >= 0, the session enables the global metrics
+  /// registry and owns a MetricsServer (swp/Metrics/MetricsServer.h)
+  /// listening on 127.0.0.1:<MetricsPort> for the session's lifetime;
+  /// 0 binds an ephemeral port — read it back with metricsPort(). A
+  /// port that fails to bind is a config error, reported like every
+  /// other through configError(). -1 (the default) serves nothing.
+  int MetricsPort = -1;
+
   /// First incoherence in this config ("" when coherent): an injected
   /// Service combined with Cache or MemoizeResults = false (both
   /// configure the private service the injection replaces — they would
@@ -250,6 +258,10 @@ public:
 
   /// The config incoherence found at construction ("" when healthy).
   std::string configError() const;
+
+  /// The port the SessionConfig::MetricsPort scrape endpoint actually
+  /// bound (the kernel's pick under port 0); 0 when no server runs.
+  uint16_t metricsPort() const;
 
   /// Queues one request and returns immediately. The handle's future
   /// resolves when the compile finishes (or the request fails up

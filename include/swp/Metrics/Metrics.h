@@ -49,7 +49,10 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 /// Compile-time master switch. Off removes every record from the binary;
@@ -210,8 +213,11 @@ struct MetricsSnapshot {
 class MetricsRegistry {
 public:
   /// Cells per shard; registrations beyond this are dropped (handles come
-  /// back inert and droppedRegistrations() counts them).
-  static constexpr size_t SlotCapacity = 2048;
+  /// back inert and droppedRegistrations() counts them). Sized for the
+  /// per-target series fan-out: each target a fleet compiles for adds
+  /// labeled copies of the headline latency histograms (33 cells each),
+  /// outcome counters, and cache counters.
+  static constexpr size_t SlotCapacity = 4096;
 
   MetricsRegistry();
   ~MetricsRegistry();
@@ -265,6 +271,72 @@ private:
   struct Impl;
   std::unique_ptr<Impl> I;
 };
+
+/// Escapes a label value per Prometheus exposition rules: backslash,
+/// double-quote, and newline become \\, \", and \n.
+std::string escapeLabelValue(const std::string &V);
+
+/// Formats a label body (no braces) from key/value pairs: keys are
+/// sorted, values escaped, so {"target","warp-cell"},{"priority","high"}
+/// renders as `priority="high",target="warp-cell"`. Every site that
+/// composes labels from dynamic values (target names) goes through this
+/// so all series of a family agree on key order — a requirement the
+/// exposition goldens lock.
+std::string labelBody(std::vector<std::pair<std::string, std::string>> KVs);
+
+/// A cache of per-label-value handles for one metric family whose last
+/// label is dynamic (typically `target="<machine name>"`). with()
+/// registers the series on first use and returns the cached handle
+/// afterwards; registration itself is idempotent per (name, labels), the
+/// cache just keeps hot record sites to one map probe instead of a label
+/// format plus a registry lock. Thread-safe; handles are value-semantic.
+template <class HandleT> class LabeledFamily {
+public:
+  LabeledFamily(MetricsRegistry &R, std::string Name, std::string Help,
+                std::string DynKey,
+                std::vector<std::pair<std::string, std::string>> Fixed = {})
+      : R(&R), Name(std::move(Name)), Help(std::move(Help)),
+        DynKey(std::move(DynKey)), Fixed(std::move(Fixed)) {}
+
+  HandleT with(const std::string &Value) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = ByValue.find(Value);
+    if (It != ByValue.end())
+      return It->second;
+    auto KVs = Fixed;
+    KVs.emplace_back(DynKey, Value);
+    HandleT H = registerHandle(labelBody(std::move(KVs)));
+    ByValue.emplace(Value, H);
+    return H;
+  }
+
+private:
+  HandleT registerHandle(const std::string &Labels);
+
+  MetricsRegistry *R;
+  std::string Name, Help, DynKey;
+  std::vector<std::pair<std::string, std::string>> Fixed;
+  std::mutex Mu;
+  std::unordered_map<std::string, HandleT> ByValue;
+};
+
+template <>
+inline Counter LabeledFamily<Counter>::registerHandle(const std::string &L) {
+  return R->counter(Name, L, Help);
+}
+template <>
+inline Gauge LabeledFamily<Gauge>::registerHandle(const std::string &L) {
+  return R->gauge(Name, L, Help);
+}
+template <>
+inline Histogram
+LabeledFamily<Histogram>::registerHandle(const std::string &L) {
+  return R->histogram(Name, L, Help);
+}
+
+using CounterFamily = LabeledFamily<Counter>;
+using GaugeFamily = LabeledFamily<Gauge>;
+using HistogramFamily = LabeledFamily<Histogram>;
 
 /// Convenience accessors for the global registry's runtime switch.
 inline bool enabled() {

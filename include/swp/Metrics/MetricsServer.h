@@ -1,0 +1,119 @@
+//===- swp/Metrics/MetricsServer.h - Loopback scrape endpoint ---*- C++ -*-===//
+//
+// Part of warp-swp. See DESIGN.md §12.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal HTTP scrape endpoint over a loopback TCP socket, so a
+/// long-running compile service can be scraped in place instead of
+/// flushing JSONL snapshots to disk (MetricsSink.h). The server binds
+/// 127.0.0.1 only and speaks just enough HTTP/1.0 for a Prometheus
+/// scraper or curl:
+///
+///   GET /metrics       -> toPrometheusText() of the registry
+///   GET /metrics.json  -> the canonical single-line JSON snapshot
+///   GET /healthz       -> "ok"
+///
+/// Anything else is 404; a request that never completes its headers is
+/// 408 after Config::TimeoutMs; a request line that is not a well-formed
+/// GET is 400. Responses always carry Connection: close.
+///
+/// Concurrency is bounded: one accept thread hands sockets to
+/// Config::MaxConnections handler threads through a queue capped at
+/// Config::MaxPending; connections beyond the cap get an immediate 503
+/// instead of unbounded queueing. Every socket has read and write
+/// timeouts so a stalled scraper can never wedge a handler forever.
+/// stop() (and the destructor) closes the listen socket, drains the
+/// queue, and joins every thread.
+///
+/// Binding port 0 requests an ephemeral port; port() reports the port
+/// actually bound, which is how tests avoid collisions.
+///
+/// The server counts its own traffic on the registry it serves
+/// (swp_metrics_http_requests_total{path=...} and
+/// swp_metrics_http_errors_total{reason=...}); the request counter is
+/// bumped before the snapshot is taken so a scrape observes itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWP_METRICS_METRICSSERVER_H
+#define SWP_METRICS_METRICSSERVER_H
+
+#include "swp/Metrics/Metrics.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace swp {
+namespace metrics {
+
+class MetricsServer {
+public:
+  struct Config {
+    uint16_t Port = 0;                   ///< 0: kernel-assigned ephemeral port.
+    MetricsRegistry *Registry = nullptr; ///< Null: the global registry.
+    unsigned MaxConnections = 4;         ///< Concurrent handler threads.
+    unsigned MaxPending = 32;            ///< Accepted-but-unserved cap (503 past it).
+    unsigned TimeoutMs = 2000;           ///< Per-connection read/write timeout.
+  };
+
+  /// Binds, listens, and starts the accept + handler threads. Check
+  /// ok() — a server that failed to bind serves nothing.
+  explicit MetricsServer(Config C);
+
+  /// Calls stop().
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer &) = delete;
+  MetricsServer &operator=(const MetricsServer &) = delete;
+
+  bool ok() const;
+  std::string error() const;
+
+  /// The bound port (the kernel's pick under Config::Port == 0); 0 when
+  /// !ok().
+  uint16_t port() const;
+
+  /// Requests that received any response, including error responses.
+  uint64_t requestsServed() const;
+
+  /// Closes the listen socket, abandons queued connections, joins the
+  /// accept and handler threads. Idempotent; the destructor calls it.
+  void stop();
+
+private:
+  void acceptLoop();
+  void handlerLoop();
+  void serveConnection(int Fd);
+
+  Config Cfg;
+  MetricsRegistry *Reg = nullptr;
+  std::string Err;
+  int ListenFd = -1;
+  int WakeFds[2] = {-1, -1}; ///< Self-pipe to interrupt the accept poll.
+  uint16_t BoundPort = 0;
+
+  Counter ReqMetrics, ReqJson, ReqHealth, ReqOther;
+  Counter ErrBadRequest, ErrTimeout, ErrOverloaded;
+  std::atomic<uint64_t> Served{0};
+
+  std::mutex Mu;
+  std::condition_variable QueueOrStop;
+  std::deque<int> Pending; ///< Guarded by Mu.
+  bool Stopped = false;    ///< Guarded by Mu.
+
+  std::thread Acceptor;
+  std::vector<std::thread> Handlers;
+};
+
+} // namespace metrics
+} // namespace swp
+
+#endif // SWP_METRICS_METRICSSERVER_H

@@ -37,6 +37,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -65,12 +66,45 @@ struct CacheStats {
   std::string toJson() const;
 };
 
+/// Self-tuning budget controller (ScheduleCache::AdaptivePolicy support).
+///
+/// When enabled, the cache periodically reads its own hit/miss/eviction
+/// counters and occupancy and rebalances the memory-tier entry/byte
+/// budgets within caller-set floors and ceilings: a window that
+/// displaced entries (evictions > 0) means the working set overflows the
+/// memory tier, so the budgets grow by StepPercent toward the ceilings
+/// and the disk tier stops absorbing re-verification traffic; a window
+/// with no displacement and occupancy under half the budget means the
+/// tier is oversized, so the budgets shrink toward the floors and the
+/// memory goes back to the rest of the service. Rebalances happen at
+/// most once per IntervalMs on the controller's clock — injectable so
+/// tests and benchmarks script it deterministically — and only after
+/// MinSamples lookups, so an idle cache never thrashes its budgets.
+///
+/// The controller is surfaced as the swp_cache_budget_{entries,bytes}
+/// gauges and a typed `cacheResize` trace span; a disabled policy leaves
+/// the cache bit-identical to the static-budget behavior.
+struct AdaptiveCachePolicy {
+  bool Enabled = false;
+  /// Milliseconds clock; null uses the process steady clock. Must be
+  /// monotonically nondecreasing.
+  std::function<uint64_t()> ClockMs;
+  uint64_t IntervalMs = 1000;   ///< Minimum time between rebalances.
+  uint64_t MinSamples = 8;      ///< Lookups needed before a rebalance.
+  size_t FloorEntries = 64;     ///< Entry budget never shrinks below.
+  size_t CeilingEntries = 1u << 20; ///< ... nor grows above.
+  size_t FloorBytes = 1u << 20;
+  size_t CeilingBytes = 256u << 20;
+  unsigned StepPercent = 25;    ///< Budget delta per rebalance.
+};
+
 /// Construction-time configuration.
 struct ScheduleCacheConfig {
   unsigned Shards = 8;              ///< Concurrency width; floored to 1.
   size_t MaxEntries = 4096;         ///< Whole-cache entry cap.
   size_t MaxBytes = 32u << 20;      ///< Whole-cache byte budget.
   std::string Dir;                  ///< Persistent tier root ("" = off).
+  AdaptiveCachePolicy Adaptive;     ///< Self-tuning budgets (off by default).
 };
 
 class ScheduleCache {
@@ -102,11 +136,29 @@ public:
 
   /// Inserts \p MS (canonicalized via \p CG) under \p Key; returns the
   /// number of LRU entries evicted to make room. Budget-exhausted results
-  /// are refused (they are not the search's true answer).
+  /// are refused (they are not the search's true answer). \p Target is
+  /// the machine name the result was compiled for (empty: counted under
+  /// target="unknown" in the per-target metric split).
   uint64_t insert(const Fingerprint &Key, const CanonicalGraph &CG,
-                  const ModuloScheduleResult &MS);
+                  const ModuloScheduleResult &MS,
+                  const std::string &Target = "");
 
   CacheStats stats() const;
+
+  /// Live memory-tier budgets: equal to the configured MaxEntries /
+  /// MaxBytes with the adaptive policy off, the controller's current
+  /// setting with it on.
+  size_t budgetEntries() const {
+    return BudgetEntries.load(std::memory_order_relaxed);
+  }
+  size_t budgetBytes() const {
+    return BudgetBytes.load(std::memory_order_relaxed);
+  }
+
+  /// Rebalances recorded in total (0 with the policy disabled).
+  uint64_t adaptations() const {
+    return Adaptations.load(std::memory_order_relaxed);
+  }
 
   /// Drops every in-memory entry (the disk tier is left alone) and
   /// resets the counters.
@@ -161,6 +213,12 @@ private:
 
   uint64_t insertLocked(Shard &S, const Fingerprint &Key, Entry E);
 
+  /// Runs one AdaptivePolicy controller step when the policy is enabled
+  /// and a full interval with enough samples has elapsed. Called from
+  /// lookup() and insert(); holds PolicyMu only across the rebalance
+  /// decision, never a shard mutex.
+  void maybeAdapt();
+
   /// Publishes the (entries, bytes) change of shard \p S — whose
   /// occupancy moved from \p OldEntries / \p OldBytes to its current
   /// values — to the fleet occupancy gauges. Call under S.Mu.
@@ -178,6 +236,22 @@ private:
   metrics::Gauge EntriesGauge;
   metrics::Gauge BytesGauge;
   std::vector<metrics::Gauge> ShardEntryGauges; ///< One per shard.
+  metrics::Gauge BudgetEntriesGauge;
+  metrics::Gauge BudgetBytesGauge;
+
+  /// Live memory-tier budgets; insertLocked enforces per-shard slices of
+  /// these. Static (== Config.Max*) unless the adaptive policy moves
+  /// them.
+  std::atomic<size_t> BudgetEntries{0};
+  std::atomic<size_t> BudgetBytes{0};
+
+  /// AdaptivePolicy controller state (window baselines), under PolicyMu.
+  std::mutex PolicyMu;
+  uint64_t LastAdaptMs = 0;
+  uint64_t WinHits = 0;
+  uint64_t WinMisses = 0;
+  uint64_t WinEvictions = 0;
+  std::atomic<uint64_t> Adaptations{0};
 
   mutable std::atomic<uint64_t> Hits{0};
   mutable std::atomic<uint64_t> Misses{0};

@@ -6,6 +6,7 @@
 
 #include "swp/API/Session.h"
 
+#include "swp/Metrics/MetricsServer.h"
 #include "swp/Metrics/MetricsSink.h"
 #include "swp/Support/ThreadPool.h"
 #include "swp/Support/Trace.h"
@@ -64,27 +65,104 @@ struct SessionMetrics {
     return M;
   }
 
+  /// Per-target splits of the outcome and latency series (dynamic
+  /// `target` label sourced from resolved machine names; requests that
+  /// fail before resolving a machine land under target="unknown" so the
+  /// label set stays bounded whatever strings callers send). Kept
+  /// alongside the unlabeled aggregates above, so existing dashboards
+  /// and report tooling keep reading the same series.
+  struct PerTarget {
+    metrics::CounterFamily OutOk, OutDegraded, OutError, OutCancelled,
+        OutBudget;
+    metrics::HistogramFamily LatLow, LatNormal, LatHigh, LatSync;
+
+    PerTarget()
+        : OutOk(reg(), ON(), OH(), "target", {{"outcome", "ok"}}),
+          OutDegraded(reg(), ON(), OH(), "target", {{"outcome", "degraded"}}),
+          OutError(reg(), ON(), OH(), "target", {{"outcome", "error"}}),
+          OutCancelled(reg(), ON(), OH(), "target",
+                       {{"outcome", "cancelled"}}),
+          OutBudget(reg(), ON(), OH(), "target",
+                    {{"outcome", "budget_tripped"}}),
+          LatLow(reg(), LN(), LH(), "target", {{"priority", "low"}}),
+          LatNormal(reg(), LN(), LH(), "target", {{"priority", "normal"}}),
+          LatHigh(reg(), LN(), LH(), "target", {{"priority", "high"}}),
+          LatSync(reg(), LN(), LH(), "target", {{"priority", "sync"}}) {}
+
+    metrics::HistogramFamily &latency(int Priority) {
+      return Priority < 0 ? LatLow : Priority > 0 ? LatHigh : LatNormal;
+    }
+
+    static PerTarget &get() {
+      static PerTarget M;
+      return M;
+    }
+
+  private:
+    static metrics::MetricsRegistry &reg() {
+      return metrics::MetricsRegistry::global();
+    }
+    static const char *ON() { return "swp_session_outcomes_total"; }
+    static const char *OH() {
+      return "Completed session requests, by outcome";
+    }
+    static const char *LN() { return "swp_session_latency_us"; }
+    static const char *LH() {
+      return "Submit-to-complete microseconds, by priority class";
+    }
+  };
+
   /// Priority classes keep label cardinality fixed whatever ints callers
   /// pick: negative = low, zero = normal, positive = high.
   const metrics::Histogram &latency(int Priority) const {
     return Priority < 0 ? LatLow : Priority > 0 ? LatHigh : LatNormal;
   }
 
-  void recordOutcome(const CompileResponse &Resp) const {
-    if (Resp.Result.Report.BudgetTripped != BudgetCause::None)
+  /// One latency sample + one outcome count, in both the unlabeled
+  /// aggregate and the per-target split. \p Target must be a resolved
+  /// machine name (or "unknown").
+  void recordRequest(const CompileResponse &Resp, int Priority,
+                     uint64_t Micros, const std::string &Target) const {
+    latency(Priority).record(Micros);
+    PerTarget::get().latency(Priority).with(Target).record(Micros);
+    recordOutcome(Resp, Target);
+  }
+
+  /// The synchronous-path variant: priority class "sync".
+  void recordSyncRequest(const CompileResponse &Resp, uint64_t Micros,
+                         const std::string &Target) const {
+    LatSync.record(Micros);
+    PerTarget::get().LatSync.with(Target).record(Micros);
+    recordOutcome(Resp, Target);
+  }
+
+  void recordOutcome(const CompileResponse &Resp,
+                     const std::string &Target) const {
+    auto &T = PerTarget::get();
+    if (Resp.Result.Report.BudgetTripped != BudgetCause::None) {
       OutBudget.inc();
-    else if (Resp.Cancelled)
+      T.OutBudget.with(Target).inc();
+    } else if (Resp.Cancelled) {
       OutCancelled.inc();
-    else if (!Resp.Ok)
+      T.OutCancelled.with(Target).inc();
+    } else if (!Resp.Ok) {
       OutError.inc();
-    else {
+      T.OutError.with(Target).inc();
+    } else {
       for (const LoopReport &L : Resp.Result.Report.Loops)
-        if (L.Decision == PipelineDecision::Degraded)
-          return OutDegraded.inc();
+        if (L.Decision == PipelineDecision::Degraded) {
+          OutDegraded.inc();
+          T.OutDegraded.with(Target).inc();
+          return;
+        }
       OutOk.inc();
+      T.OutOk.with(Target).inc();
     }
   }
 };
+
+/// Label for requests that never resolved a machine description.
+const char *const UnknownTarget = "unknown";
 
 uint64_t microsSince(std::chrono::steady_clock::time_point T0) {
   return static_cast<uint64_t>(
@@ -227,6 +305,7 @@ struct Session::Impl {
   std::vector<std::unique_ptr<PendingRequest>> Queue; ///< Heap (PendingLess).
   TaskGroup Outstanding;
   std::optional<metrics::MetricsSink> Sink; ///< SessionConfig::MetricsJsonl.
+  std::optional<metrics::MetricsServer> Server; ///< SessionConfig::MetricsPort.
 
   /// Pops and runs the highest-priority pending request. Each submit
   /// enqueues exactly one call, so pops never find the heap empty.
@@ -266,9 +345,8 @@ struct Session::Impl {
     R.Report.RequestId = P->ReqId;
     Resp.Ok = R.Ok;
     Resp.Result = std::move(R);
-    SessionMetrics::get().latency(P->Priority).record(
-        microsSince(P->SubmitTime));
-    SessionMetrics::get().recordOutcome(Resp);
+    SessionMetrics::get().recordRequest(Resp, P->Priority,
+                                        microsSince(P->SubmitTime), P->Target);
     P->Promise.set_value(std::move(Resp));
   }
 
@@ -316,8 +394,11 @@ struct Session::Impl {
 
   CompileResponse compileNowImpl(Program &P, const CompileRequest &Req,
                                  DiagnosticEngine *Diags);
+  /// \p TargetLabel receives the resolved machine name, or "unknown"
+  /// when the request failed before resolution (bounded metric labels).
   CompileResponse compileNowInner(Program &P, const CompileRequest &Req,
-                                  DiagnosticEngine *Diags);
+                                  DiagnosticEngine *Diags,
+                                  std::string &TargetLabel);
 
   /// Applies session defaults and moves any budget ceilings into the
   /// request's tracker. Returns false with diagnostics on rejection.
@@ -376,6 +457,20 @@ Session::Session(SessionConfig Cfg) : I(std::make_unique<Impl>()) {
     if (!I->Sink->ok() && I->ConfigError.empty())
       I->ConfigError = I->Sink->error();
   }
+  if (I->Cfg.MetricsPort >= 0 && I->Cfg.MetricsPort <= 65535) {
+    // Same policy as the JSONL hook: asking to be scraped means the
+    // caller wants numbers.
+    metrics::setEnabled(true);
+    metrics::MetricsServer::Config MC;
+    MC.Port = static_cast<uint16_t>(I->Cfg.MetricsPort);
+    I->Server.emplace(MC);
+    if (!I->Server->ok() && I->ConfigError.empty())
+      I->ConfigError = I->Server->error();
+  } else if (I->Cfg.MetricsPort > 65535 && I->ConfigError.empty()) {
+    I->ConfigError = "SessionConfig: MetricsPort " +
+                     std::to_string(I->Cfg.MetricsPort) +
+                     " is not a TCP port (0..65535, or -1 to disable)";
+  }
   if (I->Cfg.Service) {
     I->Service = I->Cfg.Service;
   } else {
@@ -396,6 +491,10 @@ TargetRegistry &Session::targets() const { return *I->Reg; }
 
 std::string Session::configError() const { return I->ConfigError; }
 
+uint16_t Session::metricsPort() const {
+  return I->Server && I->Server->ok() ? I->Server->port() : 0;
+}
+
 void Session::waitAll() { I->Pool->wait(I->Outstanding); }
 
 ServiceStats Session::stats() const { return I->Service->stats(); }
@@ -407,33 +506,37 @@ CompileHandle Session::submit(CompileRequest Req) {
   // Requests failed before queueing still land one latency sample and
   // one outcome, keeping count == requests. failNow's handle is already
   // resolved, so get() below never blocks.
-  auto FailRecorded = [&](CompileHandle H) {
-    SessionMetrics::get().latency(Req.Priority).record(microsSince(T0));
-    SessionMetrics::get().recordOutcome(H.get());
+  auto FailRecorded = [&](CompileHandle H, const std::string &Target) {
+    SessionMetrics::get().recordRequest(H.get(), Req.Priority, microsSince(T0),
+                                        Target);
     return H;
   };
 
   if (!I->ConfigError.empty())
     return FailRecorded(
-        Impl::failNow(I->Id, ReqId, Req.Target, I->ConfigError, {}));
+        Impl::failNow(I->Id, ReqId, Req.Target, I->ConfigError, {}),
+        UnknownTarget);
   if (!Req.Make)
     return FailRecorded(
         Impl::failNow(I->Id, ReqId, Req.Target,
                       "CompileRequest: Make (the program factory) is "
                       "required for async submission",
-                      {}));
+                      {}),
+        UnknownTarget);
 
   std::string Target, Error;
   const MachineDescription *MD = I->resolveTarget(Req, Target, Error);
   if (!MD)
     return FailRecorded(
-        Impl::failNow(I->Id, ReqId, Target, std::move(Error), {}));
+        Impl::failNow(I->Id, ReqId, Target, std::move(Error), {}),
+        UnknownTarget);
 
   auto P = std::make_unique<PendingRequest>();
   std::vector<OptionDiag> OptionErrors;
   if (!I->mergeOptions(Req, P->Opts, P->Tracker, Error, OptionErrors))
     return FailRecorded(Impl::failNow(I->Id, ReqId, Target, std::move(Error),
-                                      std::move(OptionErrors)));
+                                      std::move(OptionErrors)),
+                        Target);
 
   P->ReqId = ReqId;
   P->SubmitTime = T0;
@@ -496,15 +599,16 @@ CompileResponse Session::Impl::compileNowImpl(Program &P,
                                               DiagnosticEngine *Diags) {
   auto T0 = std::chrono::steady_clock::now();
   SessionMetrics::get().CompileNow.inc();
-  CompileResponse Resp = compileNowInner(P, Req, Diags);
-  SessionMetrics::get().LatSync.record(microsSince(T0));
-  SessionMetrics::get().recordOutcome(Resp);
+  std::string TargetLabel = UnknownTarget;
+  CompileResponse Resp = compileNowInner(P, Req, Diags, TargetLabel);
+  SessionMetrics::get().recordSyncRequest(Resp, microsSince(T0), TargetLabel);
   return Resp;
 }
 
 CompileResponse Session::Impl::compileNowInner(Program &P,
                                                const CompileRequest &Req,
-                                               DiagnosticEngine *Diags) {
+                                               DiagnosticEngine *Diags,
+                                               std::string &TargetLabel) {
   uint64_t ReqId = NextReq.fetch_add(1, std::memory_order_relaxed) + 1;
   CompileResponse Resp;
   Resp.SessionId = Id;
@@ -525,6 +629,7 @@ CompileResponse Session::Impl::compileNowInner(Program &P,
     Resp.Result.Error = std::move(Error);
     return Resp;
   }
+  TargetLabel = Name;
 
   CompilerOptions Merged;
   std::shared_ptr<BudgetTracker> Tracker;

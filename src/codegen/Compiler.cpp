@@ -1039,7 +1039,7 @@ bool CompilerImpl::tryEmitPipelined(ForStmt &For,
       MS.Stats.CacheMisses = 1;
       MS.Stats.CacheVerifyRejects += LR.VerifyRejects;
       if (Opts.ChaosSeed == 0)
-        MS.Stats.CacheEvictions = Opts.Cache->insert(Key, CG, MS);
+        MS.Stats.CacheEvictions = Opts.Cache->insert(Key, CG, MS, MD.name());
     }
   } else {
     MS = moduloSchedule(G, MD, SOpts);

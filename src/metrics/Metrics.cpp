@@ -388,6 +388,38 @@ std::string formatDouble(double V) {
 
 } // namespace
 
+std::string swp::metrics::escapeLabelValue(const std::string &V) {
+  std::string Out;
+  Out.reserve(V.size());
+  for (char C : V) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+std::string swp::metrics::labelBody(
+    std::vector<std::pair<std::string, std::string>> KVs) {
+  std::sort(KVs.begin(), KVs.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  std::string Out;
+  for (const auto &KV : KVs) {
+    if (!Out.empty())
+      Out += ',';
+    Out += KV.first;
+    Out += "=\"";
+    Out += escapeLabelValue(KV.second);
+    Out += '"';
+  }
+  return Out;
+}
+
 const SnapshotCounter *MetricsSnapshot::counter(const std::string &Name,
                                                 const std::string &Labels)
     const {

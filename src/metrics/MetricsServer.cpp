@@ -1,0 +1,343 @@
+//===- metrics/MetricsServer.cpp - Loopback scrape endpoint ---------------===//
+//
+// Part of warp-swp. See swp/Metrics/MetricsServer.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "swp/Metrics/MetricsServer.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace swp;
+using namespace swp::metrics;
+
+namespace {
+
+/// Upper bound on request bytes we are willing to buffer before calling
+/// the request malformed. A scrape request line plus headers fits with
+/// room to spare.
+constexpr size_t MaxRequestBytes = 8192;
+
+void closeFd(int &Fd) {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+/// Sends all of \p Body (best-effort; the socket has SO_SNDTIMEO so a
+/// stalled peer cannot wedge the handler).
+bool sendAll(int Fd, const std::string &Body) {
+  size_t Off = 0;
+  while (Off < Body.size()) {
+    ssize_t N = ::send(Fd, Body.data() + Off, Body.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+std::string httpResponse(int Code, const std::string &Reason,
+                         const std::string &ContentType,
+                         const std::string &Body) {
+  std::string R = "HTTP/1.0 " + std::to_string(Code) + " " + Reason + "\r\n";
+  R += "Content-Type: " + ContentType + "\r\n";
+  R += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  R += "Connection: close\r\n\r\n";
+  R += Body;
+  return R;
+}
+
+/// Writes the response, then half-closes and briefly drains the socket so
+/// a peer still sending headers reads our bytes instead of a reset.
+void respondAndClose(int Fd, const std::string &Response) {
+  if (sendAll(Fd, Response)) {
+    ::shutdown(Fd, SHUT_WR);
+    char Scratch[256];
+    pollfd P{Fd, POLLIN, 0};
+    for (int I = 0; I < 8; ++I) {
+      if (::poll(&P, 1, 50) <= 0)
+        break;
+      if (::recv(Fd, Scratch, sizeof(Scratch), 0) <= 0)
+        break;
+    }
+  }
+  ::close(Fd);
+}
+
+} // namespace
+
+MetricsServer::MetricsServer(Config C) : Cfg(C) {
+  Reg = Cfg.Registry ? Cfg.Registry : &MetricsRegistry::global();
+  if (Cfg.MaxConnections == 0)
+    Cfg.MaxConnections = 1;
+  if (Cfg.MaxPending == 0)
+    Cfg.MaxPending = 1;
+  if (Cfg.TimeoutMs == 0)
+    Cfg.TimeoutMs = 1;
+
+  ReqMetrics = Reg->counter("swp_metrics_http_requests_total",
+                            "path=\"metrics\"",
+                            "HTTP requests served by the metrics endpoint");
+  ReqJson = Reg->counter("swp_metrics_http_requests_total",
+                         "path=\"metrics_json\"",
+                         "HTTP requests served by the metrics endpoint");
+  ReqHealth = Reg->counter("swp_metrics_http_requests_total",
+                           "path=\"healthz\"",
+                           "HTTP requests served by the metrics endpoint");
+  ReqOther = Reg->counter("swp_metrics_http_requests_total", "path=\"other\"",
+                          "HTTP requests served by the metrics endpoint");
+  ErrBadRequest =
+      Reg->counter("swp_metrics_http_errors_total", "reason=\"bad_request\"",
+                   "Metrics endpoint requests that failed");
+  ErrTimeout =
+      Reg->counter("swp_metrics_http_errors_total", "reason=\"timeout\"",
+                   "Metrics endpoint requests that failed");
+  ErrOverloaded =
+      Reg->counter("swp_metrics_http_errors_total", "reason=\"overloaded\"",
+                   "Metrics endpoint requests that failed");
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Err = "socket: " + std::string(std::strerror(errno));
+    return;
+  }
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Cfg.Port);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Err = "bind 127.0.0.1:" + std::to_string(Cfg.Port) + ": " +
+          std::strerror(errno);
+    closeFd(ListenFd);
+    return;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) ==
+      0)
+    BoundPort = ntohs(Addr.sin_port);
+  if (::listen(ListenFd, 64) < 0) {
+    Err = "listen: " + std::string(std::strerror(errno));
+    closeFd(ListenFd);
+    return;
+  }
+  if (::pipe(WakeFds) < 0) {
+    Err = "pipe: " + std::string(std::strerror(errno));
+    closeFd(ListenFd);
+    return;
+  }
+
+  Acceptor = std::thread([this] { acceptLoop(); });
+  Handlers.reserve(Cfg.MaxConnections);
+  for (unsigned I = 0; I < Cfg.MaxConnections; ++I)
+    Handlers.emplace_back([this] { handlerLoop(); });
+}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+bool MetricsServer::ok() const { return Err.empty() && ListenFd >= 0; }
+
+std::string MetricsServer::error() const { return Err; }
+
+uint16_t MetricsServer::port() const { return ok() ? BoundPort : 0; }
+
+uint64_t MetricsServer::requestsServed() const {
+  return Served.load(std::memory_order_relaxed);
+}
+
+void MetricsServer::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopped)
+      return;
+    Stopped = true;
+  }
+  if (WakeFds[1] >= 0)
+    (void)!::write(WakeFds[1], "x", 1);
+  QueueOrStop.notify_all();
+  if (Acceptor.joinable())
+    Acceptor.join();
+  for (auto &H : Handlers)
+    if (H.joinable())
+      H.join();
+  Handlers.clear();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    while (!Pending.empty()) {
+      ::close(Pending.front());
+      Pending.pop_front();
+    }
+  }
+  closeFd(ListenFd);
+  closeFd(WakeFds[0]);
+  closeFd(WakeFds[1]);
+}
+
+void MetricsServer::acceptLoop() {
+  for (;;) {
+    pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {WakeFds[0], POLLIN, 0}};
+    if (::poll(Fds, 2, -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (Fds[1].revents)
+      return; // stop() woke us.
+    if (!(Fds[0].revents & POLLIN))
+      continue;
+    int Conn = ::accept(ListenFd, nullptr, nullptr);
+    if (Conn < 0)
+      continue;
+
+    // Per-connection timeouts: a peer that stops reading or never sends
+    // can only hold a handler for TimeoutMs.
+    timeval Tv{};
+    Tv.tv_sec = Cfg.TimeoutMs / 1000;
+    Tv.tv_usec = (Cfg.TimeoutMs % 1000) * 1000;
+    ::setsockopt(Conn, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+    ::setsockopt(Conn, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+
+    bool Overloaded = false;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Stopped) {
+        ::close(Conn);
+        return;
+      }
+      if (Pending.size() >= Cfg.MaxPending)
+        Overloaded = true;
+      else
+        Pending.push_back(Conn);
+    }
+    if (Overloaded) {
+      ErrOverloaded.inc();
+      Served.fetch_add(1, std::memory_order_relaxed);
+      respondAndClose(Conn, httpResponse(503, "Service Unavailable",
+                                         "text/plain; charset=utf-8",
+                                         "overloaded\n"));
+      continue;
+    }
+    QueueOrStop.notify_one();
+  }
+}
+
+void MetricsServer::handlerLoop() {
+  for (;;) {
+    int Conn = -1;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      QueueOrStop.wait(Lock, [this] { return Stopped || !Pending.empty(); });
+      if (Stopped)
+        return; // stop() closes whatever is still queued.
+      Conn = Pending.front();
+      Pending.pop_front();
+    }
+    serveConnection(Conn);
+  }
+}
+
+void MetricsServer::serveConnection(int Fd) {
+  // Read until the headers end (CRLFCRLF). SO_RCVTIMEO bounds each recv,
+  // and the deadline bounds a peer trickling one byte per timeout.
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(Cfg.TimeoutMs);
+  std::string Request;
+  bool Complete = false, TimedOut = false;
+  char Buf[1024];
+  while (Request.size() < MaxRequestBytes) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      Request.append(Buf, static_cast<size_t>(N));
+      if (Request.find("\r\n\r\n") != std::string::npos ||
+          Request.find("\n\n") != std::string::npos) {
+        Complete = true;
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= Deadline) {
+        TimedOut = true;
+        break;
+      }
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR))
+      TimedOut = true;
+    break; // EOF, error, or receive timeout.
+  }
+
+  Served.fetch_add(1, std::memory_order_relaxed);
+  if (!Complete) {
+    if (TimedOut) {
+      ErrTimeout.inc();
+      respondAndClose(Fd, httpResponse(408, "Request Timeout",
+                                       "text/plain; charset=utf-8",
+                                       "timeout\n"));
+    } else {
+      ErrBadRequest.inc();
+      respondAndClose(Fd, httpResponse(400, "Bad Request",
+                                       "text/plain; charset=utf-8",
+                                       "bad request\n"));
+    }
+    return;
+  }
+
+  // Parse "GET <path> HTTP/x.y" from the first line.
+  size_t Eol = Request.find_first_of("\r\n");
+  std::string Line = Request.substr(0, Eol);
+  std::string Path;
+  bool WellFormed = false;
+  if (Line.rfind("GET ", 0) == 0) {
+    size_t SpaceAfterPath = Line.find(' ', 4);
+    if (SpaceAfterPath != std::string::npos &&
+        Line.compare(SpaceAfterPath + 1, 5, "HTTP/") == 0) {
+      Path = Line.substr(4, SpaceAfterPath - 4);
+      WellFormed = !Path.empty() && Path[0] == '/';
+    }
+  }
+  if (!WellFormed) {
+    ErrBadRequest.inc();
+    respondAndClose(Fd, httpResponse(400, "Bad Request",
+                                     "text/plain; charset=utf-8",
+                                     "bad request\n"));
+    return;
+  }
+  // Ignore any query string: scrapers append ?format= style suffixes.
+  size_t Query = Path.find('?');
+  if (Query != std::string::npos)
+    Path.resize(Query);
+
+  // Count the request before snapshotting so a scrape observes itself.
+  if (Path == "/metrics") {
+    ReqMetrics.inc();
+    respondAndClose(
+        Fd, httpResponse(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                         Reg->snapshot().toPrometheusText()));
+  } else if (Path == "/metrics.json") {
+    ReqJson.inc();
+    respondAndClose(Fd, httpResponse(200, "OK", "application/json",
+                                     Reg->snapshot().toJson() + "\n"));
+  } else if (Path == "/healthz") {
+    ReqHealth.inc();
+    respondAndClose(
+        Fd, httpResponse(200, "OK", "text/plain; charset=utf-8", "ok\n"));
+  } else {
+    ReqOther.inc();
+    respondAndClose(Fd, httpResponse(404, "Not Found",
+                                     "text/plain; charset=utf-8",
+                                     "not found\n"));
+  }
+}

@@ -753,6 +753,14 @@ ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
                                "Wall microseconds per II search");
       return M;
     }();
+    // Per-target split of the II-gap distribution (kept alongside the
+    // unlabeled aggregate), so a mixed-target fleet can see which machine
+    // description burns the II budget. Target names come from
+    // MachineDescription::name(), which the TargetRegistry stamps.
+    static metrics::HistogramFamily IIGapByTarget(
+        metrics::MetricsRegistry::global(), "swp_sched_ii_gap",
+        "Achieved II minus max(ResMII, RecMII) on successful searches",
+        "target");
     SM.Searches.inc();
     SM.IntervalsTried.inc(Result.Stats.IntervalsTried);
     SM.FailPrecedence.inc(Result.Stats.FailPrecedence);
@@ -760,8 +768,10 @@ ModuloScheduleResult swp::moduloSchedule(const DepGraph &G,
     SM.FailSlotAbort.inc(Result.Stats.FailSlotAbort);
     SM.FailStageLimit.inc(Result.Stats.FailStageLimit);
     SM.FailBudget.inc(Result.Stats.FailBudget);
-    if (Result.Success)
+    if (Result.Success) {
       SM.IIGap.record(Result.II - Result.MII);
+      IIGapByTarget.with(MD.name()).record(Result.II - Result.MII);
+    }
     SM.SearchUs.recordSeconds(Result.Stats.TotalSeconds);
   }
   if (SearchSpan.active()) {

@@ -7,11 +7,13 @@
 #include "swp/Service/ScheduleCache.h"
 
 #include "swp/DDG/DepGraph.h"
+#include "swp/Machine/MachineDescription.h"
 #include "swp/Support/FaultInject.h"
 #include "swp/Support/Trace.h"
 #include "swp/Verify/ScheduleVerifier.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -55,6 +57,47 @@ struct CacheMetrics {
   }
 };
 
+/// Per-target split of the headline cache counters (dynamic `target`
+/// label from MachineDescription::name()), kept alongside the unlabeled
+/// aggregates above so existing report tooling keeps working.
+struct CacheTargetMetrics {
+  metrics::CounterFamily Lookups, Hits, Misses, Evictions;
+
+  CacheTargetMetrics()
+      : Lookups(reg(), "swp_cache_lookups_total", "Schedule-cache lookups",
+                "target"),
+        Hits(reg(), "swp_cache_hits_total",
+             "Lookups served from the cache (memory or disk)", "target"),
+        Misses(reg(), "swp_cache_misses_total",
+               "Lookups that found nothing usable", "target"),
+        Evictions(reg(), "swp_cache_evictions_total",
+                  "LRU entries displaced by inserts", "target") {}
+
+  static CacheTargetMetrics &get() {
+    static CacheTargetMetrics M;
+    return M;
+  }
+
+private:
+  static metrics::MetricsRegistry &reg() {
+    return metrics::MetricsRegistry::global();
+  }
+};
+
+/// Machines built outside the TargetRegistry may carry no name; clamp
+/// the label so cardinality stays bounded.
+const std::string &targetLabel(const std::string &Name) {
+  static const std::string Unknown = "unknown";
+  return Name.empty() ? Unknown : Name;
+}
+
+uint64_t steadyMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 } // namespace
 
 std::string CacheStats::toJson() const {
@@ -89,6 +132,29 @@ ScheduleCache::ScheduleCache(ScheduleCacheConfig C)
         R.gauge("swp_cache_shard_entries", "shard=\"" + std::to_string(I) +
                                                "\"",
                 "Schedule-cache entries per LRU shard"));
+  BudgetEntriesGauge = R.gauge("swp_cache_budget_entries", "",
+                               "Live memory-tier entry budget");
+  BudgetBytesGauge = R.gauge("swp_cache_budget_bytes", "",
+                             "Live memory-tier byte budget");
+
+  // Live budgets start at the configured statics, clamped into the
+  // policy's band when the controller is on (so floors/ceilings hold
+  // from the first insert, not the first rebalance).
+  size_t E0 = Config.MaxEntries, B0 = Config.MaxBytes;
+  if (Config.Adaptive.Enabled) {
+    E0 = std::clamp(E0, Config.Adaptive.FloorEntries,
+                    std::max(Config.Adaptive.FloorEntries,
+                             Config.Adaptive.CeilingEntries));
+    B0 = std::clamp(B0, Config.Adaptive.FloorBytes,
+                    std::max(Config.Adaptive.FloorBytes,
+                             Config.Adaptive.CeilingBytes));
+    LastAdaptMs =
+        Config.Adaptive.ClockMs ? Config.Adaptive.ClockMs() : steadyMs();
+  }
+  BudgetEntries.store(E0, std::memory_order_relaxed);
+  BudgetBytes.store(B0, std::memory_order_relaxed);
+  BudgetEntriesGauge.add(static_cast<int64_t>(E0));
+  BudgetBytesGauge.add(static_cast<int64_t>(B0));
 }
 
 ScheduleCache::~ScheduleCache() {
@@ -99,6 +165,79 @@ ScheduleCache::~ScheduleCache() {
     S.Map.clear();
     S.Bytes = 0;
     occupancyChanged(S, OldEntries, OldBytes);
+  }
+  BudgetEntriesGauge.sub(
+      static_cast<int64_t>(BudgetEntries.load(std::memory_order_relaxed)));
+  BudgetBytesGauge.sub(
+      static_cast<int64_t>(BudgetBytes.load(std::memory_order_relaxed)));
+}
+
+void ScheduleCache::maybeAdapt() {
+  if (!Config.Adaptive.Enabled)
+    return;
+  const AdaptiveCachePolicy &P = Config.Adaptive;
+  uint64_t Now = P.ClockMs ? P.ClockMs() : steadyMs();
+  std::lock_guard<std::mutex> Lock(PolicyMu);
+  if (Now - LastAdaptMs < P.IntervalMs)
+    return;
+  uint64_t CurHits = Hits.load(std::memory_order_relaxed);
+  uint64_t CurMisses = Misses.load(std::memory_order_relaxed);
+  uint64_t CurEvictions = Evictions.load(std::memory_order_relaxed);
+  uint64_t DeltaLookups = (CurHits - WinHits) + (CurMisses - WinMisses);
+  if (DeltaLookups < P.MinSamples)
+    return; // Sparse traffic: let the window keep accumulating.
+  uint64_t DeltaEvictions = CurEvictions - WinEvictions;
+  LastAdaptMs = Now;
+  WinHits = CurHits;
+  WinMisses = CurMisses;
+  WinEvictions = CurEvictions;
+
+  size_t OldE = BudgetEntries.load(std::memory_order_relaxed);
+  size_t OldB = BudgetBytes.load(std::memory_order_relaxed);
+  size_t NewE = OldE, NewB = OldB;
+  size_t CeilE = std::max(P.FloorEntries, P.CeilingEntries);
+  size_t CeilB = std::max(P.FloorBytes, P.CeilingBytes);
+  if (DeltaEvictions > 0) {
+    // The window displaced entries: the working set overflows the memory
+    // tier, so grow toward the ceilings.
+    NewE = std::min(CeilE, OldE + std::max<size_t>(1, OldE * P.StepPercent /
+                                                          100));
+    NewB = std::min(CeilB, OldB + std::max<size_t>(1, OldB * P.StepPercent /
+                                                          100));
+  } else {
+    // No displacement: shrink only if the tier is clearly oversized.
+    size_t OccEntries = 0, OccBytes = 0;
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> SLock(S.Mu);
+      OccEntries += S.Lru.size();
+      OccBytes += S.Bytes;
+    }
+    if (OccEntries * 2 <= OldE && OccBytes * 2 <= OldB) {
+      NewE = std::max(P.FloorEntries, OldE - OldE * P.StepPercent / 100);
+      NewB = std::max(P.FloorBytes, OldB - OldB * P.StepPercent / 100);
+    }
+  }
+  if (NewE == OldE && NewB == OldB)
+    return;
+  BudgetEntries.store(NewE, std::memory_order_relaxed);
+  BudgetBytes.store(NewB, std::memory_order_relaxed);
+  BudgetEntriesGauge.add(static_cast<int64_t>(NewE) -
+                         static_cast<int64_t>(OldE));
+  BudgetBytesGauge.add(static_cast<int64_t>(NewB) -
+                       static_cast<int64_t>(OldB));
+  Adaptations.fetch_add(1, std::memory_order_relaxed);
+
+  SWP_TRACE_SPAN(ResizeSpan, "cacheResize");
+  if (ResizeSpan.active()) {
+    char Buf[200];
+    std::snprintf(Buf, sizeof(Buf),
+                  "\"old_entries\": %zu, \"new_entries\": %zu, "
+                  "\"old_bytes\": %zu, \"new_bytes\": %zu, "
+                  "\"window_lookups\": %llu, \"window_evictions\": %llu",
+                  OldE, NewE, OldB, NewB,
+                  static_cast<unsigned long long>(DeltaLookups),
+                  static_cast<unsigned long long>(DeltaEvictions));
+    ResizeSpan.args(Buf);
   }
 }
 
@@ -169,7 +308,10 @@ ScheduleCache::lookup(const Fingerprint &Key, const CanonicalGraph &CG,
                       const DepGraph &G, const MachineDescription &MD,
                       unsigned MaxStages) {
   LookupResult R;
+  maybeAdapt();
+  const std::string &Target = targetLabel(MD.name());
   CacheMetrics::get().Lookups.inc();
+  CacheTargetMetrics::get().Lookups.with(Target).inc();
   Shard &S = shardFor(Key);
   std::optional<Entry> Found;
   {
@@ -186,6 +328,7 @@ ScheduleCache::lookup(const Fingerprint &Key, const CanonicalGraph &CG,
     if (R.Result) {
       Hits.fetch_add(1, std::memory_order_relaxed);
       CacheMetrics::get().Hits.inc();
+      CacheTargetMetrics::get().Hits.with(Target).inc();
       SWP_TRACE_INSTANT("cacheHit", {});
       return R;
     }
@@ -212,6 +355,7 @@ ScheduleCache::lookup(const Fingerprint &Key, const CanonicalGraph &CG,
         Hits.fetch_add(1, std::memory_order_relaxed);
         DiskHits.fetch_add(1, std::memory_order_relaxed);
         CacheMetrics::get().Hits.inc();
+        CacheTargetMetrics::get().Hits.with(Target).inc();
         CacheMetrics::get().DiskHits.inc();
         R.FromDisk = true;
         SWP_TRACE_INSTANT("cacheDiskHit", {});
@@ -220,6 +364,8 @@ ScheduleCache::lookup(const Fingerprint &Key, const CanonicalGraph &CG,
         uint64_t Ev = insertLocked(S, Key, std::move(*FromDisk));
         Evictions.fetch_add(Ev, std::memory_order_relaxed);
         CacheMetrics::get().Evictions.inc(Ev);
+        if (Ev)
+          CacheTargetMetrics::get().Evictions.with(Target).inc(Ev);
         return R;
       }
       // Structurally sound but semantically wrong for this graph (stale
@@ -233,6 +379,7 @@ ScheduleCache::lookup(const Fingerprint &Key, const CanonicalGraph &CG,
 
   Misses.fetch_add(1, std::memory_order_relaxed);
   CacheMetrics::get().Misses.inc();
+  CacheTargetMetrics::get().Misses.with(Target).inc();
   return R;
 }
 
@@ -250,9 +397,12 @@ uint64_t ScheduleCache::insertLocked(Shard &S, const Fingerprint &Key,
   S.Bytes += S.Lru.front().second.bytes();
   S.Map[Key] = S.Lru.begin();
 
-  // Budgets are whole-cache; each shard enforces its slice.
-  size_t ShardEntries = std::max<size_t>(1, Config.MaxEntries / Shards.size());
-  size_t ShardBytes = std::max<size_t>(1, Config.MaxBytes / Shards.size());
+  // Budgets are whole-cache; each shard enforces its slice of the live
+  // budget (== the configured statics unless AdaptivePolicy moved them).
+  size_t ShardEntries = std::max<size_t>(
+      1, BudgetEntries.load(std::memory_order_relaxed) / Shards.size());
+  size_t ShardBytes = std::max<size_t>(
+      1, BudgetBytes.load(std::memory_order_relaxed) / Shards.size());
   while (S.Lru.size() > 1 &&
          (S.Lru.size() > ShardEntries || S.Bytes > ShardBytes)) {
     auto &Victim = S.Lru.back();
@@ -267,9 +417,11 @@ uint64_t ScheduleCache::insertLocked(Shard &S, const Fingerprint &Key,
 
 uint64_t ScheduleCache::insert(const Fingerprint &Key,
                                const CanonicalGraph &CG,
-                               const ModuloScheduleResult &MS) {
+                               const ModuloScheduleResult &MS,
+                               const std::string &Target) {
   if (MS.BudgetExhausted)
     return 0;
+  maybeAdapt();
   Entry E;
   E.Success = MS.Success;
   E.II = MS.II;
@@ -293,6 +445,8 @@ uint64_t ScheduleCache::insert(const Fingerprint &Key,
   Evictions.fetch_add(Ev, std::memory_order_relaxed);
   CacheMetrics::get().Inserts.inc();
   CacheMetrics::get().Evictions.inc(Ev);
+  if (Ev)
+    CacheTargetMetrics::get().Evictions.with(targetLabel(Target)).inc(Ev);
   return Ev;
 }
 
@@ -327,6 +481,10 @@ void ScheduleCache::clear() {
   VerifyRejects.store(0, std::memory_order_relaxed);
   DiskHits.store(0, std::memory_order_relaxed);
   DiskStores.store(0, std::memory_order_relaxed);
+  // Re-arm the adaptive window so its baselines never exceed the
+  // freshly-zeroed counters.
+  std::lock_guard<std::mutex> Lock(PolicyMu);
+  WinHits = WinMisses = WinEvictions = 0;
 }
 
 //===----------------------------------------------------------------------===//

@@ -315,6 +315,186 @@ TEST(ScheduleCache, NegativeEntriesCacheFailures) {
   EXPECT_EQ(LR.Result->TriedIntervals, 7u);
 }
 
+//===----------------------------------------------------------------------===//
+// AdaptivePolicy: the self-tuning budget controller, driven by a
+// test-scripted clock so every rebalance is deterministic.
+//===----------------------------------------------------------------------===//
+
+/// Shared fixture state for the adaptive tests: one scheduled loop whose
+/// result seeds every insert, plus a hand-advanced clock.
+struct AdaptiveHarness {
+  MachineDescription MD = MachineDescription::warpCell();
+  std::unique_ptr<Program> P = chainProgram();
+  DepGraph G;
+  CanonicalGraph CG;
+  ModuloScheduleResult MS;
+  uint64_t NowMs = 0;
+  uint64_t NextKey = 1;
+
+  AdaptiveHarness() : G(graphFor(*P, MD)), CG(canonicalizeGraph(G)) {
+    MS = moduloSchedule(G, MD);
+    EXPECT_TRUE(MS.Success);
+  }
+
+  AdaptiveCachePolicy policy() {
+    AdaptiveCachePolicy A;
+    A.Enabled = true;
+    A.ClockMs = [this] { return NowMs; };
+    A.IntervalMs = 10;
+    A.MinSamples = 2;
+    A.FloorBytes = 1u << 10;
+    A.CeilingBytes = 64u << 20;
+    return A;
+  }
+
+  /// One miss-then-insert on a never-seen key.
+  void missAndInsert(ScheduleCache &Cache) {
+    Fingerprint K{NextKey, NextKey};
+    ++NextKey;
+    EXPECT_FALSE(Cache.lookup(K, CG, G, MD, 0).Result.has_value());
+    Cache.insert(K, CG, MS);
+  }
+};
+
+TEST(ScheduleCache, AdaptiveGrowsMonotonicallyUnderEvictionPressure) {
+  AdaptiveHarness H;
+  ScheduleCacheConfig Config;
+  Config.Shards = 1;
+  Config.MaxEntries = 4;
+  Config.Adaptive = H.policy();
+  Config.Adaptive.FloorEntries = 4;
+  Config.Adaptive.CeilingEntries = 16;
+  ScheduleCache Cache(Config);
+  EXPECT_EQ(Cache.budgetEntries(), 4u);
+
+  // Every window overflows the entry budget (8 fresh keys against a
+  // budget of at most 16), so each rebalance must grow — monotonically,
+  // by StepPercent, never past the ceiling.
+  size_t Prev = Cache.budgetEntries();
+  for (int Round = 0; Round != 12; ++Round) {
+    for (int I = 0; I != 8; ++I)
+      H.missAndInsert(Cache);
+    H.NowMs += Config.Adaptive.IntervalMs;
+    H.missAndInsert(Cache); // First traffic after the tick rebalances.
+    size_t Cur = Cache.budgetEntries();
+    EXPECT_GE(Cur, Prev) << "round " << Round
+                         << ": growth must be monotone under pressure";
+    EXPECT_LE(Cur, 16u) << "budget must respect the ceiling";
+    EXPECT_LE(Cache.budgetBytes(), 64u << 20);
+    Prev = Cur;
+  }
+  EXPECT_EQ(Cache.budgetEntries(), 16u)
+      << "sustained pressure converges to the ceiling";
+  EXPECT_GT(Cache.adaptations(), 0u);
+  // The cache held the live budget, not the configured one.
+  EXPECT_LE(Cache.stats().Entries, 16u);
+  EXPECT_GT(Cache.stats().Entries, 4u);
+}
+
+TEST(ScheduleCache, AdaptiveShrinksToFloorAndNeverEvictsBelowIt) {
+  AdaptiveHarness H;
+  ScheduleCacheConfig Config;
+  Config.Shards = 1;
+  Config.MaxEntries = 64;
+  Config.Adaptive = H.policy();
+  Config.Adaptive.FloorEntries = 8;
+  Config.Adaptive.CeilingEntries = 64;
+  ScheduleCache Cache(Config);
+  EXPECT_EQ(Cache.budgetEntries(), 64u);
+
+  // Two residents, all traffic hits: the tier is oversized, so every
+  // window must shrink the budgets — monotonically, never below floor.
+  Fingerprint K1{1001, 1001}, K2{1002, 1002};
+  Cache.insert(K1, H.CG, H.MS);
+  Cache.insert(K2, H.CG, H.MS);
+  size_t Prev = Cache.budgetEntries();
+  for (int Round = 0; Round != 12; ++Round) {
+    for (int I = 0; I != 4; ++I)
+      EXPECT_TRUE(Cache.lookup(K1, H.CG, H.G, H.MD, 0).Result.has_value());
+    H.NowMs += Config.Adaptive.IntervalMs;
+    EXPECT_TRUE(Cache.lookup(K2, H.CG, H.G, H.MD, 0).Result.has_value());
+    size_t Cur = Cache.budgetEntries();
+    EXPECT_LE(Cur, Prev) << "round " << Round
+                         << ": shrink must be monotone while oversized";
+    EXPECT_GE(Cur, 8u) << "budget must respect the floor";
+    EXPECT_GE(Cache.budgetBytes(), 1u << 10);
+    Prev = Cur;
+  }
+  EXPECT_EQ(Cache.budgetEntries(), 8u) << "idle cache converges to the floor";
+
+  // Pressure against the floored budget evicts down to the floor,
+  // never through it.
+  for (int I = 0; I != 12; ++I)
+    H.missAndInsert(Cache);
+  EXPECT_EQ(Cache.stats().Entries, 8u);
+  EXPECT_GT(Cache.stats().Evictions, 0u);
+}
+
+TEST(ScheduleCache, AdaptiveRespectsIntervalAndMinSamples) {
+  AdaptiveHarness H;
+  ScheduleCacheConfig Config;
+  Config.Shards = 1;
+  Config.MaxEntries = 4;
+  Config.Adaptive = H.policy();
+  Config.Adaptive.FloorEntries = 4;
+  Config.Adaptive.CeilingEntries = 32;
+  Config.Adaptive.MinSamples = 100;
+  ScheduleCache Cache(Config);
+
+  // Heavy pressure with a frozen clock: no rebalance, ever.
+  for (int I = 0; I != 20; ++I)
+    H.missAndInsert(Cache);
+  EXPECT_EQ(Cache.adaptations(), 0u);
+  EXPECT_EQ(Cache.budgetEntries(), 4u);
+
+  // The interval elapses but the window is under MinSamples: still no
+  // rebalance — the window keeps accumulating instead of resetting.
+  H.NowMs += Config.Adaptive.IntervalMs;
+  Fingerprint K{2001, 2001};
+  Cache.insert(K, H.CG, H.MS);
+  EXPECT_TRUE(Cache.lookup(K, H.CG, H.G, H.MD, 0).Result.has_value());
+  EXPECT_EQ(Cache.adaptations(), 0u);
+
+  // Enough samples arrive: exactly one rebalance fires, and it saw the
+  // accumulated evictions, so it grew.
+  for (int I = 0; I != 100; ++I)
+    EXPECT_TRUE(Cache.lookup(K, H.CG, H.G, H.MD, 0).Result.has_value());
+  EXPECT_EQ(Cache.adaptations(), 1u);
+  EXPECT_GT(Cache.budgetEntries(), 4u);
+}
+
+TEST(ScheduleCache, AdaptiveDisabledIsBitIdenticalToStaticBudgets) {
+  AdaptiveHarness H;
+  ScheduleCacheConfig Static;
+  Static.Shards = 1;
+  Static.MaxEntries = 4;
+  ScheduleCacheConfig Disabled = Static;
+  Disabled.Adaptive = H.policy();
+  Disabled.Adaptive.Enabled = false; // Configured but off.
+  ScheduleCache A(Static), B(Disabled);
+
+  // An identical scripted sequence (misses, inserts, hits, evictions)
+  // must leave both caches in exactly the same observable state.
+  for (uint64_t I = 1; I != 40; ++I) {
+    Fingerprint K{I % 7, I % 7};
+    auto RA = A.lookup(K, H.CG, H.G, H.MD, 0);
+    auto RB = B.lookup(K, H.CG, H.G, H.MD, 0);
+    ASSERT_EQ(RA.Result.has_value(), RB.Result.has_value()) << "step " << I;
+    if (RA.Result.has_value()) {
+      EXPECT_EQ(RA.Result->II, RB.Result->II);
+      for (unsigned N = 0; N != H.G.numNodes(); ++N)
+        EXPECT_EQ(RA.Result->Sched.startOf(N), RB.Result->Sched.startOf(N));
+    } else {
+      EXPECT_EQ(A.insert(K, H.CG, H.MS), B.insert(K, H.CG, H.MS));
+    }
+    H.NowMs += 100; // Even with time passing, a disabled policy is inert.
+  }
+  EXPECT_EQ(A.stats().toJson(), B.stats().toJson());
+  EXPECT_EQ(B.budgetEntries(), Disabled.MaxEntries);
+  EXPECT_EQ(B.budgetBytes(), Disabled.MaxBytes);
+  EXPECT_EQ(B.adaptations(), 0u);
+}
+
 TEST(ScheduleCache, PersistentTierRoundTrip) {
   MachineDescription MD = MachineDescription::warpCell();
   auto P = chainProgram();

@@ -697,9 +697,26 @@ TEST(W2CMetrics, SnapshotIsSelfConsistent) {
   auto HistDelta = [&](const char *Name) {
     return After.histogramCountTotal(Name) - Before.histogramCountTotal(Name);
   };
+  // Latency series exist in two layers since the per-target split: the
+  // unlabeled aggregates and their target="..." refinements. Each
+  // request records exactly one sample in each layer.
+  auto HistLayerCount = [](const metrics::MetricsSnapshot &S,
+                           const char *Name, bool TargetLabeled) {
+    uint64_t Sum = 0;
+    for (const metrics::SnapshotHistogram &H : S.Histograms)
+      if (H.Name == Name &&
+          (H.Labels.find("target=") != std::string::npos) == TargetLabeled)
+        Sum += H.Count;
+    return Sum;
+  };
+  auto HistLayerDelta = [&](const char *Name, bool TargetLabeled) {
+    return HistLayerCount(After, Name, TargetLabeled) -
+           HistLayerCount(Before, Name, TargetLabeled);
+  };
   uint64_t Requests = CounterDelta("swp_session_requests_total");
   EXPECT_GT(Requests, 0u);
-  EXPECT_EQ(HistDelta("swp_session_latency_us"), Requests);
+  EXPECT_EQ(HistLayerDelta("swp_session_latency_us", false), Requests);
+  EXPECT_EQ(HistLayerDelta("swp_session_latency_us", true), Requests);
   uint64_t Lookups = CounterDelta("swp_cache_lookups_total");
   EXPECT_GT(Lookups, 0u);
   EXPECT_EQ(CounterDelta("swp_cache_hits_total") +

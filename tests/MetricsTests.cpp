@@ -205,9 +205,9 @@ TEST(Metrics, ConcurrentRecordingIsExact) {
 
 TEST(Metrics, SlotExhaustionYieldsInertHandles) {
   EnabledRegistry E;
-  // Histograms burn 33 slots each; 2048/33 = 62 fit.
+  // Histograms burn 33 slots each; 4096/33 = 124 fit.
   std::vector<Histogram> Hs;
-  for (int I = 0; I != 70; ++I)
+  for (int I = 0; I != 130; ++I)
     Hs.push_back(E.Reg.histogram("swp_test_us", "i=\"" + std::to_string(I) +
                                                     "\""));
   EXPECT_GT(E.Reg.droppedRegistrations(), 0u);
@@ -318,6 +318,71 @@ TEST(Metrics, SessionMetricsJsonlHook) {
 }
 
 //===----------------------------------------------------------------------===//
+// Label plumbing: labelBody / escapeLabelValue / LabeledFamily.
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, LabelBodySortsKeysAndEscapesValues) {
+  // Keys are emitted in sorted order regardless of argument order, so a
+  // label set has exactly one rendering — the property the per-target
+  // goldens depend on.
+  EXPECT_EQ(labelBody({{"target", "warp-cell"}, {"outcome", "ok"}}),
+            "outcome=\"ok\",target=\"warp-cell\"");
+  EXPECT_EQ(labelBody({{"outcome", "ok"}, {"target", "warp-cell"}}),
+            "outcome=\"ok\",target=\"warp-cell\"");
+  EXPECT_EQ(labelBody({{"target", "toy-cell"}}), "target=\"toy-cell\"");
+  EXPECT_EQ(labelBody({}), "");
+  // Backslash, quote, and newline are escaped per the Prometheus text
+  // format; everything else passes through.
+  EXPECT_EQ(escapeLabelValue("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(labelBody({{"target", "x\"y"}}), "target=\"x\\\"y\"");
+}
+
+TEST(Metrics, LabeledFamilyIsIdempotentPerNameAndLabels) {
+  EnabledRegistry E;
+  CounterFamily F(E.Reg, "swp_test_by_target_total", "help", "target",
+                  {{"outcome", "ok"}});
+  // Repeated with() for one value resolves to the same cells.
+  F.with("warp-cell").inc(2);
+  F.with("warp-cell").inc(3);
+  F.with("toy-cell").inc(1);
+  MetricsSnapshot S = E.Reg.snapshot();
+  const SnapshotCounter *WC = S.counter("swp_test_by_target_total",
+                                        "outcome=\"ok\",target=\"warp-cell\"");
+  ASSERT_NE(WC, nullptr) << "fixed+dynamic labels must render sorted";
+  EXPECT_EQ(WC->Value, 5u);
+  const SnapshotCounter *TC = S.counter("swp_test_by_target_total",
+                                        "outcome=\"ok\",target=\"toy-cell\"");
+  ASSERT_NE(TC, nullptr);
+  EXPECT_EQ(TC->Value, 1u);
+  EXPECT_EQ(S.counterTotal("swp_test_by_target_total"), 6u);
+
+  // A second family over the same (name, labels) shares the series —
+  // registration is idempotent at the registry, not per family object.
+  CounterFamily F2(E.Reg, "swp_test_by_target_total", "help", "target",
+                   {{"outcome", "ok"}});
+  F2.with("warp-cell").inc(10);
+  EXPECT_EQ(E.Reg.snapshot()
+                .counter("swp_test_by_target_total",
+                         "outcome=\"ok\",target=\"warp-cell\"")
+                ->Value,
+            15u);
+
+  // Gauge and histogram families ride the same machinery.
+  GaugeFamily GF(E.Reg, "swp_test_depth", "", "target");
+  GF.with("warp-cell").add(4);
+  GF.with("warp-cell").sub(1);
+  EXPECT_DOUBLE_EQ(
+      E.Reg.snapshot().gauge("swp_test_depth", "target=\"warp-cell\"")->Value,
+      3.0);
+  HistogramFamily HF(E.Reg, "swp_test_us", "", "target");
+  HF.with("warp-cell").record(7);
+  HF.with("warp-cell").record(9);
+  EXPECT_EQ(
+      E.Reg.snapshot().histogram("swp_test_us", "target=\"warp-cell\"")->Count,
+      2u);
+}
+
+//===----------------------------------------------------------------------===//
 // Exposition goldens.
 //===----------------------------------------------------------------------===//
 
@@ -360,6 +425,17 @@ void populateGoldenRegistry(MetricsRegistry &Reg) {
   for (uint64_t V : {0ull, 1ull, 2ull, 3ull, 100ull, 5000ull, 5000ull,
                      1ull << 31})
     H.record(V);
+  // Per-target fan-out, exactly as the fleet dashboards see it: one
+  // family, sorted label bodies, one series per target value.
+  CounterFamily Hits(Reg, "swp_demo_cache_hits_total", "Cache hits",
+                     "target");
+  Hits.with("warp-cell").inc(12);
+  Hits.with("warp-cell-x2").inc(4);
+  HistogramFamily Gap(Reg, "swp_demo_ii_gap", "Achieved II minus MII",
+                      "target");
+  Gap.with("warp-cell").record(0);
+  Gap.with("warp-cell").record(1);
+  Gap.with("warp-cell-x2").record(2);
 }
 
 TEST(Metrics, PrometheusGolden) {

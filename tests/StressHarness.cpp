@@ -11,12 +11,23 @@
 // one-line repro that re-runs exactly that iteration.
 //
 //   swp_stress [--iterations=N] [--seed=S] [--quiet]
-//              [--metrics-jsonl=FILE]
+//              [--metrics-jsonl=FILE] [--metrics-port=N]
 //
 // --metrics-jsonl enables the global metrics registry, registers a
 // process-RSS gauge, and appends one JSONL snapshot per iteration —
 // the soak's resource trajectory, summarizable with
 // tools/metrics-report.sh.
+//
+// --metrics-port additionally serves the registry on 127.0.0.1:N
+// (0 = ephemeral; the bound port is printed) and turns the soak into
+// its own live scraper: every iteration GETs /metrics and asserts the
+// scrape stays consistent — the RSS gauge samples positive, the
+// scheduler search counter never goes backwards, and the endpoint's
+// request counter matches the number of scrapes this harness made.
+//
+// Iterations alternate the target machine by seed parity (warp-cell /
+// warp-cell-x2), so the per-target metric split sees a mixed fleet;
+// the repro line reproduces the target along with everything else.
 //
 // ctest wires two instances: `stress_smoke` (a few dozen iterations, part
 // of the default suite) and `stress_soak` (500 iterations, label "soak",
@@ -29,6 +40,7 @@
 
 #include "swp/API/Session.h"
 #include "swp/Metrics/Metrics.h"
+#include "swp/Metrics/MetricsServer.h"
 #include "swp/Metrics/MetricsSink.h"
 #include "swp/Support/FaultInject.h"
 #include "swp/Verify/Differential.h"
@@ -39,6 +51,11 @@
 #include <optional>
 #include <random>
 #include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace swp;
 
@@ -156,6 +173,64 @@ std::string runIteration(uint64_t IterSeed, const MachineDescription &MD,
   return "";
 }
 
+/// One blocking HTTP GET against the harness's own metrics endpoint.
+/// Returns the response body ("" on any failure).
+std::string scrapeMetrics(uint16_t Port, const char *Path) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return "";
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return "";
+  }
+  std::string Req = std::string("GET ") + Path + " HTTP/1.0\r\n\r\n";
+  if (::send(Fd, Req.data(), Req.size(), 0) !=
+      static_cast<ssize_t>(Req.size())) {
+    ::close(Fd);
+    return "";
+  }
+  std::string Resp;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::recv(Fd, Buf, sizeof(Buf), 0)) > 0)
+    Resp.append(Buf, static_cast<size_t>(N));
+  ::close(Fd);
+  size_t HeaderEnd = Resp.find("\r\n\r\n");
+  if (HeaderEnd == std::string::npos || Resp.rfind("HTTP/1.0 200", 0) != 0)
+    return "";
+  return Resp.substr(HeaderEnd + 4);
+}
+
+/// Value of the exposition line that starts with exactly \p Series
+/// followed by a space; -1 when absent.
+double promValue(const std::string &Body, const std::string &Series) {
+  size_t Pos = 0;
+  std::string Prefix = Series + " ";
+  while (Pos < Body.size()) {
+    size_t Eol = Body.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Body.size();
+    if (Body.compare(Pos, Prefix.size(), Prefix) == 0)
+      return std::atof(Body.c_str() + Pos + Prefix.size());
+    Pos = Eol + 1;
+  }
+  return -1.0;
+}
+
+/// How many distinct `target="..."` labels a series name carries.
+unsigned countTargetLabels(const std::string &Body, const std::string &Name) {
+  unsigned Count = 0;
+  std::string Needle = Name + "{target=\"";
+  for (size_t Pos = Body.find(Needle); Pos != std::string::npos;
+       Pos = Body.find(Needle, Pos + 1))
+    ++Count;
+  return Count;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -163,6 +238,7 @@ int main(int argc, char **argv) {
   uint64_t Seed = 9000;
   bool Quiet = false;
   std::string MetricsJsonl;
+  int MetricsPort = -1;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--iterations=", 0) == 0) {
@@ -175,10 +251,18 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("--metrics-jsonl=", 0) == 0 &&
                Arg.size() > 16) {
       MetricsJsonl = Arg.substr(16);
+    } else if (Arg.rfind("--metrics-port=", 0) == 0 &&
+               Arg.size() > 15) {
+      unsigned long P = std::strtoul(Arg.c_str() + 15, nullptr, 10);
+      if (P > 65535) {
+        std::fprintf(stderr, "--metrics-port needs a port in [0, 65535]\n");
+        return 1;
+      }
+      MetricsPort = static_cast<int>(P);
     } else {
       std::fprintf(stderr,
                    "usage: swp_stress [--iterations=N] [--seed=S] "
-                   "[--quiet] [--metrics-jsonl=FILE]\n");
+                   "[--quiet] [--metrics-jsonl=FILE] [--metrics-port=N]\n");
       return 1;
     }
   }
@@ -186,11 +270,14 @@ int main(int argc, char **argv) {
   // Telemetry: one snapshot line per iteration, plus a live RSS gauge so
   // the JSONL doubles as the soak's memory trajectory.
   std::optional<metrics::MetricsSink> Sink;
-  if (!MetricsJsonl.empty()) {
+  std::optional<metrics::MetricsServer> Server;
+  if (!MetricsJsonl.empty() || MetricsPort >= 0) {
     metrics::setEnabled(true);
     metrics::MetricsRegistry::global().registerGauge(
         "swp_process_rss_mib", "", "Resident set size of this process",
         [] { return rssMiB(); });
+  }
+  if (!MetricsJsonl.empty()) {
     metrics::MetricsSink::Config MC;
     MC.Path = MetricsJsonl;
     MC.IntervalMs = 0; // Explicit flushNow() per iteration below.
@@ -201,15 +288,36 @@ int main(int argc, char **argv) {
       return 1;
     }
   }
+  if (MetricsPort >= 0) {
+    metrics::MetricsServer::Config MC;
+    MC.Port = static_cast<uint16_t>(MetricsPort);
+    Server.emplace(MC);
+    if (!Server->ok()) {
+      std::fprintf(stderr, "cannot serve metrics: %s\n",
+                   Server->error().c_str());
+      return 1;
+    }
+    std::printf("swp_stress: metrics on 127.0.0.1:%u\n",
+                static_cast<unsigned>(Server->port()));
+    std::fflush(stdout);
+  }
 
-  MachineDescription MD = MachineDescription::warpCell();
+  // Seed-parity target mix: half the iterations compile for the Warp
+  // cell, half for its doubled-resource variant, so the per-target
+  // metric split always sees a mixed fleet. Parity rides the IterSeed,
+  // so the printed repro line lands on the same machine.
+  MachineDescription MDs[2] = {MachineDescription::warpCell(),
+                               MachineDescription::scaledWarpCell(2)};
   unsigned Failures = 0;
+  uint64_t Scrapes = 0;
+  double LastSearches = -1.0;
   double BaselineRss = 0.0;
   const unsigned ReportEvery =
       Iterations >= 10 ? Iterations / 10 : Iterations + 1;
 
   for (unsigned I = 0; I < Iterations; ++I) {
     uint64_t IterSeed = Seed + I;
+    const MachineDescription &MD = MDs[IterSeed % 2];
     std::string Mode;
     std::string Err = runIteration(IterSeed, MD, Mode);
     if (!Err.empty()) {
@@ -230,6 +338,66 @@ int main(int argc, char **argv) {
                   I + 1, Iterations, Failures, rssMiB());
     if (Sink)
       Sink->flushNow();
+
+    // Live-scraper consistency: every iteration scrapes its own endpoint
+    // and cross-checks what a fleet collector would see.
+    if (Server) {
+      std::string Body = scrapeMetrics(Server->port(), "/metrics");
+      ++Scrapes;
+      if (Body.empty()) {
+        ++Failures;
+        std::fprintf(stderr, "FAIL iter %u: /metrics scrape failed\n", I);
+      } else {
+        double Rss = promValue(Body, "swp_process_rss_mib");
+        if (Rss <= 0.0) {
+          ++Failures;
+          std::fprintf(stderr,
+                       "FAIL iter %u: RSS gauge missing or nonpositive "
+                       "(%.3f)\n",
+                       I, Rss);
+        }
+        double Searches = promValue(Body, "swp_sched_searches_total");
+        if (Searches < LastSearches) {
+          ++Failures;
+          std::fprintf(stderr,
+                       "FAIL iter %u: search counter went backwards "
+                       "(%.0f -> %.0f)\n",
+                       I, LastSearches, Searches);
+        }
+        LastSearches = Searches;
+        // The scrape observes itself (the server counts the request
+        // before snapshotting), so the endpoint's own request counter
+        // must equal the scrapes this harness has made.
+        double Reqs = promValue(
+            Body, "swp_metrics_http_requests_total{path=\"metrics\"}");
+        if (Reqs != static_cast<double>(Scrapes) ||
+            Server->requestsServed() != Scrapes) {
+          ++Failures;
+          std::fprintf(stderr,
+                       "FAIL iter %u: request counters inconsistent with "
+                       "live scraper (scrapes %llu, scraped %.0f, served "
+                       "%llu)\n",
+                       I, static_cast<unsigned long long>(Scrapes), Reqs,
+                       static_cast<unsigned long long>(
+                           Server->requestsServed()));
+        }
+      }
+    }
+  }
+
+  // A mixed-fleet soak long enough to schedule loops on both machines
+  // must leave the II-gap histogram split by at least two targets.
+  if (Server && Iterations >= 20) {
+    std::string Body = scrapeMetrics(Server->port(), "/metrics");
+    ++Scrapes;
+    unsigned Targets = countTargetLabels(Body, "swp_sched_ii_gap_count");
+    if (Targets < 2) {
+      ++Failures;
+      std::fprintf(stderr,
+                   "FAIL: swp_sched_ii_gap split by %u target labels "
+                   "(want >= 2)\n",
+                   Targets);
+    }
   }
 
   double FinalRss = rssMiB();

@@ -7,17 +7,32 @@
 # from the final snapshot, and the RSS trajectory when the process-RSS
 # gauge is present (awk only; no JSON tooling required).
 #
-# usage: tools/metrics-report.sh FILE.jsonl
+# With a target=NAME filter, also prints that target's slice of the
+# fleet dashboards — the per-target session outcomes, cache traffic, and
+# II-gap quality series (label target="NAME") — and fails if the stream
+# carries no series for that target at all.
+#
+# usage: tools/metrics-report.sh FILE.jsonl [target=NAME]
 #
 #===-----------------------------------------------------------------------===#
 set -euo pipefail
 
-if [ $# -ne 1 ] || [ ! -r "$1" ]; then
-  echo "usage: $(basename "$0") FILE.jsonl" >&2
+usage() {
+  echo "usage: $(basename "$0") FILE.jsonl [target=NAME]" >&2
   exit 1
+}
+
+[ $# -ge 1 ] && [ $# -le 2 ] || usage
+[ -r "$1" ] || usage
+TARGET=""
+if [ $# -eq 2 ]; then
+  case "$2" in
+    target=*) TARGET="${2#target=}" ;;
+    *) usage ;;
+  esac
 fi
 
-awk '
+awk -v Target="$TARGET" '
 # First numeric value following "key": on the current line; "" if absent.
 # index() is a plain substring search, so keys may contain the escaped
 # quotes of labeled metrics without regex escaping.
@@ -29,6 +44,31 @@ function val(key,    i, s) {
   if (match(s, /^-?[0-9.]+/) != 1)
     return ""
   return substr(s, 1, RLENGTH)
+}
+
+# A field of a histogram object ("count", "p90", "sum"): the histogram
+# key maps to {"buckets":[...],"count":N,...}, so scan a window past the
+# bucket array for the named field.
+function hval(key, field,    i, s, j) {
+  i = index($0, "\"" key "\":{")
+  if (i == 0)
+    return ""
+  s = substr($0, i, 1200)
+  j = index(s, "\"" field "\":")
+  if (j == 0)
+    return ""
+  s = substr(s, j + length(field) + 3, 32)
+  if (match(s, /^-?[0-9.]+/) != 1)
+    return ""
+  return substr(s, 1, RLENGTH)
+}
+
+# The label body of a per-target series as it appears inside a JSONL
+# key: quotes arrive escaped ({target=\"warp-cell\"}).
+function tkey(name) { return name "{target=\\\"" Target "\\\"}" }
+function okey(outcome) {
+  return "swp_session_outcomes_total{outcome=\\\"" outcome \
+         "\\\",target=\\\"" Target "\\\"}"
 }
 
 NF {
@@ -64,6 +104,8 @@ END {
             "swp_cache_hits_total cache_hits " \
             "swp_cache_misses_total cache_misses " \
             "swp_cache_evictions_total cache_evictions " \
+            "swp_cache_budget_entries cache_budget_entries " \
+            "swp_cache_budget_bytes cache_budget_bytes " \
             "swp_pool_tasks_total pool_tasks", Pairs, " ")
   for (i = 1; i + 1 <= n; i += 2) {
     v = val(Pairs[i])
@@ -73,5 +115,43 @@ END {
   if (RssSeen)
     printf "rss_mib:          min %.1f  max %.1f  last %.1f\n", \
            RssMin, RssMax, RssLast
+
+  if (Target == "")
+    exit 0
+
+  # The per-target slice, from the final snapshot.
+  printf "target %s:\n", Target
+  Found = 0
+  m = split("ok error degraded cancelled budget_tripped", Outs, " ")
+  for (i = 1; i <= m; ++i) {
+    v = val(okey(Outs[i]))
+    if (v != "") {
+      printf "  session_%-13s %s\n", Outs[i] ":", v
+      Found = 1
+    }
+  }
+  n = split("swp_cache_lookups_total cache_lookups " \
+            "swp_cache_hits_total cache_hits " \
+            "swp_cache_misses_total cache_misses " \
+            "swp_cache_evictions_total cache_evictions", Pairs, " ")
+  for (i = 1; i + 1 <= n; i += 2) {
+    v = val(tkey(Pairs[i]))
+    if (v != "") {
+      printf "  %-19s %s\n", Pairs[i + 1] ":", v
+      Found = 1
+    }
+  }
+  c = hval(tkey("swp_sched_ii_gap"), "count")
+  if (c != "") {
+    printf "  %-19s %s\n", "ii_gap_count:", c
+    printf "  %-19s %s\n", "ii_gap_p90:", hval(tkey("swp_sched_ii_gap"), "p90")
+    printf "  %-19s %s\n", "ii_gap_sum:", hval(tkey("swp_sched_ii_gap"), "sum")
+    Found = 1
+  }
+  if (!Found) {
+    printf "metrics-report: no series labeled target=\"%s\"\n", Target \
+      > "/dev/stderr"
+    exit 1
+  }
 }
 ' "$1"
